@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Results are
+printed to stdout (so ``pytest benchmarks/ --benchmark-only -s`` shows the
+regenerated rows/series) and also written to ``results/`` as plain-text
+files for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmarks drop their regenerated tables/series."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    """Callable that writes one experiment's textual output to results/<name>.txt."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n# --- {name} ---\n{text}\n")
+        return path
+
+    return _save

@@ -1,0 +1,44 @@
+"""E2 — Figure 3: dual-mode program, per-command latency budget.
+
+The figure annotates each command of the threshold-check microcode with its
+latency class: read-modify-write commands take >= 2 cycles on the bus path,
+``capture`` >= 1, ``jump-if`` and ``action`` exactly 1, and the whole
+sequence is triggered one cycle after the event.  The benchmark runs the
+program on the full SoC twice (sample above / below the threshold) and
+reports both the per-event totals and the instant- vs sequenced-alert split.
+"""
+
+from repro.workloads.threshold import ThresholdWorkloadConfig, run_pels_threshold_workload
+
+
+def _run_both_modes():
+    sequenced = run_pels_threshold_workload(ThresholdWorkloadConfig(n_events=4, use_instant_alert=False))
+    instant = run_pels_threshold_workload(ThresholdWorkloadConfig(n_events=4, use_instant_alert=True))
+    return sequenced, instant
+
+
+def test_bench_figure3_program_latency(benchmark, save_result):
+    sequenced, instant = benchmark(_run_both_modes)
+
+    lines = [
+        "Figure 3 program on the PULPissimo+PELS model (4 linking events each):",
+        f"  sequenced-alert variant : mean {sequenced.mean_latency:5.1f} cycles/event, worst {sequenced.worst_latency}",
+        f"  instant-alert variant   : mean {instant.mean_latency:5.1f} cycles/event, worst {instant.worst_latency}",
+        f"  alerts raised           : {sequenced.alerts_raised} (sequenced) / {instant.alerts_raised} (instant)",
+        "",
+        "Per-command latency classes (paper annotation):",
+        "  clear   (rmw)      >= 2 cycles on the peripheral bus",
+        "  capture            >= 1 cycle  (bus read)",
+        "  jump-if               1 cycle",
+        "  action                1 cycle  (instant, no bus)",
+        "  set     (rmw)      >= 2 cycles on the peripheral bus",
+    ]
+    save_result("figure3_program_latency", "\n".join(lines))
+
+    # The instant-alert variant must be at least as fast as the sequenced one,
+    # and both service every event and agree on the alerts raised.
+    assert instant.mean_latency <= sequenced.mean_latency
+    assert sequenced.events_serviced == instant.events_serviced == 4
+    assert sequenced.alerts_raised == instant.alerts_raised
+    # The full five-command sequence stays within the 500 ns / 55 MHz budget (27 cycles).
+    assert sequenced.worst_latency <= 27

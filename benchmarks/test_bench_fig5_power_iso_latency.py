@@ -1,0 +1,49 @@
+"""E3 — Figure 5 (left half): idle and linking power at iso-latency.
+
+PELS and Ibex both meet a 500 ns linking-latency target; PELS does so at
+27 MHz, Ibex needs 55 MHz.  The paper reports the event-linking power being
+reduced by 2.5x and the idle power by 1.5x when PELS mediates the linking.
+"""
+
+import pytest
+
+from repro.power.report import format_breakdown
+from repro.power.scenarios import (
+    ISO_LATENCY_IBEX_HZ,
+    ISO_LATENCY_PELS_HZ,
+    latency_cycles_budget,
+    measure_idle_power,
+    measure_linking_power,
+)
+
+
+def _run_iso_latency():
+    return {
+        "idle_ibex": measure_idle_power("ibex", ISO_LATENCY_IBEX_HZ, idle_cycles=1000),
+        "idle_pels": measure_idle_power("pels", ISO_LATENCY_PELS_HZ, idle_cycles=1000),
+        "linking_ibex": measure_linking_power("ibex", ISO_LATENCY_IBEX_HZ, n_events=6),
+        "linking_pels": measure_linking_power("pels", ISO_LATENCY_PELS_HZ, n_events=6),
+    }
+
+
+def test_bench_figure5_iso_latency(benchmark, save_result):
+    results = benchmark(_run_iso_latency)
+
+    linking_ratio = results["linking_ibex"].total_uw / results["linking_pels"].total_uw
+    idle_ratio = results["idle_ibex"].total_uw / results["idle_pels"].total_uw
+    text = "\n\n".join(format_breakdown(result.breakdown) for result in results.values())
+    text += (
+        f"\n\nlinking power ratio (Ibex/PELS): {linking_ratio:.2f}x  (paper: 2.5x)"
+        f"\nidle power ratio    (Ibex/PELS): {idle_ratio:.2f}x  (paper: 1.5x)"
+    )
+    save_result("figure5_iso_latency", text)
+
+    # Both systems fit the 500 ns latency target at their operating points.
+    assert latency_cycles_budget(ISO_LATENCY_PELS_HZ) >= 7
+    assert latency_cycles_budget(ISO_LATENCY_IBEX_HZ) >= 16
+    # Headline ratios: 2.5x (linking) and 1.5x (idle), within 20 %.
+    assert linking_ratio == pytest.approx(2.5, rel=0.2)
+    assert idle_ratio == pytest.approx(1.5, rel=0.2)
+    # PELS itself is a small fraction of the PELS-driven linking power.
+    pels_bar = results["linking_pels"].breakdown
+    assert pels_bar.component("PELS") < 0.25 * pels_bar.total_uw

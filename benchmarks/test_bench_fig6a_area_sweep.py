@@ -1,0 +1,43 @@
+"""E6 — Figure 6a: PELS area sweep over links and SCM lines vs. tiny RISC-V cores."""
+
+import pytest
+
+from repro.area.model import BASELINE_CORE_AREAS_KGE, PelsAreaModel
+from repro.area.sweep import figure6a_sweep, minimal_configuration_summary, sweep_as_table
+
+
+def test_bench_figure6a_area_sweep(benchmark, save_result):
+    points = benchmark(figure6a_sweep)
+    summary = minimal_configuration_summary()
+    text = sweep_as_table(points)
+    text += (
+        f"\n\nminimal configuration (1 link, 4 lines): {summary['pels_minimal_kge']:.2f} kGE"
+        f"\n  {summary['ibex_ratio']:.1f}x smaller than Ibex ({summary['ibex_kge']:.1f} kGE)"
+        f"\n  {summary['picorv32_ratio']:.1f}x smaller than PicoRV32 ({summary['picorv32_kge']:.1f} kGE)"
+    )
+    save_result("figure6a_area_sweep", text)
+
+    # The paper sweeps 1-8 links x 4/6/8 lines: 18 configurations.
+    assert len(points) == 18
+    by_config = {(p.n_links, p.scm_lines): p.total_kge for p in points}
+    # Anchor point: ~7 kGE minimal configuration, ~4x below Ibex, ~2x below PicoRV32.
+    assert by_config[(1, 4)] == pytest.approx(7.0, abs=0.3)
+    assert summary["ibex_ratio"] == pytest.approx(4.0, rel=0.15)
+    assert summary["picorv32_ratio"] == pytest.approx(2.0, rel=0.15)
+    # Monotonicity of the sweep (the figure's visual shape).
+    for lines in (4, 6, 8):
+        areas = [by_config[(links, lines)] for links in (1, 2, 3, 4, 6, 8)]
+        assert areas == sorted(areas)
+    # Even the largest configuration stays in the figure's plotted range.
+    assert by_config[(8, 8)] < 56.0
+    # Intermediate configurations cross the PicoRV32 and Ibex reference lines,
+    # exactly as the dashed lines in the figure show.
+    assert any(total > BASELINE_CORE_AREAS_KGE["picorv32"] for total in by_config.values())
+    assert any(total > BASELINE_CORE_AREAS_KGE["ibex"] for total in by_config.values())
+
+
+def test_bench_figure6a_model_throughput(benchmark):
+    """Micro-benchmark of the area model itself (cheap, used inside sweeps)."""
+    model = PelsAreaModel()
+    result = benchmark(model.estimate_config, 4, 6)
+    assert result.total_kge > 0

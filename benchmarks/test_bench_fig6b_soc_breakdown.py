@@ -1,0 +1,30 @@
+"""E7 — Figure 6b: area fraction of a 4-link / 6-line PELS inside PULPissimo."""
+
+import pytest
+
+from repro.area.soc import figure6b_breakdown
+from repro.core.config import PelsConfig
+
+
+def test_bench_figure6b_soc_breakdown(benchmark, save_result):
+    data = benchmark(figure6b_breakdown, PelsConfig(n_links=4, scm_lines=6))
+
+    logic = data["logic_fractions"]
+    with_sram = data["with_sram_fractions"]
+    absolute = data["absolute_kge"]
+    lines = ["PULPissimo area breakdown with a 4-link / 6-SCM-line PELS:", "", "logic only:"]
+    lines += [f"  {name:<20s} {fraction * 100:5.1f} %" for name, fraction in sorted(logic.items())]
+    lines += ["", "including 192 KiB SRAM:"]
+    lines += [f"  {name:<20s} {fraction * 100:5.1f} %" for name, fraction in sorted(with_sram.items())]
+    lines += ["", "absolute (kGE):"]
+    lines += [f"  {name:<20s} {value:8.1f}" for name, value in sorted(absolute.items())]
+    save_result("figure6b_soc_breakdown", "\n".join(lines))
+
+    # Paper: PELS accounts for about 9.5 % of PULPissimo's logic area and
+    # about 1 % when the 192 KiB SRAM is included.
+    assert logic["PELS"] == pytest.approx(0.095, abs=0.01)
+    assert with_sram["PELS"] == pytest.approx(0.01, abs=0.004)
+    assert sum(logic.values()) == pytest.approx(1.0)
+    assert sum(with_sram.values()) == pytest.approx(1.0)
+    # The non-PELS shares keep their PULPissimo-like ordering.
+    assert logic["Peripherals"] > logic["Processing domain"] > logic["Interconnect"] > logic["PELS"]

@@ -1,0 +1,20 @@
+"""E5 — Section IV-B latency comparison: 7 / 2 / 16 cycles."""
+
+from repro.analysis.latency import (
+    PAPER_IBEX_CYCLES,
+    PAPER_INSTANT_CYCLES,
+    PAPER_SEQUENCED_CYCLES,
+    measure_latency_comparison,
+)
+
+
+def test_bench_latency_comparison(benchmark, save_result):
+    comparison = benchmark(measure_latency_comparison)
+    save_result("latency_comparison", comparison.format())
+
+    assert comparison.pels_sequenced_cycles == PAPER_SEQUENCED_CYCLES
+    assert comparison.pels_instant_cycles == PAPER_INSTANT_CYCLES
+    assert comparison.ibex_interrupt_cycles == PAPER_IBEX_CYCLES
+    # PELS wins by a little over 2x (sequenced) and 8x (instant), as in the paper.
+    assert comparison.speedup_vs_ibex() > 2.0
+    assert comparison.speedup_vs_ibex(instant=True) == 8.0

@@ -1,0 +1,54 @@
+"""E8 — Section IV-B text: switching activity around the memory system.
+
+The paper attributes most of the PELS power win to the quiet memory system:
+3.7x less memory-system power at iso-latency and 4.3x at iso-frequency.  The
+benchmark reports both the RAM power-component ratio and the raw activity
+counts that drive it (instruction fetches and SRAM accesses per linking
+event).
+"""
+
+import pytest
+
+from repro.power.scenarios import run_figure5
+from repro.workloads.threshold import ThresholdWorkloadConfig, run_ibex_threshold_workload, run_pels_threshold_workload
+
+
+def _collect():
+    dataset = run_figure5(n_events=6, idle_cycles=800)
+    config = ThresholdWorkloadConfig(n_events=6)
+    pels = run_pels_threshold_workload(config)
+    ibex = run_ibex_threshold_workload(config)
+    return dataset, pels, ibex
+
+
+def test_bench_memory_system_activity(benchmark, save_result):
+    dataset, pels, ibex = benchmark(_collect)
+
+    iso_freq_ratio = dataset.ram_ratio("linking_iso_freq")
+    iso_latency_ratio = dataset.ram_ratio("linking_iso_latency")
+    ibex_fetches = ibex.soc.activity.get("sram", "instruction_fetches")
+    pels_fetches = pels.soc.activity.get("sram", "instruction_fetches")
+    ibex_sram = ibex.soc.sram.total_accesses
+    pels_sram = pels.soc.sram.total_accesses
+
+    lines = [
+        "Memory-system activity during event linking (6 events):",
+        f"  SRAM instruction fetches : Ibex {ibex_fetches:5d}   PELS {pels_fetches:5d}",
+        f"  SRAM total accesses      : Ibex {ibex_sram:5d}   PELS {pels_sram:5d}",
+        f"  PELS private SCM reads   : {pels.soc.activity.get('pels', 'scm_reads'):5d}",
+        "",
+        f"RAM power-component ratio (Ibex/PELS), iso-frequency : {iso_freq_ratio:.2f}x  (paper: 4.3x)",
+        f"RAM power-component ratio (Ibex/PELS), iso-latency   : {iso_latency_ratio:.2f}x  (paper: 3.7x)",
+    ]
+    save_result("memory_system_activity", "\n".join(lines))
+
+    # PELS keeps the SRAM out of the linking path entirely: the only memory it
+    # touches is its private SCM.
+    assert pels_fetches == 0
+    assert ibex_fetches > 0
+    assert pels.soc.activity.get("pels", "scm_reads") > 0
+    # The RAM power component drops by roughly 4x at iso-frequency; at
+    # iso-latency the model keeps the same direction (see EXPERIMENTS.md for
+    # the discussion of the absolute value).
+    assert iso_freq_ratio == pytest.approx(4.3, rel=0.25)
+    assert iso_latency_ratio > 3.0

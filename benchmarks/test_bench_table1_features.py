@@ -1,0 +1,20 @@
+"""E1 — Table I: feature comparison of peripheral-event-handling systems."""
+
+from repro.analysis.sota import all_systems
+from repro.analysis.tables import format_table1, table1_rows
+
+
+def test_bench_table1_feature_comparison(benchmark, save_result):
+    rows = benchmark(table1_rows)
+    text = format_table1()
+    save_result("table1_feature_comparison", text)
+
+    # Shape checks against the paper's Table I.
+    assert len(rows) == 8
+    pels = rows[-1]
+    assert pels["instant_actions"] == "yes"
+    assert pels["sequenced_actions"] == "yes"
+    assert pels["open_source"] == "yes"
+    # Every prior system misses at least one of PELS's three differentiators.
+    for system in all_systems()[:-1]:
+        assert not (system.instant_actions and system.sequenced_actions and system.open_source)

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's comparison artefacts: Table I and Figure 6.
+
+Prints the state-of-the-art feature comparison (Table I), the PELS area
+sweep over links and SCM lines against Ibex and PicoRV32 (Figure 6a), and
+the PULPissimo area breakdown with a 4-link / 6-line PELS (Figure 6b).
+
+Run with:  python examples/area_and_sota_report.py
+"""
+
+from repro.analysis.tables import format_table1
+from repro.area.soc import figure6b_breakdown
+from repro.area.sweep import figure6a_sweep, minimal_configuration_summary, sweep_as_table
+from repro.core.config import PelsConfig
+
+
+def main() -> None:
+    print("=== Table I: autonomous peripheral-event handling, feature comparison ===\n")
+    print(format_table1())
+
+    print("\n\n=== Figure 6a: PELS area sweep (TSMC 65 nm model, kGE) ===\n")
+    print(sweep_as_table(figure6a_sweep()))
+    summary = minimal_configuration_summary()
+    print(
+        f"\nminimal configuration: {summary['pels_minimal_kge']:.1f} kGE "
+        f"({summary['ibex_ratio']:.1f}x smaller than Ibex, "
+        f"{summary['picorv32_ratio']:.1f}x smaller than PicoRV32)"
+    )
+
+    print("\n\n=== Figure 6b: PULPissimo area breakdown (4 links, 6 SCM lines) ===\n")
+    data = figure6b_breakdown(PelsConfig(n_links=4, scm_lines=6))
+    print("logic only:")
+    for name, fraction in sorted(data["logic_fractions"].items(), key=lambda item: -item[1]):
+        print(f"  {name:<20s} {fraction * 100:5.1f} %")
+    print("including the 192 KiB SRAM:")
+    for name, fraction in sorted(data["with_sram_fractions"].items(), key=lambda item: -item[1]):
+        print(f"  {name:<20s} {fraction * 100:5.1f} %")
+
+
+if __name__ == "__main__":
+    main()

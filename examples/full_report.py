@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Generate the complete experiment report (all tables and figures) in one go.
+
+Runs the latency comparison, the Figure 5 power scenarios, the Figure 6 area
+models, and Table I, and writes a single markdown document with measured
+values side by side with the paper's reference numbers.
+
+Run with:  python examples/full_report.py [output.md]
+"""
+
+import sys
+
+from repro.analysis.report import write_report
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "pels_experiment_report.md"
+    report = write_report(output_path)
+    headline = report.headline()
+    print(f"report written to {output_path}\n")
+    print("Headline numbers (measured vs paper):")
+    print(f"  sequenced / instant / interrupt latency : "
+          f"{headline['sequenced_cycles']:.0f} / {headline['instant_cycles']:.0f} / "
+          f"{headline['ibex_cycles']:.0f} cycles   (paper: 7 / 2 / 16)")
+    print(f"  linking power ratio, iso-latency        : {headline['linking_iso_latency_ratio']:.2f}x (paper: 2.5x)")
+    print(f"  linking power ratio, iso-frequency      : {headline['linking_iso_freq_ratio']:.2f}x (paper: 1.6x)")
+    print(f"  idle power ratio, iso-latency           : {headline['idle_iso_latency_ratio']:.2f}x (paper: 1.5x)")
+    print(f"  minimal PELS area                       : {headline['pels_minimal_kge']:.1f} kGE (paper: ~7 kGE)")
+    print(f"  PELS share of PULPissimo logic          : {headline['pels_soc_logic_fraction'] * 100:.1f} % (paper: ~9.5 %)")
+
+
+if __name__ == "__main__":
+    main()

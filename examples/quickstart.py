@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: link a timer overflow to a GPIO pad without waking the CPU.
+
+This is the smallest end-to-end PELS use case:
+
+1. build the PULPissimo-style SoC model (CPU, peripherals, µDMA, PELS);
+2. assemble a two-command link program — one *instant action* driving the
+   GPIO's single-wire ``set_pad0`` input and one *sequenced action* writing
+   the GPIO OUT register over the peripheral bus;
+3. arm the link on the timer-overflow event and let the system run.
+
+The CPU sleeps through the whole thing: the linking happens entirely in the
+I/O domain, which is the point of the paper.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Assembler, SocConfig, build_soc
+
+
+def main() -> None:
+    soc = build_soc(SocConfig())
+    pels = soc.pels
+
+    # ------------------------------------------------------------------ program
+    # Symbols: register offsets are *word* offsets relative to the link's base
+    # address, which we point at the start of the peripheral region.
+    peripheral_region = soc.address_map.peripheral_base("udma")
+    gpio_out = soc.address_map.peripheral_base("gpio") + soc.gpio.regs.offset_of("OUT") - peripheral_region
+
+    assembler = Assembler()
+    assembler.define_register("GPIO_OUT", gpio_out)
+    program = assembler.assemble(
+        """
+        action 0 0x1        ; instant action: pulse the GPIO's set_pad0 input (2-cycle latency)
+        set GPIO_OUT 0x2    ; sequenced action: RMW pad 1 through the peripheral bus (7-cycle latency)
+        end
+        """
+    )
+    print("Assembled link program:")
+    print(program.listing())
+
+    # ------------------------------------------------------------------- wiring
+    # Route instant-action line (group 0, bit 0) to the GPIO's event input.
+    pels.route_action_to_peripheral(group=0, bit=0, peripheral=soc.gpio, port="set_pad0")
+    # Trigger the link on the timer's overflow event.
+    timer_event = 1 << soc.fabric.index_of(soc.timer.event_line_name("overflow"))
+    pels.program_link(0, program, trigger_mask=timer_event, base_address=peripheral_region)
+
+    # --------------------------------------------------------------------- run
+    soc.timer.regs.reg("COMPARE").hw_write(50)  # overflow every 50 cycles
+    soc.timer.start()
+    soc.run(500)
+
+    link = pels.link(0)
+    print(f"\nTimer overflows            : {soc.timer.overflow_count}")
+    print(f"Linking events serviced    : {link.events_serviced}")
+    print(f"GPIO output value          : 0x{soc.gpio.output_value:x} (pad0 via instant, pad1 via sequenced)")
+    print(f"CPU interrupts taken       : {soc.cpu.interrupts_serviced} (the core slept through everything)")
+    record = link.last_record
+    print(f"Instant-action latency     : {record.instant_latency} cycles (paper: 2)")
+    print(
+        f"Sequenced-action latency   : {record.sequenced_latency} cycles "
+        "(paper: 7 for a standalone set; here it runs as the second command, one cycle later)"
+    )
+
+
+if __name__ == "__main__":
+    main()

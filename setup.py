@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP 660
+editable installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` — and plain
+``pip install -e .`` on environments where pip falls back to the legacy
+path — use the classic ``setup.py develop`` route instead.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Analyses that regenerate the paper's tables and headline comparisons."""
+
+from repro.analysis.sota import SotaSystem, SOTA_SYSTEMS, PELS_ENTRY, all_systems
+from repro.analysis.tables import format_table1, table1_rows
+from repro.analysis.latency import LatencyComparison, measure_latency_comparison
+from repro.analysis.timeline import LinkTimeline, bus_transfer_timeline, merge_timelines
+from repro.analysis.report import ExperimentReport, generate_report, write_report
+
+__all__ = [
+    "ExperimentReport",
+    "LatencyComparison",
+    "LinkTimeline",
+    "PELS_ENTRY",
+    "SOTA_SYSTEMS",
+    "SotaSystem",
+    "all_systems",
+    "bus_transfer_timeline",
+    "format_table1",
+    "generate_report",
+    "measure_latency_comparison",
+    "merge_timelines",
+    "table1_rows",
+    "write_report",
+]

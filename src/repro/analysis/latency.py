@@ -1,0 +1,69 @@
+"""Linking-latency comparison (Section IV-B text).
+
+The paper reports, for the same minimal linking event:
+
+* **7 cycles** for a PELS sequenced action (APB-dependent),
+* **2 cycles** for a PELS instant action (fixed),
+* **16 cycles** for the Ibex interrupt-driven baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.workloads.minimal import (
+    run_minimal_ibex_linking,
+    run_minimal_pels_linking,
+)
+
+PAPER_SEQUENCED_CYCLES = 7
+PAPER_INSTANT_CYCLES = 2
+PAPER_IBEX_CYCLES = 16
+
+
+@dataclass
+class LatencyComparison:
+    """Measured latencies of the three linking mechanisms, in cycles."""
+
+    pels_sequenced_cycles: Optional[int]
+    pels_instant_cycles: Optional[int]
+    ibex_interrupt_cycles: Optional[int]
+
+    def speedup_vs_ibex(self, instant: bool = False) -> float:
+        """How many times faster PELS handles the event than the Ibex baseline."""
+        pels = self.pels_instant_cycles if instant else self.pels_sequenced_cycles
+        if not pels or not self.ibex_interrupt_cycles:
+            raise ValueError("latencies have not been measured")
+        return self.ibex_interrupt_cycles / pels
+
+    def as_dict(self) -> Dict[str, Optional[int]]:
+        """Mapping suitable for tabular reporting."""
+        return {
+            "pels_sequenced": self.pels_sequenced_cycles,
+            "pels_instant": self.pels_instant_cycles,
+            "ibex_interrupt": self.ibex_interrupt_cycles,
+        }
+
+    def format(self) -> str:
+        """Aligned text with the paper's reference values."""
+        lines = [
+            f"{'mechanism':<22s} {'measured':>9s} {'paper':>7s}",
+            "-" * 40,
+            f"{'PELS sequenced action':<22s} {self.pels_sequenced_cycles!s:>9s} {PAPER_SEQUENCED_CYCLES:>7d}",
+            f"{'PELS instant action':<22s} {self.pels_instant_cycles!s:>9s} {PAPER_INSTANT_CYCLES:>7d}",
+            f"{'Ibex interrupt':<22s} {self.ibex_interrupt_cycles!s:>9s} {PAPER_IBEX_CYCLES:>7d}",
+        ]
+        return "\n".join(lines)
+
+
+def measure_latency_comparison() -> LatencyComparison:
+    """Run the three minimal-linking measurements on fresh SoC instances."""
+    sequenced = run_minimal_pels_linking(instant=False)
+    instant = run_minimal_pels_linking(instant=True)
+    ibex = run_minimal_ibex_linking()
+    return LatencyComparison(
+        pels_sequenced_cycles=sequenced.sequenced_latency,
+        pels_instant_cycles=instant.instant_latency,
+        ibex_interrupt_cycles=ibex.sequenced_latency,
+    )

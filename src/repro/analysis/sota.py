@@ -1,0 +1,138 @@
+"""Feature model of the state-of-the-art peripheral-event systems (Table I).
+
+Table I of the paper compares industrial and academic event-linking
+solutions along five axes: routing topology, event-processing capability,
+support for instant actions, support for sequenced actions, and open-source
+availability.  The entries below transcribe that comparison so the benchmark
+can regenerate the table and the tests can check PELS's differentiators
+(the only system with both action types, microcode processing, and an open
+licence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SotaSystem:
+    """One row of Table I."""
+
+    name: str
+    vendor: str
+    category: str  # "industry" or "academia"
+    routing_topology: Optional[str]  # "channel", "matrix", or None (no event routing)
+    event_processing: Optional[str]  # e.g. "combinational", "CLB", "microcode"
+    instant_actions: bool
+    sequenced_actions: bool
+    open_source: bool
+    note: str = ""
+
+    @property
+    def supports_both_action_types(self) -> bool:
+        """Whether the system offers instant *and* sequenced actions."""
+        return self.instant_actions and self.sequenced_actions
+
+
+SOTA_SYSTEMS: Tuple[SotaSystem, ...] = (
+    SotaSystem(
+        name="PRS",
+        vendor="Silicon Labs",
+        category="industry",
+        routing_topology="channel",
+        event_processing="combinational logic",
+        instant_actions=True,
+        sequenced_actions=False,
+        open_source=False,
+    ),
+    SotaSystem(
+        name="LELC",
+        vendor="Renesas",
+        category="industry",
+        routing_topology="channel",
+        event_processing="CLB",
+        instant_actions=True,
+        sequenced_actions=False,
+        open_source=False,
+    ),
+    SotaSystem(
+        name="EVSYS",
+        vendor="Microchip",
+        category="industry",
+        routing_topology="channel",
+        event_processing="custom (CCL LUT)",
+        instant_actions=True,
+        sequenced_actions=False,
+        open_source=False,
+        note="Up to three events routed to the Configurable Custom Logic.",
+    ),
+    SotaSystem(
+        name="PPI",
+        vendor="Nordic",
+        category="industry",
+        routing_topology="channel",
+        event_processing="custom (dual task fan-out)",
+        instant_actions=True,
+        sequenced_actions=False,
+        open_source=False,
+        note="One channel can trigger up to two actions simultaneously.",
+    ),
+    SotaSystem(
+        name="PIM",
+        vendor="STMicroelectronics",
+        category="industry",
+        routing_topology="matrix",
+        event_processing=None,
+        instant_actions=True,
+        sequenced_actions=False,
+        open_source=False,
+    ),
+    SotaSystem(
+        name="XGATE",
+        vendor="NXP",
+        category="industry",
+        routing_topology=None,
+        event_processing="microcode",
+        instant_actions=False,
+        sequenced_actions=True,
+        open_source=False,
+        note="I/O co-processor designed to take the interrupt load off the main core.",
+    ),
+    SotaSystem(
+        name="AESRN",
+        vendor="Bjornerud et al.",
+        category="academia",
+        routing_topology="channel",
+        event_processing="CLB (asynchronous)",
+        instant_actions=True,
+        sequenced_actions=False,
+        open_source=False,
+    ),
+)
+
+PELS_ENTRY = SotaSystem(
+    name="PELS",
+    vendor="This work",
+    category="academia",
+    routing_topology="channel",
+    event_processing="microcode",
+    instant_actions=True,
+    sequenced_actions=True,
+    open_source=True,
+)
+
+
+def all_systems() -> List[SotaSystem]:
+    """Every Table I row, PELS last (as in the paper)."""
+    return [*SOTA_SYSTEMS, PELS_ENTRY]
+
+
+def systems_with_sequenced_actions() -> List[SotaSystem]:
+    """Systems offering sequenced actions (PELS and the XGATE co-processor)."""
+    return [system for system in all_systems() if system.sequenced_actions]
+
+
+def open_source_systems() -> List[SotaSystem]:
+    """Systems available as open source (only PELS in Table I)."""
+    return [system for system in all_systems() if system.open_source]

@@ -1,0 +1,54 @@
+"""Rendering of Table I."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.sota import SotaSystem, all_systems
+
+_CHECK = "yes"
+_CROSS = "no"
+
+
+def _mark(flag: bool) -> str:
+    return _CHECK if flag else _CROSS
+
+
+def table1_rows(systems: Sequence[SotaSystem] | None = None) -> List[Dict[str, str]]:
+    """Table I as a list of row dictionaries (useful for programmatic checks)."""
+    rows = []
+    for system in (systems if systems is not None else all_systems()):
+        rows.append(
+            {
+                "system": f"{system.vendor} {system.name}" if system.vendor != "This work" else "This work (PELS)",
+                "category": system.category,
+                "routing_topology": system.routing_topology or "-",
+                "event_processing": system.event_processing or "-",
+                "instant_actions": _mark(system.instant_actions),
+                "sequenced_actions": _mark(system.sequenced_actions),
+                "open_source": _mark(system.open_source),
+            }
+        )
+    return rows
+
+
+def format_table1(systems: Sequence[SotaSystem] | None = None) -> str:
+    """Table I rendered as aligned text."""
+    rows = table1_rows(systems)
+    columns = (
+        ("system", "System", 28),
+        ("routing_topology", "Routing", 10),
+        ("event_processing", "Processing", 26),
+        ("instant_actions", "Instant", 8),
+        ("sequenced_actions", "Sequenced", 10),
+        ("open_source", "Open source", 12),
+    )
+    header = " ".join(f"{title:<{width}s}" for _, title, width in columns)
+    lines = [header, "-" * len(header)]
+    current_category = None
+    for row, system in zip(rows, systems if systems is not None else all_systems()):
+        if system.category != current_category:
+            current_category = system.category
+            lines.append(f"[{current_category}]")
+        lines.append(" ".join(f"{row[key]:<{width}s}" for key, _, width in columns))
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Text timelines of linking events.
+
+Debugging a linking scenario usually means answering "what happened in which
+cycle": when did the producer pulse its event, when did the trigger unit
+fire, when did each bus transfer land, when did the consumer react.  The
+helpers here turn the simulator's traces, the event fabric statistics, and a
+link's records into a compact, readable text timeline — the textual
+equivalent of looking at a waveform viewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.link import Link, LinkEventRecord
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One annotated point in time."""
+
+    cycle: int
+    label: str
+    detail: str = ""
+
+    def render(self) -> str:
+        """Single formatted line."""
+        detail = f"  {self.detail}" if self.detail else ""
+        return f"@{self.cycle:>7d}  {self.label}{detail}"
+
+
+class LinkTimeline:
+    """Collects and renders the timeline of one link's serviced events."""
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+
+    def entries(self) -> List[TimelineEntry]:
+        """Timeline entries for every completed linking event of the link."""
+        entries: List[TimelineEntry] = []
+        for index, record in enumerate(self.link.records):
+            entries.extend(self._entries_for_record(index, record))
+        return sorted(entries, key=lambda entry: (entry.cycle, entry.label))
+
+    def _entries_for_record(self, index: int, record: LinkEventRecord) -> List[TimelineEntry]:
+        prefix = f"event {index}"
+        entries = [TimelineEntry(record.trigger_cycle, f"{prefix}: trigger", "condition satisfied, pushed to FIFO")]
+        if record.first_action_cycle is not None:
+            entries.append(
+                TimelineEntry(
+                    record.first_action_cycle,
+                    f"{prefix}: instant action",
+                    f"latency {record.instant_latency} cycles",
+                )
+            )
+        if record.last_bus_write_cycle is not None:
+            entries.append(
+                TimelineEntry(
+                    record.last_bus_write_cycle,
+                    f"{prefix}: sequenced write-back",
+                    f"latency {record.sequenced_latency} cycles",
+                )
+            )
+        if record.completion_cycle is not None:
+            entries.append(
+                TimelineEntry(
+                    record.completion_cycle,
+                    f"{prefix}: end",
+                    f"total {record.total_latency} cycles",
+                )
+            )
+        return entries
+
+    def render(self) -> str:
+        """Full timeline as text (one line per entry)."""
+        entries = self.entries()
+        if not entries:
+            return f"{self.link.name}: no linking events serviced yet"
+        header = f"Timeline of {self.link.name} ({len(self.link.records)} events serviced)"
+        return "\n".join([header, "-" * len(header), *(entry.render() for entry in entries)])
+
+    def latency_histogram(self) -> dict:
+        """Mapping of total latency (cycles) to number of events."""
+        histogram: dict = {}
+        for record in self.link.records:
+            if record.total_latency is None:
+                continue
+            histogram[record.total_latency] = histogram.get(record.total_latency, 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+def bus_transfer_timeline(traces: TraceRecorder, bus_name: str = "apb", limit: Optional[int] = None) -> str:
+    """Render the bus-transfer trace recorded by the APB fabric."""
+    signal = f"{bus_name}.transfer"
+    if signal not in traces:
+        return f"no transfers recorded on {bus_name!r}"
+    events = traces.trace(signal).changes()
+    if limit is not None:
+        events = events[-limit:]
+    lines = [f"{bus_name} transfers ({len(events)} shown):"]
+    lines.extend(f"  @{event.cycle:>7d}  {event.value}" for event in events)
+    return "\n".join(lines)
+
+
+def merge_timelines(timelines: Sequence[LinkTimeline]) -> str:
+    """Interleave the timelines of several links chronologically."""
+    entries: List[tuple] = []
+    for timeline in timelines:
+        for entry in timeline.entries():
+            entries.append((entry.cycle, timeline.link.name, entry))
+    if not entries:
+        return "no linking events serviced yet"
+    entries.sort(key=lambda item: (item[0], item[1]))
+    return "\n".join(f"{link_name:<12s} {entry.render()}" for _, link_name, entry in entries)

@@ -1,0 +1,24 @@
+"""Silicon-area models (the Design Compiler substitute).
+
+The paper synthesizes PELS in TSMC 65 nm at 250 MHz (TT, 25 C) and reports
+area in kilo-gate-equivalents (kGE).  We model area analytically: each block
+(trigger unit, execution unit, per-link registers, SCM lines, shared glue)
+contributes a gate count, anchored so that the paper's reported points are
+met — 7 kGE for the minimal 1-link/4-line configuration, about 27 kGE for
+Ibex and 14.5 kGE for PicoRV32, and a 4-link/6-line PELS costing ~9.5 % of
+the PULPissimo logic area (~1 % including the 192 KiB SRAM).
+"""
+
+from repro.area.model import AreaBreakdown, PelsAreaModel, BASELINE_CORE_AREAS_KGE
+from repro.area.sweep import AreaSweepPoint, figure6a_sweep
+from repro.area.soc import PulpissimoAreaModel, figure6b_breakdown
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaSweepPoint",
+    "BASELINE_CORE_AREAS_KGE",
+    "PelsAreaModel",
+    "PulpissimoAreaModel",
+    "figure6a_sweep",
+    "figure6b_breakdown",
+]

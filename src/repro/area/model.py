@@ -1,0 +1,105 @@
+"""Analytic gate-count model of PELS.
+
+Figure 6a decomposes PELS area into **Trigger**, **Execution**, **Memory**,
+**Registers**, and **Other**.  The model assigns each a gate cost:
+
+* per link: one trigger unit, one execution unit, one set of private
+  configuration registers (mask, condition, base address, FIFO, capture);
+* per SCM line (per link): 48 bits of standard-cell memory plus its share of
+  the read/write decode;
+* shared: top-level glue (event broadcast, configuration decode, action
+  routing), plus a small per-link share.
+
+The coefficients are anchored at the paper's 1-link/4-line = 7 kGE point and
+keep the sweep within the range plotted in Figure 6a (up to ~54 kGE for the
+8-link/8-line configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.config import PelsConfig
+
+# Reference areas of the general-purpose cores the paper compares against
+# (synthesized at the same 250 MHz / TT / 25 C operating point), in kGE.
+BASELINE_CORE_AREAS_KGE: Dict[str, float] = {
+    "ibex": 27.0,
+    "picorv32": 14.5,
+}
+
+
+@dataclass(frozen=True)
+class AreaCoefficients:
+    """Per-block gate costs in kGE."""
+
+    trigger_per_link: float = 0.70
+    execution_per_link: float = 1.70
+    registers_per_link: float = 0.97
+    memory_per_line: float = 0.35
+    memory_per_link_overhead: float = 0.10
+    other_shared: float = 2.03
+    other_per_link: float = 0.10
+
+
+@dataclass
+class AreaBreakdown:
+    """Area of one PELS configuration, split like the Figure 6a legend."""
+
+    n_links: int
+    scm_lines: int
+    components_kge: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_kge(self) -> float:
+        """Total area in kGE."""
+        return sum(self.components_kge.values())
+
+    def component(self, name: str) -> float:
+        """Area of one component in kGE (0 if absent)."""
+        return self.components_kge.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain mapping including the total."""
+        data = dict(self.components_kge)
+        data["Total"] = self.total_kge
+        return data
+
+
+class PelsAreaModel:
+    """Maps a :class:`~repro.core.config.PelsConfig` to a gate-count breakdown."""
+
+    COMPONENT_NAMES = ("Trigger", "Execution", "Memory", "Registers", "Other")
+
+    def __init__(self, coefficients: AreaCoefficients = AreaCoefficients()) -> None:
+        self.coefficients = coefficients
+
+    def estimate(self, config: PelsConfig) -> AreaBreakdown:
+        """Area breakdown of ``config``."""
+        c = self.coefficients
+        n = config.n_links
+        lines = config.scm_lines
+        components = {
+            "Trigger": n * c.trigger_per_link,
+            "Execution": n * c.execution_per_link,
+            "Registers": n * c.registers_per_link,
+            "Memory": n * (lines * c.memory_per_line + c.memory_per_link_overhead),
+            "Other": c.other_shared + n * c.other_per_link,
+        }
+        return AreaBreakdown(n_links=n, scm_lines=lines, components_kge=components)
+
+    def estimate_config(self, n_links: int, scm_lines: int) -> AreaBreakdown:
+        """Convenience overload taking the two swept parameters directly."""
+        return self.estimate(PelsConfig(n_links=n_links, scm_lines=scm_lines))
+
+    def ratio_to_core(self, config: PelsConfig, core: str) -> float:
+        """How many times smaller than ``core`` this PELS configuration is."""
+        try:
+            core_area = BASELINE_CORE_AREAS_KGE[core.lower()]
+        except KeyError as exc:
+            raise KeyError(f"unknown baseline core {core!r}; known: {sorted(BASELINE_CORE_AREAS_KGE)}") from exc
+        total = self.estimate(config).total_kge
+        if total == 0:
+            raise ZeroDivisionError("PELS area model returned zero area")
+        return core_area / total

@@ -1,0 +1,69 @@
+"""The Figure 6a area sweep: links x SCM lines, against the baseline cores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.area.model import AreaBreakdown, BASELINE_CORE_AREAS_KGE, PelsAreaModel
+
+PAPER_LINK_SWEEP: Tuple[int, ...] = (1, 2, 3, 4, 6, 8)
+PAPER_LINE_SWEEP: Tuple[int, ...] = (4, 6, 8)
+
+
+@dataclass(frozen=True)
+class AreaSweepPoint:
+    """One bar of Figure 6a."""
+
+    n_links: int
+    scm_lines: int
+    breakdown: AreaBreakdown
+
+    @property
+    def total_kge(self) -> float:
+        """Total PELS area for this configuration."""
+        return self.breakdown.total_kge
+
+
+def figure6a_sweep(
+    links: Sequence[int] = PAPER_LINK_SWEEP,
+    lines: Sequence[int] = PAPER_LINE_SWEEP,
+    model: PelsAreaModel | None = None,
+) -> List[AreaSweepPoint]:
+    """Compute the full Figure 6a sweep (one point per links x lines pair)."""
+    area_model = model if model is not None else PelsAreaModel()
+    points: List[AreaSweepPoint] = []
+    for n_links in links:
+        for scm_lines in lines:
+            breakdown = area_model.estimate_config(n_links, scm_lines)
+            points.append(AreaSweepPoint(n_links=n_links, scm_lines=scm_lines, breakdown=breakdown))
+    return points
+
+
+def sweep_as_table(points: Sequence[AreaSweepPoint]) -> str:
+    """Render the sweep as a text table (component columns follow the figure legend)."""
+    components = PelsAreaModel.COMPONENT_NAMES
+    header = f"{'links':>5s} {'lines':>5s} " + " ".join(f"{c:>10s}" for c in components) + f" {'Total':>10s}"
+    rows = [header, "-" * len(header)]
+    for point in points:
+        row = f"{point.n_links:5d} {point.scm_lines:5d} "
+        row += " ".join(f"{point.breakdown.component(c):10.2f}" for c in components)
+        row += f" {point.total_kge:10.2f}"
+        rows.append(row)
+    rows.append("")
+    for core, area in sorted(BASELINE_CORE_AREAS_KGE.items()):
+        rows.append(f"reference {core:<10s} {area:6.1f} kGE")
+    return "\n".join(rows)
+
+
+def minimal_configuration_summary(model: PelsAreaModel | None = None) -> Dict[str, float]:
+    """Headline numbers of the minimal configuration (Section IV-C text)."""
+    area_model = model if model is not None else PelsAreaModel()
+    minimal = area_model.estimate_config(1, 4)
+    return {
+        "pels_minimal_kge": minimal.total_kge,
+        "ibex_kge": BASELINE_CORE_AREAS_KGE["ibex"],
+        "picorv32_kge": BASELINE_CORE_AREAS_KGE["picorv32"],
+        "ibex_ratio": BASELINE_CORE_AREAS_KGE["ibex"] / minimal.total_kge,
+        "picorv32_ratio": BASELINE_CORE_AREAS_KGE["picorv32"] / minimal.total_kge,
+    }

@@ -1,0 +1,25 @@
+"""Behavioural baselines PELS is compared against.
+
+Two baselines appear in the paper:
+
+* the **software interrupt** baseline (Figure 1a) — implemented by the Ibex
+  model in :mod:`repro.cpu` together with the ISR programs in
+  :mod:`repro.cpu.programs`;
+* the **configurable event interconnect** class (Figure 1b, Section II-B:
+  Silicon Labs PRS, Nordic PPI, ...) — implemented here as
+  :class:`~repro.baselines.event_interconnect.EventInterconnect`: channel
+  routing with optional combinational functions and built-in actions, but no
+  sequenced actions and therefore a need for peripheral co-design.
+
+The event-interconnect baseline is used by the ablation benchmark to show
+what the microcode/sequenced-action half of PELS adds on top of plain event
+routing.
+"""
+
+from repro.baselines.event_interconnect import (
+    Channel,
+    ChannelFunction,
+    EventInterconnect,
+)
+
+__all__ = ["Channel", "ChannelFunction", "EventInterconnect"]

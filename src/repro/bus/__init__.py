@@ -1,0 +1,28 @@
+"""Bus substrate: APB-style peripheral bus, arbitration, and address decoding.
+
+PELS issues *sequenced actions* as memory-mapped reads and writes on the
+peripheral interconnect; the Ibex baseline and the µDMA use the same fabric.
+The model is transaction-level but cycle-accurate: an unloaded APB transfer
+costs two cycles (setup + access), contention adds round-robin arbitration
+wait, and slaves may insert wait states.
+"""
+
+from repro.bus.transaction import BusRequest, BusResponse, TransferKind
+from repro.bus.decoder import AddressDecoder, AddressRegion, BusSlave, DecodeError
+from repro.bus.arbiter import RoundRobinArbiter
+from repro.bus.apb import ApbBus, BusError
+from repro.bus.interconnect import SystemInterconnect
+
+__all__ = [
+    "AddressDecoder",
+    "AddressRegion",
+    "ApbBus",
+    "BusError",
+    "BusRequest",
+    "BusResponse",
+    "BusSlave",
+    "DecodeError",
+    "RoundRobinArbiter",
+    "SystemInterconnect",
+    "TransferKind",
+]

@@ -1,0 +1,75 @@
+"""Round-robin arbitration.
+
+PULPissimo's interconnect uses round-robin arbiters to guarantee fair
+bandwidth distribution among masters (Section IV-A of the paper); the same
+policy is used here for the peripheral bus shared by the PELS links, the CPU,
+and the µDMA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Fair single-grant arbiter over a dynamic set of requestor names.
+
+    The arbiter remembers the last granted requestor and, on the next
+    arbitration round, starts searching from the *next* position, so a
+    continuously requesting master cannot starve the others.
+    """
+
+    def __init__(self, requestors: Sequence[str] = ()) -> None:
+        self._order: List[str] = []
+        self._grants: Dict[str, int] = {}
+        self._last_granted_index = -1
+        for name in requestors:
+            self.add_requestor(name)
+
+    def add_requestor(self, name: str) -> None:
+        """Register a requestor; idempotent for already-known names."""
+        if not name:
+            raise ValueError("requestor name must be non-empty")
+        if name not in self._order:
+            self._order.append(name)
+            self._grants[name] = 0
+
+    @property
+    def requestors(self) -> Sequence[str]:
+        """Registered requestors in priority-rotation order."""
+        return tuple(self._order)
+
+    def grant(self, requesting: Sequence[str]) -> Optional[str]:
+        """Pick one of ``requesting`` to grant this cycle.
+
+        Unknown requestors are registered on the fly (appended after existing
+        ones).  Returns ``None`` when nothing is requesting.
+        """
+        for name in requesting:
+            if name not in self._grants:
+                self.add_requestor(name)
+        if not requesting:
+            return None
+        active = set(requesting)
+        count = len(self._order)
+        for step in range(1, count + 1):
+            index = (self._last_granted_index + step) % count
+            candidate = self._order[index]
+            if candidate in active:
+                self._last_granted_index = index
+                self._grants[candidate] += 1
+                return candidate
+        return None
+
+    def grant_count(self, name: str) -> int:
+        """How many times ``name`` has been granted so far."""
+        return self._grants.get(name, 0)
+
+    def reset(self) -> None:
+        """Clear grant history and rotation state."""
+        self._last_granted_index = -1
+        for name in self._grants:
+            self._grants[name] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoundRobinArbiter(requestors={self._order}, last={self._last_granted_index})"

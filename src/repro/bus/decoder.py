@@ -1,0 +1,114 @@
+"""Address decoding for the peripheral and SoC interconnects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.bus.transaction import WORD_BYTES
+
+
+class DecodeError(RuntimeError):
+    """Raised when an address does not map to any slave region."""
+
+
+@runtime_checkable
+class BusSlave(Protocol):
+    """Interface every memory-mapped slave must implement.
+
+    ``offset`` is a byte offset relative to the slave's base address and is
+    always word aligned.  Slaves may additionally expose ``wait_states`` (an
+    ``int`` attribute or property) to model access latency beyond the two APB
+    protocol cycles.
+    """
+
+    name: str
+
+    def bus_read(self, offset: int) -> int:
+        """Return the 32-bit word at byte ``offset``."""
+        ...
+
+    def bus_write(self, offset: int, value: int) -> None:
+        """Write the 32-bit ``value`` at byte ``offset``."""
+        ...
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A contiguous address window owned by one slave."""
+
+    base: int
+    size: int
+    slave: BusSlave
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ValueError("address region base must be >= 0 and size > 0")
+        if self.base % WORD_BYTES != 0 or self.size % WORD_BYTES != 0:
+            raise ValueError("address region base and size must be word aligned")
+
+    @property
+    def end(self) -> int:
+        """First address past the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this region."""
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "AddressRegion") -> bool:
+        """Whether this region and ``other`` share any address."""
+        return self.base < other.end and other.base < self.end
+
+
+class AddressDecoder:
+    """Maps absolute addresses to ``(slave, offset)`` pairs."""
+
+    def __init__(self) -> None:
+        self._regions: List[AddressRegion] = []
+
+    def add_region(self, base: int, size: int, slave: BusSlave) -> AddressRegion:
+        """Register a slave at ``[base, base + size)``.
+
+        Overlapping regions are rejected so a mis-configured address map fails
+        loudly at construction time rather than silently aliasing peripherals.
+        """
+        region = AddressRegion(base=base, size=size, slave=slave)
+        for existing in self._regions:
+            if existing.overlaps(region):
+                raise DecodeError(
+                    f"region 0x{base:08x}+0x{size:x} for {slave.name!r} overlaps "
+                    f"0x{existing.base:08x}+0x{existing.size:x} ({existing.slave.name!r})"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def decode(self, address: int) -> Tuple[BusSlave, int]:
+        """Return the slave owning ``address`` and the offset within it."""
+        region = self.region_for(address)
+        if region is None:
+            raise DecodeError(f"address 0x{address:08x} does not map to any slave")
+        return region.slave, address - region.base
+
+    def region_for(self, address: int) -> Optional[AddressRegion]:
+        """The region containing ``address``, or ``None``."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def slave_base(self, slave_name: str) -> int:
+        """Base address of the region owned by ``slave_name``."""
+        for region in self._regions:
+            if region.slave.name == slave_name:
+                return region.base
+        raise DecodeError(f"no region registered for slave {slave_name!r}")
+
+    @property
+    def regions(self) -> Tuple[AddressRegion, ...]:
+        """All registered regions sorted by base address."""
+        return tuple(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,113 @@
+"""Bus transaction primitives shared by all masters and fabrics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+WORD_MASK = 0xFFFF_FFFF
+WORD_BYTES = 4
+
+
+class TransferKind(enum.Enum):
+    """Direction of a bus transfer."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class BusRequest:
+    """A single-word transfer posted by a bus master.
+
+    The master constructs the request, hands it to the fabric, and then polls
+    :attr:`done` each cycle; once set, :attr:`response` carries the read data
+    (for reads) and the completion cycle.
+    """
+
+    master: str
+    kind: TransferKind
+    address: int
+    wdata: int = 0
+    issued_cycle: int = 0
+    done: bool = field(default=False, init=False)
+    response: Optional["BusResponse"] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("bus address must be non-negative")
+        if self.address % WORD_BYTES != 0:
+            raise ValueError(f"bus address 0x{self.address:08x} is not word aligned")
+        if not 0 <= self.wdata <= WORD_MASK:
+            raise ValueError("write data must fit in 32 bits")
+        if not self.master:
+            raise ValueError("master name must be non-empty")
+
+    @property
+    def is_read(self) -> bool:
+        """Whether this is a read transfer."""
+        return self.kind is TransferKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this is a write transfer."""
+        return self.kind is TransferKind.WRITE
+
+    def complete(self, rdata: int, cycle: int, error: bool = False) -> None:
+        """Mark the request complete with read data ``rdata`` at ``cycle``.
+
+        ``error`` models an APB error response (PSLVERR), e.g. an access that
+        decodes to no slave.
+        """
+        if self.done:
+            raise RuntimeError("bus request already completed")
+        self.response = BusResponse(rdata=rdata & WORD_MASK, completed_cycle=cycle, error=error)
+        self.done = True
+
+    @property
+    def rdata(self) -> int:
+        """Read data of a completed request."""
+        if self.response is None:
+            raise RuntimeError("bus request has not completed yet")
+        return self.response.rdata
+
+    @property
+    def latency(self) -> int:
+        """Cycles from issue to completion (inclusive of the access cycle)."""
+        if self.response is None:
+            raise RuntimeError("bus request has not completed yet")
+        return self.response.completed_cycle - self.issued_cycle
+
+
+    @property
+    def error(self) -> bool:
+        """Whether the transfer completed with an error response."""
+        if self.response is None:
+            raise RuntimeError("bus request has not completed yet")
+        return self.response.error
+
+
+@dataclass(frozen=True)
+class BusResponse:
+    """Completion record of a bus transfer."""
+
+    rdata: int
+    completed_cycle: int
+    error: bool = False
+
+
+def read_request(master: str, address: int, issued_cycle: int = 0) -> BusRequest:
+    """Convenience constructor for a read transfer."""
+    return BusRequest(master=master, kind=TransferKind.READ, address=address, issued_cycle=issued_cycle)
+
+
+def write_request(master: str, address: int, wdata: int, issued_cycle: int = 0) -> BusRequest:
+    """Convenience constructor for a write transfer."""
+    return BusRequest(
+        master=master,
+        kind=TransferKind.WRITE,
+        address=address,
+        wdata=wdata,
+        issued_cycle=issued_cycle,
+    )

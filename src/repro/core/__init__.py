@@ -1,0 +1,60 @@
+"""PELS — the Peripheral Event Linking System (the paper's contribution).
+
+The package mirrors the block diagram in Figure 2 of the paper:
+
+* :mod:`repro.core.isa` — the microcode command encoding (4-bit opcode,
+  12-bit field, 32-bit operand).
+* :mod:`repro.core.assembler` — a small textual assembler for writing link
+  programs like the Figure 3 pseudocode.
+* :mod:`repro.core.scm` — the per-link standard-cell-memory instruction
+  memory (4–8 lines).
+* :mod:`repro.core.trigger` — the trigger unit (event mask, AND/OR condition,
+  trigger FIFO).
+* :mod:`repro.core.execution` — the execution unit FSM issuing instant and
+  sequenced actions.
+* :mod:`repro.core.link` — one link = trigger unit + SCM + execution unit.
+* :mod:`repro.core.pels` — the PELS top level: event broadcast, N links,
+  instant-action routing (including inter-link loopback), and the
+  memory-mapped configuration interface.
+"""
+
+from repro.core.isa import (
+    Command,
+    CommandEncodingError,
+    JumpCondition,
+    Opcode,
+    decode_command,
+    encode_command,
+)
+from repro.core.assembler import Assembler, AssemblyError, Program
+from repro.core.config import LinkConfig, PelsConfig
+from repro.core.scm import ScmMemory
+from repro.core.fifo import TriggerFifo
+from repro.core.trigger import TriggerCondition, TriggerUnit
+from repro.core.execution import ExecutionUnit, ExecutionState
+from repro.core.link import Link, LinkEventRecord
+from repro.core.pels import ActionTarget, Pels
+
+__all__ = [
+    "ActionTarget",
+    "Assembler",
+    "AssemblyError",
+    "Command",
+    "CommandEncodingError",
+    "ExecutionState",
+    "ExecutionUnit",
+    "JumpCondition",
+    "Link",
+    "LinkConfig",
+    "LinkEventRecord",
+    "Opcode",
+    "Pels",
+    "PelsConfig",
+    "Program",
+    "ScmMemory",
+    "TriggerCondition",
+    "TriggerFifo",
+    "TriggerUnit",
+    "decode_command",
+    "encode_command",
+]

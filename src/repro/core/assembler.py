@@ -1,0 +1,224 @@
+"""A small textual assembler for PELS link programs.
+
+The syntax follows the pseudocode of Figure 3 in the paper::
+
+    CMD0: clear   AFLAG   MASK
+    CMD1: capture ADATA   0x0FF
+    CMD2: jump-if CMD4 GT THRES
+    CMD3: action  GROUP   MASK
+    CMD4: end
+
+* Labels (``CMD0:``) are optional and may be any identifier; they become jump
+  targets.
+* Operands are either numeric literals (decimal, ``0x`` hex, ``0b`` binary)
+  or symbols resolved through the assembler's symbol table.  Register symbols
+  map to *word offsets* relative to the link base address, data symbols map
+  to 32-bit values; both live in one namespace.
+* ``;`` and ``#`` start comments.
+
+The assembler produces a :class:`Program` — an ordered list of
+:class:`~repro.core.isa.Command` objects ready to be loaded into a link's SCM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.isa import Command, JumpCondition, Opcode, encode_command
+
+_MNEMONICS = {
+    "write": Opcode.WRITE,
+    "set": Opcode.SET,
+    "clear": Opcode.CLEAR,
+    "toggle": Opcode.TOGGLE,
+    "capture": Opcode.CAPTURE,
+    "jump-if": Opcode.JUMP_IF,
+    "jumpif": Opcode.JUMP_IF,
+    "loop": Opcode.LOOP,
+    "wait": Opcode.WAIT,
+    "action": Opcode.ACTION,
+    "end": Opcode.END,
+}
+
+_CONDITIONS = {condition.name: condition for condition in JumpCondition}
+
+
+class AssemblyError(ValueError):
+    """Raised for syntax errors, unknown symbols, or out-of-range operands."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None) -> None:
+        prefix = f"line {line_number}: " if line_number is not None else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+@dataclass
+class Program:
+    """An assembled link program."""
+
+    commands: List[Command] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    def encoded(self) -> List[int]:
+        """48-bit SCM line values for the whole program."""
+        return [encode_command(command) for command in self.commands]
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self):
+        return iter(self.commands)
+
+    def __getitem__(self, index: int) -> Command:
+        return self.commands[index]
+
+    def listing(self) -> str:
+        """Human-readable disassembly with line numbers and labels."""
+        label_for_line = {index: name for name, index in self.labels.items()}
+        lines = []
+        for index, command in enumerate(self.commands):
+            label = label_for_line.get(index, "")
+            label_text = f"{label}:" if label else ""
+            lines.append(f"{index:2d}  {label_text:<10s} {command}")
+        return "\n".join(lines)
+
+
+class Assembler:
+    """Two-pass assembler with a user-extensible symbol table."""
+
+    def __init__(self, symbols: Optional[Dict[str, int]] = None) -> None:
+        self._symbols: Dict[str, int] = {}
+        if symbols:
+            for name, value in symbols.items():
+                self.define_symbol(name, value)
+
+    # ----------------------------------------------------------------- symbols
+
+    def define_symbol(self, name: str, value: int) -> None:
+        """Add or overwrite a symbol usable as an offset or operand."""
+        if not name or not name.replace("_", "").isalnum():
+            raise AssemblyError(f"invalid symbol name {name!r}")
+        if value < 0:
+            raise AssemblyError(f"symbol {name!r}: value must be non-negative")
+        self._symbols[name.upper()] = value
+
+    def define_register(self, name: str, byte_offset: int) -> None:
+        """Add a register symbol given its *byte* offset relative to the link base."""
+        if byte_offset % 4 != 0:
+            raise AssemblyError(f"register {name!r}: byte offset must be word aligned")
+        self.define_symbol(name, byte_offset // 4)
+
+    def symbols(self) -> Dict[str, int]:
+        """A copy of the current symbol table."""
+        return dict(self._symbols)
+
+    # ---------------------------------------------------------------- assembly
+
+    def assemble(self, source: str) -> Program:
+        """Assemble ``source`` text into a :class:`Program`."""
+        statements = self._parse(source)
+        labels = {label: index for index, (label, _, _) in enumerate(statements) if label}
+        commands = [
+            self._build_command(mnemonic, operands_and_line, labels, None)
+            for _, mnemonic, operands_and_line in statements
+        ]
+        return Program(commands=commands, labels=labels, source=source)
+
+    def _parse(self, source: str) -> List[Tuple[Optional[str], str, Tuple[List[str], int]]]:
+        statements: List[Tuple[Optional[str], str, Tuple[List[str], int]]] = []
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = raw_line.split(";")[0].split("#")[0].strip()
+            if not line:
+                continue
+            label: Optional[str] = None
+            if ":" in line:
+                label_part, line = line.split(":", 1)
+                label = label_part.strip().upper()
+                if not label or not label.replace("_", "").isalnum():
+                    raise AssemblyError(f"invalid label {label_part.strip()!r}", line_number)
+                line = line.strip()
+            if not line:
+                raise AssemblyError("label without a command", line_number)
+            tokens = line.replace(",", " ").split()
+            mnemonic = tokens[0].lower()
+            if mnemonic not in _MNEMONICS:
+                raise AssemblyError(f"unknown mnemonic {tokens[0]!r}", line_number)
+            statements.append((label, mnemonic, (tokens[1:], line_number)))
+        if not statements:
+            raise AssemblyError("empty program")
+        return statements
+
+    def _build_command(
+        self,
+        mnemonic: str,
+        operands_and_line: Tuple[List[str], int],
+        labels: Dict[str, int],
+        _line: Optional[int],
+    ) -> Command:
+        operands, line_number = operands_and_line
+        opcode = _MNEMONICS[mnemonic]
+        try:
+            if opcode in (Opcode.WRITE, Opcode.SET, Opcode.CLEAR, Opcode.TOGGLE, Opcode.CAPTURE):
+                self._expect(operands, 2, mnemonic, line_number)
+                offset = self._resolve(operands[0], labels, line_number)
+                value = self._resolve(operands[1], labels, line_number)
+                return Command(opcode, field=offset, data=value)
+            if opcode is Opcode.JUMP_IF:
+                self._expect(operands, 3, mnemonic, line_number)
+                target = self._resolve(operands[0], labels, line_number)
+                condition_name = operands[1].upper()
+                if condition_name not in _CONDITIONS:
+                    raise AssemblyError(
+                        f"unknown jump condition {operands[1]!r}; expected one of {sorted(_CONDITIONS)}",
+                        line_number,
+                    )
+                operand = self._resolve(operands[2], labels, line_number)
+                return Command.jump_if(target, _CONDITIONS[condition_name], operand)
+            if opcode is Opcode.LOOP:
+                self._expect(operands, 2, mnemonic, line_number)
+                target = self._resolve(operands[0], labels, line_number)
+                count = self._resolve(operands[1], labels, line_number)
+                return Command.loop(target, count)
+            if opcode is Opcode.WAIT:
+                self._expect(operands, 1, mnemonic, line_number)
+                return Command.wait(self._resolve(operands[0], labels, line_number))
+            if opcode is Opcode.ACTION:
+                if len(operands) not in (2, 3):
+                    raise AssemblyError(f"action expects 2 or 3 operands, got {len(operands)}", line_number)
+                group = self._resolve(operands[0], labels, line_number)
+                mask = self._resolve(operands[1], labels, line_number)
+                toggle = len(operands) == 3 and operands[2].lower() == "toggle"
+                if len(operands) == 3 and not toggle:
+                    raise AssemblyError(f"unknown action modifier {operands[2]!r}", line_number)
+                return Command.action(group, mask, toggle=toggle)
+            # END
+            if operands:
+                raise AssemblyError("end takes no operands", line_number)
+            return Command.end()
+        except AssemblyError:
+            raise
+        except ValueError as exc:
+            raise AssemblyError(str(exc), line_number) from exc
+
+    @staticmethod
+    def _expect(operands: List[str], count: int, mnemonic: str, line_number: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(f"{mnemonic} expects {count} operands, got {len(operands)}", line_number)
+
+    def _resolve(self, token: str, labels: Dict[str, int], line_number: int) -> int:
+        name = token.upper()
+        if name in labels:
+            return labels[name]
+        if name in self._symbols:
+            return self._symbols[name]
+        try:
+            return int(token, 0)
+        except ValueError as exc:
+            raise AssemblyError(f"unknown symbol or malformed literal {token!r}", line_number) from exc
+
+
+def assemble(source: str, symbols: Optional[Dict[str, int]] = None) -> Program:
+    """One-shot convenience wrapper around :class:`Assembler`."""
+    return Assembler(symbols).assemble(source)

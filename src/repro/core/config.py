@@ -1,0 +1,99 @@
+"""PELS configuration parameters.
+
+The paper sweeps two main parameters: the **number of links** (parallel
+linking actions) and the **SCM size** (number of microcode commands per
+link).  The evaluation uses 1–8 links and 4/6/8 SCM lines; the PULPissimo
+integration of Figure 6b uses 4 links with 6 lines each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+VALID_SCM_LINES = (4, 6, 8, 12, 16)
+MAX_LINKS = 16
+DEFAULT_EVENT_CAPACITY = 32
+DEFAULT_ACTION_GROUPS = 16
+DEFAULT_ACTION_GROUP_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static configuration of a single link."""
+
+    scm_lines: int = 4
+    fifo_depth: int = 4
+    base_address: int = 0x0
+
+    def __post_init__(self) -> None:
+        if self.scm_lines < 1:
+            raise ValueError("a link needs at least one SCM line")
+        if self.fifo_depth < 1:
+            raise ValueError("the trigger FIFO needs at least one entry")
+        if self.base_address < 0 or self.base_address % 4 != 0:
+            raise ValueError("link base address must be non-negative and word aligned")
+
+
+@dataclass(frozen=True)
+class PelsConfig:
+    """Static configuration of a PELS instance.
+
+    Parameters
+    ----------
+    n_links:
+        Number of independent links (parallelism of the event-linking system).
+    scm_lines:
+        Microcode commands per link.
+    event_capacity:
+        Width of the incoming event vector broadcast to all trigger units.
+    action_groups / action_group_width:
+        Organisation of the outgoing instant-action event lines: the 12-bit
+        command field selects a group, the 32-bit operand selects lines
+        within it.
+    fifo_depth:
+        Trigger FIFO depth per link.
+    """
+
+    n_links: int = 1
+    scm_lines: int = 4
+    event_capacity: int = DEFAULT_EVENT_CAPACITY
+    action_groups: int = DEFAULT_ACTION_GROUPS
+    action_group_width: int = DEFAULT_ACTION_GROUP_WIDTH
+    fifo_depth: int = 4
+    link_base_addresses: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_links <= MAX_LINKS:
+            raise ValueError(f"n_links must be in [1, {MAX_LINKS}]")
+        if self.scm_lines < 1:
+            raise ValueError("scm_lines must be >= 1")
+        if self.event_capacity < 1 or self.event_capacity > 64:
+            raise ValueError("event_capacity must be in [1, 64]")
+        if self.action_groups < 1 or self.action_group_width < 1:
+            raise ValueError("action group geometry must be positive")
+        if self.fifo_depth < 1:
+            raise ValueError("fifo_depth must be >= 1")
+        if self.link_base_addresses and len(self.link_base_addresses) != self.n_links:
+            raise ValueError("link_base_addresses must provide one base per link")
+
+    def link_config(self, index: int) -> LinkConfig:
+        """Per-link static configuration for link ``index``."""
+        if not 0 <= index < self.n_links:
+            raise ValueError(f"link index {index} out of range for {self.n_links} links")
+        base = self.link_base_addresses[index] if self.link_base_addresses else 0
+        return LinkConfig(scm_lines=self.scm_lines, fifo_depth=self.fifo_depth, base_address=base)
+
+    @property
+    def is_paper_minimal(self) -> bool:
+        """Whether this is the paper's minimal 7 kGE configuration (1 link, 4 lines)."""
+        return self.n_links == 1 and self.scm_lines == 4
+
+    @property
+    def is_paper_soc_default(self) -> bool:
+        """Whether this is the Figure 6b PULPissimo configuration (4 links, 6 lines)."""
+        return self.n_links == 4 and self.scm_lines == 6
+
+
+MINIMAL_CONFIG = PelsConfig(n_links=1, scm_lines=4)
+PAPER_SOC_CONFIG = PelsConfig(n_links=4, scm_lines=6)

@@ -1,0 +1,260 @@
+"""The PELS microcode instruction set.
+
+Each SCM line holds one 48-bit command (Section III-2 of the paper):
+
+* a **4-bit opcode**,
+* a **12-bit field** — a word-addressed register offset relative to the
+  link's base address for sequenced actions, an event-line group selector for
+  ``action``, or a jump target plus condition for ``jump-if``,
+* a **32-bit operand** — the datum, mask, compare value, wait count, or
+  action line mask.
+
+The commands are:
+
+==========  ==========================================================
+``write``   write the 32-bit operand to the addressed register
+``set``     read-modify-write: OR the operand into the register
+``clear``   read-modify-write: AND the complement of the operand
+``toggle``  read-modify-write: XOR the operand into the register
+``capture`` masked read into the link's single 32-bit capture register
+``jump_if`` compare the capture register with the operand and branch
+``loop``    non-nestable hardware loop back to an earlier command
+``wait``    stall for the operand number of cycles (watchdog-style)
+``action``  instant action: pulse single-wire event lines in a group
+``end``     terminate the sequenced action
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+OPCODE_BITS = 4
+FIELD_BITS = 12
+DATA_BITS = 32
+COMMAND_BITS = OPCODE_BITS + FIELD_BITS + DATA_BITS
+
+OPCODE_MASK = (1 << OPCODE_BITS) - 1
+FIELD_MASK = (1 << FIELD_BITS) - 1
+DATA_MASK = (1 << DATA_BITS) - 1
+
+# jump-if packs the branch target in field[5:0] and the condition in field[8:6].
+JUMP_TARGET_BITS = 6
+JUMP_TARGET_MASK = (1 << JUMP_TARGET_BITS) - 1
+JUMP_CONDITION_SHIFT = JUMP_TARGET_BITS
+JUMP_CONDITION_MASK = 0x7
+
+# loop packs the branch target in field[5:0]; the operand is the iteration count.
+LOOP_TARGET_MASK = JUMP_TARGET_MASK
+
+# action packs the event-line group index in field[3:0] and a toggle-mode flag
+# in field[4] (0 = pulse/set, 1 = toggle a level output).
+ACTION_GROUP_MASK = 0xF
+ACTION_TOGGLE_BIT = 1 << 4
+
+
+class CommandEncodingError(ValueError):
+    """Raised when a command cannot be encoded in the 48-bit format."""
+
+
+class Opcode(enum.IntEnum):
+    """4-bit primary opcodes."""
+
+    END = 0x0
+    WRITE = 0x1
+    SET = 0x2
+    CLEAR = 0x3
+    TOGGLE = 0x4
+    CAPTURE = 0x5
+    JUMP_IF = 0x6
+    LOOP = 0x7
+    WAIT = 0x8
+    ACTION = 0x9
+
+    @property
+    def is_read_modify_write(self) -> bool:
+        """Whether the opcode performs a bus read followed by a write-back."""
+        return self in (Opcode.SET, Opcode.CLEAR, Opcode.TOGGLE)
+
+    @property
+    def is_sequenced(self) -> bool:
+        """Whether the opcode needs the system interconnect."""
+        return self in (Opcode.WRITE, Opcode.SET, Opcode.CLEAR, Opcode.TOGGLE, Opcode.CAPTURE)
+
+    @property
+    def is_instant(self) -> bool:
+        """Whether the opcode drives single-wire event lines only."""
+        return self is Opcode.ACTION
+
+
+class JumpCondition(enum.IntEnum):
+    """Comparison applied by ``jump_if`` between the capture register and the operand."""
+
+    EQ = 0x0
+    NE = 0x1
+    GT = 0x2
+    GE = 0x3
+    LT = 0x4
+    LE = 0x5
+    ALWAYS = 0x6
+
+    def evaluate(self, captured: int, operand: int) -> bool:
+        """Whether the branch is taken for ``captured`` vs ``operand``."""
+        if self is JumpCondition.EQ:
+            return captured == operand
+        if self is JumpCondition.NE:
+            return captured != operand
+        if self is JumpCondition.GT:
+            return captured > operand
+        if self is JumpCondition.GE:
+            return captured >= operand
+        if self is JumpCondition.LT:
+            return captured < operand
+        if self is JumpCondition.LE:
+            return captured <= operand
+        return True
+
+
+@dataclass(frozen=True)
+class Command:
+    """One decoded microcode command."""
+
+    opcode: Opcode
+    field: int = 0
+    data: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.field <= FIELD_MASK:
+            raise CommandEncodingError(f"field 0x{self.field:x} does not fit in {FIELD_BITS} bits")
+        if not 0 <= self.data <= DATA_MASK:
+            raise CommandEncodingError(f"data 0x{self.data:x} does not fit in {DATA_BITS} bits")
+
+    # ------------------------------------------------------- field accessors
+
+    @property
+    def word_offset(self) -> int:
+        """Word-addressed register offset (sequenced actions)."""
+        return self.field
+
+    @property
+    def byte_offset(self) -> int:
+        """Byte offset of the addressed register relative to the link base."""
+        return self.field * 4
+
+    @property
+    def jump_target(self) -> int:
+        """Branch target line index (``jump_if`` / ``loop``)."""
+        return self.field & JUMP_TARGET_MASK
+
+    @property
+    def jump_condition(self) -> JumpCondition:
+        """Branch condition (``jump_if``)."""
+        return JumpCondition((self.field >> JUMP_CONDITION_SHIFT) & JUMP_CONDITION_MASK)
+
+    @property
+    def action_group(self) -> int:
+        """Event-line group selector (``action``)."""
+        return self.field & ACTION_GROUP_MASK
+
+    @property
+    def action_is_toggle(self) -> bool:
+        """Whether the ``action`` drives toggle-mode outputs instead of pulses."""
+        return bool(self.field & ACTION_TOGGLE_BIT)
+
+    # ------------------------------------------------------------ constructors
+
+    @staticmethod
+    def write(word_offset: int, value: int) -> "Command":
+        """``write``: store ``value`` at the link-relative ``word_offset``."""
+        return Command(Opcode.WRITE, field=word_offset, data=value)
+
+    @staticmethod
+    def set(word_offset: int, mask: int) -> "Command":
+        """``set``: OR ``mask`` into the addressed register."""
+        return Command(Opcode.SET, field=word_offset, data=mask)
+
+    @staticmethod
+    def clear(word_offset: int, mask: int) -> "Command":
+        """``clear``: clear the ``mask`` bits of the addressed register."""
+        return Command(Opcode.CLEAR, field=word_offset, data=mask)
+
+    @staticmethod
+    def toggle(word_offset: int, mask: int) -> "Command":
+        """``toggle``: XOR ``mask`` into the addressed register."""
+        return Command(Opcode.TOGGLE, field=word_offset, data=mask)
+
+    @staticmethod
+    def capture(word_offset: int, mask: int) -> "Command":
+        """``capture``: masked read of the addressed register into the capture register."""
+        return Command(Opcode.CAPTURE, field=word_offset, data=mask)
+
+    @staticmethod
+    def jump_if(target: int, condition: JumpCondition, operand: int) -> "Command":
+        """``jump_if``: branch to line ``target`` when the condition holds."""
+        if not 0 <= target <= JUMP_TARGET_MASK:
+            raise CommandEncodingError(f"jump target {target} does not fit in {JUMP_TARGET_BITS} bits")
+        field = (int(condition) << JUMP_CONDITION_SHIFT) | target
+        return Command(Opcode.JUMP_IF, field=field, data=operand)
+
+    @staticmethod
+    def loop(target: int, count: int) -> "Command":
+        """``loop``: jump back to line ``target`` ``count`` times."""
+        if not 0 <= target <= LOOP_TARGET_MASK:
+            raise CommandEncodingError(f"loop target {target} does not fit in {JUMP_TARGET_BITS} bits")
+        return Command(Opcode.LOOP, field=target, data=count)
+
+    @staticmethod
+    def wait(cycles: int) -> "Command":
+        """``wait``: stall the link for ``cycles`` clock cycles."""
+        return Command(Opcode.WAIT, field=0, data=cycles)
+
+    @staticmethod
+    def action(group: int, mask: int, toggle: bool = False) -> "Command":
+        """``action``: drive the ``mask`` lines of event-line ``group``."""
+        if not 0 <= group <= ACTION_GROUP_MASK:
+            raise CommandEncodingError(f"action group {group} does not fit in 4 bits")
+        field = group | (ACTION_TOGGLE_BIT if toggle else 0)
+        return Command(Opcode.ACTION, field=field, data=mask)
+
+    @staticmethod
+    def end() -> "Command":
+        """``end``: terminate the sequenced action."""
+        return Command(Opcode.END)
+
+    def __str__(self) -> str:
+        if self.opcode is Opcode.JUMP_IF:
+            return f"jump-if -> line {self.jump_target} {self.jump_condition.name} 0x{self.data:x}"
+        if self.opcode is Opcode.LOOP:
+            return f"loop -> line {self.jump_target} x{self.data}"
+        if self.opcode is Opcode.ACTION:
+            mode = "toggle" if self.action_is_toggle else "pulse"
+            return f"action group {self.action_group} mask 0x{self.data:x} ({mode})"
+        if self.opcode is Opcode.END:
+            return "end"
+        if self.opcode is Opcode.WAIT:
+            return f"wait {self.data} cycles"
+        return f"{self.opcode.name.lower()} offset 0x{self.byte_offset:x} data 0x{self.data:x}"
+
+
+def encode_command(command: Command) -> int:
+    """Pack a :class:`Command` into its 48-bit SCM line representation."""
+    return (
+        (int(command.opcode) & OPCODE_MASK) << (FIELD_BITS + DATA_BITS)
+        | (command.field & FIELD_MASK) << DATA_BITS
+        | (command.data & DATA_MASK)
+    )
+
+
+def decode_command(encoded: int) -> Command:
+    """Unpack a 48-bit SCM line into a :class:`Command`."""
+    if not 0 <= encoded < (1 << COMMAND_BITS):
+        raise CommandEncodingError(f"encoded command 0x{encoded:x} does not fit in {COMMAND_BITS} bits")
+    opcode_value = (encoded >> (FIELD_BITS + DATA_BITS)) & OPCODE_MASK
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError as exc:
+        raise CommandEncodingError(f"unknown opcode 0x{opcode_value:x}") from exc
+    field = (encoded >> DATA_BITS) & FIELD_MASK
+    data = encoded & DATA_MASK
+    return Command(opcode=opcode, field=field, data=data)

@@ -1,0 +1,41 @@
+"""Processing-domain models: the Ibex-class core and its interrupt fabric.
+
+The paper's baseline routes every linking event to the main core through a
+classic interrupt.  We model the Ibex core at the timing level that matters
+for the evaluation: interrupt entry/exit overhead, per-instruction-class
+cycle costs, loads/stores that traverse the SoC interconnect and peripheral
+bridge, and the instruction-fetch traffic towards the SRAM banks that
+dominates the memory-system power in Figure 5.
+"""
+
+from repro.cpu.instructions import (
+    Alu,
+    AluOp,
+    Branch,
+    BranchCondition,
+    Instruction,
+    Li,
+    Load,
+    Nop,
+    Store,
+)
+from repro.cpu.irq import InterruptController
+from repro.cpu.ibex import CpuState, IbexCore
+from repro.cpu.programs import build_linking_isr, build_threshold_isr
+
+__all__ = [
+    "Alu",
+    "AluOp",
+    "Branch",
+    "BranchCondition",
+    "CpuState",
+    "IbexCore",
+    "Instruction",
+    "InterruptController",
+    "Li",
+    "Load",
+    "Nop",
+    "Store",
+    "build_linking_isr",
+    "build_threshold_isr",
+]

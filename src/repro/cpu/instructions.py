@@ -1,0 +1,147 @@
+"""A tiny instruction model for interrupt-service routines.
+
+This is deliberately *not* a full RISC-V ISS.  The evaluation only needs the
+baseline core to execute short interrupt handlers with realistic timing and
+realistic bus/memory traffic, so instructions are modelled at the class level
+(ALU, load, store, branch) with a handful of architectural registers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+WORD_MASK = 0xFFFF_FFFF
+
+
+class AluOp(enum.Enum):
+    """ALU operations available to handler code."""
+
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    MOV = "mov"
+
+    def apply(self, lhs: int, rhs: int) -> int:
+        """Compute ``lhs <op> rhs`` with 32-bit wrap-around."""
+        if self is AluOp.ADD:
+            return (lhs + rhs) & WORD_MASK
+        if self is AluOp.SUB:
+            return (lhs - rhs) & WORD_MASK
+        if self is AluOp.AND:
+            return lhs & rhs
+        if self is AluOp.OR:
+            return lhs | rhs
+        if self is AluOp.XOR:
+            return lhs ^ rhs
+        return rhs & WORD_MASK
+
+
+class BranchCondition(enum.Enum):
+    """Branch comparisons between a register and an immediate."""
+
+    EQ = "eq"
+    NE = "ne"
+    GT = "gt"
+    GE = "ge"
+    LT = "lt"
+    LE = "le"
+
+    def evaluate(self, value: int, immediate: int) -> bool:
+        """Whether the branch is taken."""
+        if self is BranchCondition.EQ:
+            return value == immediate
+        if self is BranchCondition.NE:
+            return value != immediate
+        if self is BranchCondition.GT:
+            return value > immediate
+        if self is BranchCondition.GE:
+            return value >= immediate
+        if self is BranchCondition.LT:
+            return value < immediate
+        return value <= immediate
+
+
+class Instruction:
+    """Base class; every instruction costs at least one issue cycle."""
+
+    issue_cycles = 1
+
+    def describe(self) -> str:
+        """Short mnemonic used in traces."""
+        return type(self).__name__.lower()
+
+
+@dataclass
+class Li(Instruction):
+    """Load an immediate into a register (models ``lui``/``addi`` pairs as one cycle)."""
+
+    dest: str
+    immediate: int
+
+    def describe(self) -> str:
+        return f"li {self.dest}, 0x{self.immediate:x}"
+
+
+@dataclass
+class Alu(Instruction):
+    """Register-immediate or register-register ALU operation."""
+
+    dest: str
+    src: str
+    op: AluOp
+    immediate: int = 0
+
+    def describe(self) -> str:
+        return f"{self.op.value} {self.dest}, {self.src}, 0x{self.immediate:x}"
+
+
+@dataclass
+class Load(Instruction):
+    """Load a word from ``address`` into ``dest`` (stalls on the bus)."""
+
+    dest: str
+    address: int
+
+    def describe(self) -> str:
+        return f"lw {self.dest}, 0x{self.address:08x}"
+
+
+@dataclass
+class Store(Instruction):
+    """Store register ``src`` to ``address`` (stalls until the write lands)."""
+
+    src: str
+    address: int
+
+    def describe(self) -> str:
+        return f"sw {self.src}, 0x{self.address:08x}"
+
+
+@dataclass
+class Branch(Instruction):
+    """Compare ``src`` with ``immediate``; if taken, skip the next ``skip_count`` instructions.
+
+    Taken branches cost an extra pipeline-flush cycle on Ibex, which the core
+    model accounts for.
+    """
+
+    src: str
+    condition: BranchCondition
+    immediate: int
+    skip_count: int = 1
+
+    def describe(self) -> str:
+        return f"b{self.condition.value} {self.src}, 0x{self.immediate:x} (+{self.skip_count})"
+
+
+@dataclass
+class Nop(Instruction):
+    """Burn ``cycles`` cycles (models handler bookkeeping not otherwise captured)."""
+
+    cycles: int = 1
+
+    def describe(self) -> str:
+        return f"nop x{self.cycles}"

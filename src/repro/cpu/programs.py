@@ -1,0 +1,95 @@
+"""Canned interrupt-service routines for the baseline scenarios.
+
+Two handlers are provided:
+
+* :func:`build_linking_isr` — the minimal linking handler: read a peripheral
+  register, OR a mask into it, write it back.  This is the software
+  equivalent of PELS's single ``set`` sequenced action and is the handler
+  whose 16-cycle latency Section IV-B reports for Ibex.
+* :func:`build_threshold_isr` — the evaluation application's handler: clear
+  the SPI application flag, read the captured sample, compare it against a
+  threshold and, if exceeded, set a GPIO pad — the software equivalent of the
+  Figure 3 microcode.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.instructions import (
+    Alu,
+    AluOp,
+    Branch,
+    BranchCondition,
+    Instruction,
+    Li,
+    Load,
+    Store,
+)
+
+
+def build_linking_isr(
+    peripheral_register_address: int,
+    mask: int,
+    source_flag_address: int | None = None,
+    source_flag_mask: int = 0x1,
+) -> List[Instruction]:
+    """Minimal linking handler: acknowledge the source, then read-modify-write.
+
+    A real interrupt handler must first clear the event flag of the producer
+    peripheral (write-1-to-clear store), otherwise the interrupt re-fires;
+    the linking action itself is then a single lw / ori / sw read-modify-write
+    of the consumer register — the software equivalent of PELS's ``set``
+    sequenced action.  Peripheral base addresses are assumed to be held in
+    saved registers by the firmware's initialisation code, so no address
+    formation appears here; the interrupt entry cost covers the vectored
+    dispatch.
+    """
+    instructions: List[Instruction] = []
+    if source_flag_address is not None:
+        instructions.extend(
+            [
+                Li(dest="t1", immediate=source_flag_mask),
+                Store(src="t1", address=source_flag_address),
+            ]
+        )
+    instructions.extend(
+        [
+            Load(dest="t0", address=peripheral_register_address),
+            Alu(dest="t0", src="t0", op=AluOp.OR, immediate=mask),
+            Store(src="t0", address=peripheral_register_address),
+        ]
+    )
+    return instructions
+
+
+def build_threshold_isr(
+    flag_register_address: int,
+    flag_mask: int,
+    data_register_address: int,
+    data_mask: int,
+    threshold: int,
+    gpio_set_register_address: int,
+    gpio_mask: int,
+) -> List[Instruction]:
+    """Threshold-check handler mirroring the Figure 3 microcode in software.
+
+    Sequence: clear the application flag (read-modify-write), read the data
+    register, mask the sample, compare against ``threshold``, and — when the
+    sample exceeds it — set the GPIO pad.
+    """
+    return [
+        # clear AFLAG MASK
+        Load(dest="t0", address=flag_register_address),
+        Alu(dest="t0", src="t0", op=AluOp.AND, immediate=(~flag_mask) & 0xFFFF_FFFF),
+        Store(src="t0", address=flag_register_address),
+        # capture ADATA 0x0FF
+        Load(dest="t1", address=data_register_address),
+        Alu(dest="t1", src="t1", op=AluOp.AND, immediate=data_mask),
+        # jump-if <= THRES -> skip the GPIO update
+        Branch(src="t1", condition=BranchCondition.LE, immediate=threshold, skip_count=3),
+        # set AGPIO MASK (read-modify-write on the GPIO OUT register)
+        Load(dest="t2", address=gpio_set_register_address),
+        Alu(dest="t2", src="t2", op=AluOp.OR, immediate=gpio_mask),
+        Store(src="t2", address=gpio_set_register_address),
+    ]

@@ -1,0 +1,12 @@
+"""µDMA — the autonomous I/O DMA engine of PULPissimo.
+
+The µDMA decouples *data collection* from processing: it drains peripheral RX
+FIFOs into the L2 memory without waking the core.  The paper's point is that
+a µDMA alone is **not** sufficient for peripheral *linking* — the decision
+step (threshold check, starting the next transfer) still needs the CPU or
+PELS — which is exactly the workload the functional evaluation measures.
+"""
+
+from repro.dma.udma import DmaChannel, MicroDma
+
+__all__ = ["DmaChannel", "MicroDma"]

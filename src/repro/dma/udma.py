@@ -1,0 +1,134 @@
+"""Channel-based µDMA model.
+
+Each :class:`DmaChannel` pairs a source peripheral RX FIFO (currently the SPI
+controller's) with a destination buffer in L2/SRAM.  The engine moves one
+word per cycle and channel when data is available, writes it to memory
+through the SoC interconnect, and pulses a per-channel ``eot`` event line on
+the event fabric when the programmed length completes — the event PELS (or
+the interrupt controller, in the baseline) links on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bus.interconnect import SystemInterconnect
+from repro.bus.transaction import BusRequest, TransferKind
+from repro.peripherals.events import EventFabric
+from repro.peripherals.spi import SpiController
+from repro.sim.component import Component
+
+
+@dataclass
+class DmaChannel:
+    """Configuration and progress state of one µDMA channel."""
+
+    channel_id: int
+    source: SpiController
+    destination_address: int
+    length_words: int
+    enabled: bool = True
+    words_moved: int = field(default=0, init=False)
+    transfers_completed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.channel_id < 0:
+            raise ValueError("channel id must be non-negative")
+        if self.destination_address % 4 != 0:
+            raise ValueError("destination address must be word aligned")
+        if self.length_words < 1:
+            raise ValueError("transfer length must be at least one word")
+
+    def restart(self) -> None:
+        """Re-arm the channel for another transfer of ``length_words``."""
+        self.enabled = True
+
+
+class MicroDma(Component):
+    """The µDMA engine: moves peripheral data to memory and signals completion."""
+
+    def __init__(
+        self,
+        name: str = "udma",
+        interconnect: Optional[SystemInterconnect] = None,
+        fabric: Optional[EventFabric] = None,
+    ) -> None:
+        super().__init__(name)
+        self.interconnect = interconnect
+        self.fabric = fabric
+        self.channels: List[DmaChannel] = []
+        self._event_lines: dict[int, str] = {}
+        self._in_flight: List[tuple[DmaChannel, BusRequest]] = []
+        self._progress: dict[int, int] = {}
+        self.total_words_moved = 0
+
+    def add_channel(
+        self,
+        source: SpiController,
+        destination_address: int,
+        length_words: int,
+    ) -> DmaChannel:
+        """Create, register, and return a new channel."""
+        channel = DmaChannel(
+            channel_id=len(self.channels),
+            source=source,
+            destination_address=destination_address,
+            length_words=length_words,
+        )
+        self.channels.append(channel)
+        self._progress[channel.channel_id] = 0
+        if self.fabric is not None:
+            line = self.fabric.add_line(f"{self.name}.ch{channel.channel_id}_eot", producer=self.name)
+            self._event_lines[channel.channel_id] = line.name
+        return channel
+
+    def channel_event_line(self, channel: DmaChannel) -> str:
+        """Fabric line pulsed when ``channel`` finishes a transfer."""
+        try:
+            return self._event_lines[channel.channel_id]
+        except KeyError as exc:
+            raise RuntimeError("µDMA has no event fabric connected") from exc
+
+    def tick(self, cycle: int) -> None:
+        self._retire_writes()
+        moved_any = False
+        for channel in self.channels:
+            if not channel.enabled or channel.source.rx_level == 0:
+                continue
+            moved_any = True
+            self._move_word(channel, cycle)
+        if moved_any:
+            self.record("busy_cycles")
+
+    def _move_word(self, channel: DmaChannel, cycle: int) -> None:
+        word = channel.source.pop_rx()
+        progress = self._progress[channel.channel_id]
+        address = channel.destination_address + 4 * progress
+        if self.interconnect is not None:
+            request = BusRequest(master=self.name, kind=TransferKind.WRITE, address=address, wdata=word)
+            self.interconnect.submit(request)
+            self._in_flight.append((channel, request))
+        channel.words_moved += 1
+        self.total_words_moved += 1
+        self.record("words_moved")
+        progress += 1
+        if progress >= channel.length_words:
+            progress = 0
+            channel.transfers_completed += 1
+            self.record("transfers_completed")
+            if self.fabric is not None:
+                self.fabric.pulse(self._event_lines[channel.channel_id])
+        self._progress[channel.channel_id] = progress
+
+    def _retire_writes(self) -> None:
+        self._in_flight = [(channel, request) for channel, request in self._in_flight if not request.done]
+
+    def reset(self) -> None:
+        for channel in self.channels:
+            channel.words_moved = 0
+            channel.transfers_completed = 0
+        self._in_flight.clear()
+        for channel_id in self._progress:
+            self._progress[channel_id] = 0
+        self.total_words_moved = 0

@@ -1,0 +1,41 @@
+"""Peripheral models for the PULPissimo-style I/O domain.
+
+Each peripheral is a memory-mapped bus slave (so PELS sequenced actions and
+the CPU can reach it through the APB fabric) and, where it makes sense, also
+exposes *event lines*: single-wire outputs it raises when something happens
+(timer overflow, SPI end-of-transfer, ADC threshold, ...) and single-wire
+inputs it reacts to instantly (GPIO toggle, ADC start-of-conversion, ...).
+The event-line fabric is what PELS instant actions drive.
+"""
+
+from repro.peripherals.events import EventFabric, EventLine
+from repro.peripherals.regfile import Register, RegisterFile, RegisterError
+from repro.peripherals.base import Peripheral
+from repro.peripherals.gpio import Gpio
+from repro.peripherals.timer import Timer
+from repro.peripherals.adc import Adc
+from repro.peripherals.spi import SpiController
+from repro.peripherals.uart import Uart
+from repro.peripherals.i2c import I2cController
+from repro.peripherals.pwm import Pwm
+from repro.peripherals.watchdog import Watchdog
+from repro.peripherals.sensor import SyntheticSensor, SensorWaveform
+
+__all__ = [
+    "Adc",
+    "EventFabric",
+    "EventLine",
+    "Gpio",
+    "I2cController",
+    "Peripheral",
+    "Pwm",
+    "Register",
+    "RegisterError",
+    "RegisterFile",
+    "SensorWaveform",
+    "SpiController",
+    "SyntheticSensor",
+    "Timer",
+    "Uart",
+    "Watchdog",
+]

@@ -1,0 +1,110 @@
+"""Analog-to-digital converter model.
+
+The ADC converts a :class:`~repro.peripherals.sensor.SyntheticSensor` sample
+after a programmable conversion time and pulses an ``eoc`` (end of
+conversion) event line.  A conversion is started either by software/PELS
+writing the START bit or instantly through the ``soc`` (start-of-conversion)
+event input — the paper's "timer overflow triggers an ADC conversion"
+scenario uses the latter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.peripherals.base import Peripheral
+from repro.peripherals.events import EventFabric
+from repro.peripherals.sensor import SyntheticSensor
+
+CTRL_START = 0x1
+CTRL_CONTINUOUS = 0x2
+STATUS_EOC = 0x1
+STATUS_BUSY = 0x2
+
+
+class Adc(Peripheral):
+    """Single-channel ADC with programmable conversion latency.
+
+    Register map (byte offsets):
+
+    ========  ============  ==================================================
+    offset    name          function
+    ========  ============  ==================================================
+    0x00      CTRL          bit0 start (self-clearing), bit1 continuous mode
+    0x04      DATA          last conversion result (read only)
+    0x08      STATUS        bit0 end-of-conversion flag (W1C), bit1 busy
+    0x0C      CONV_CYCLES   conversion time in cycles (>= 1)
+    ========  ============  ==================================================
+    """
+
+    def __init__(
+        self,
+        name: str = "adc",
+        sensor: Optional[SyntheticSensor] = None,
+        conversion_cycles: int = 8,
+    ) -> None:
+        super().__init__(name)
+        if conversion_cycles < 1:
+            raise ValueError("conversion_cycles must be >= 1")
+        self.sensor = sensor if sensor is not None else SyntheticSensor(f"{name}_sensor")
+        self.regs.define("CTRL", 0x00, on_write=self._on_ctrl_write)
+        self.regs.define("DATA", 0x04, writable_mask=0)
+        self.regs.define("STATUS", 0x08, write_one_to_clear=True)
+        self.regs.define("CONV_CYCLES", 0x0C, reset=conversion_cycles)
+        self._remaining = 0
+        self.conversions = 0
+
+    def declare_events(self, fabric: EventFabric) -> None:
+        self.add_output_event("eoc")
+
+    def on_event_input(self, local_name: str) -> None:
+        """``soc`` (start of conversion) input kicks off a conversion."""
+        super().on_event_input(local_name)
+        if local_name == "soc":
+            self._start_conversion()
+
+    def _on_ctrl_write(self, value: int) -> None:
+        if value & CTRL_START:
+            self.regs.reg("CTRL").clear_bits(CTRL_START)
+            self._start_conversion()
+
+    def _start_conversion(self) -> None:
+        if self.busy:
+            self.record("start_while_busy")
+            return
+        self._remaining = max(self.regs.reg("CONV_CYCLES").value, 1)
+        self.regs.reg("STATUS").set_bits(STATUS_BUSY)
+        self.record("conversions_started")
+
+    def tick(self, cycle: int) -> None:
+        if self._remaining <= 0:
+            return
+        self.record("converting_cycles")
+        self._remaining -= 1
+        if self._remaining > 0:
+            return
+        sample = self.sensor.next_sample()
+        self.regs.reg("DATA").hw_write(sample)
+        status = self.regs.reg("STATUS")
+        status.clear_bits(STATUS_BUSY)
+        status.set_bits(STATUS_EOC)
+        self.conversions += 1
+        if self._fabric is not None:
+            self.emit_event("eoc")
+        if self.regs.reg("CTRL").value & CTRL_CONTINUOUS:
+            self._start_conversion()
+
+    @property
+    def busy(self) -> bool:
+        """Whether a conversion is in progress."""
+        return self._remaining > 0
+
+    @property
+    def last_sample(self) -> int:
+        """Most recent conversion result."""
+        return self.regs.reg("DATA").value
+
+    def reset(self) -> None:
+        super().reset()
+        self._remaining = 0
+        self.conversions = 0

@@ -1,0 +1,105 @@
+"""Common base class for memory-mapped peripherals with event lines."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.peripherals.events import EventFabric
+from repro.peripherals.regfile import RegisterFile
+from repro.sim.component import Component
+
+
+class Peripheral(Component):
+    """A bus-slave peripheral that may produce and consume event lines.
+
+    Subclasses populate :attr:`regs` in their constructor, implement
+    :meth:`tick` for cycle behaviour, and use :meth:`emit_event` to pulse
+    their output event lines.  Input event lines (driven by PELS instant
+    actions or by other peripherals) are received through
+    :meth:`on_event_input`, which the SoC wiring calls when a subscribed line
+    pulses.
+    """
+
+    def __init__(self, name: str, wait_states: int = 0) -> None:
+        super().__init__(name)
+        self.regs = RegisterFile(name)
+        self.wait_states = wait_states
+        self._fabric: Optional[EventFabric] = None
+        self._output_events: Dict[str, str] = {}
+        self._input_events: Dict[str, str] = {}
+
+    # ------------------------------------------------------------ event wiring
+
+    def connect_events(self, fabric: EventFabric) -> None:
+        """Attach the peripheral to the SoC event fabric.
+
+        Subclasses override :meth:`declare_events` to register their lines;
+        this method must be called exactly once before simulation.
+        """
+        if self._fabric is not None:
+            raise RuntimeError(f"{self.name}: event fabric already connected")
+        self._fabric = fabric
+        self.declare_events(fabric)
+
+    def declare_events(self, fabric: EventFabric) -> None:
+        """Register output/input event lines.  Default: no events."""
+
+    def add_output_event(self, local_name: str) -> str:
+        """Register an output event line named ``<peripheral>.<local_name>``."""
+        if self._fabric is None:
+            raise RuntimeError(f"{self.name}: connect_events() must be called first")
+        full_name = f"{self.name}.{local_name}"
+        self._fabric.add_line(full_name, producer=self.name)
+        self._output_events[local_name] = full_name
+        return full_name
+
+    def register_input_event(self, local_name: str, line_name: str) -> None:
+        """Declare that the fabric line ``line_name`` feeds input ``local_name``."""
+        self._input_events[local_name] = line_name
+
+    def emit_event(self, local_name: str) -> None:
+        """Pulse the output event line registered as ``local_name``."""
+        if self._fabric is None:
+            raise RuntimeError(f"{self.name}: connect_events() must be called first")
+        full_name = self._output_events.get(local_name)
+        if full_name is None:
+            raise KeyError(f"{self.name}: unknown output event {local_name!r}")
+        self._fabric.pulse(full_name)
+        self.record(f"event_{local_name}")
+
+    def event_line_name(self, local_name: str) -> str:
+        """Fully qualified fabric name of output event ``local_name``."""
+        full_name = self._output_events.get(local_name)
+        if full_name is None:
+            raise KeyError(f"{self.name}: unknown output event {local_name!r}")
+        return full_name
+
+    @property
+    def output_events(self) -> Dict[str, str]:
+        """Mapping of local output event names to fabric line names."""
+        return dict(self._output_events)
+
+    def on_event_input(self, local_name: str) -> None:
+        """React to an input event pulse.  Default: record and ignore."""
+        self.record(f"event_in_{local_name}")
+
+    # ------------------------------------------------------------ bus interface
+
+    def bus_read(self, offset: int) -> int:
+        """APB read: return the register value at ``offset``."""
+        self.record("bus_reads")
+        return self.regs.read(offset)
+
+    def bus_write(self, offset: int, value: int) -> None:
+        """APB write: update the register at ``offset``."""
+        self.record("bus_writes")
+        self.regs.write(offset, value)
+
+    def register_offset(self, register_name: str) -> int:
+        """Byte offset of one of this peripheral's registers (for assemblers)."""
+        return self.regs.offset_of(register_name)
+
+    # ----------------------------------------------------------------- control
+
+    def reset(self) -> None:
+        self.regs.reset()

@@ -1,0 +1,142 @@
+"""Single-wire event lines and the event fabric.
+
+The event fabric is the glue between peripherals and PELS:
+
+* peripherals *pulse* output event lines (timer overflow, SPI end-of-transfer);
+* PELS broadcasts all input events to every link's trigger unit;
+* PELS instant actions *drive* event lines back towards peripherals, and a
+  subset of those outputs can be looped back into the fabric, which is how
+  links trigger each other (marker 9 in Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class EventLine:
+    """A named single-wire event with a fixed index in the fabric."""
+
+    index: int
+    name: str
+    producer: str = "unknown"
+    level: bool = field(default=False, init=False)
+    pulse_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("event line index must be non-negative")
+        if not self.name:
+            raise ValueError("event line name must be non-empty")
+
+
+class EventFabric:
+    """Registry and current-cycle state of all event lines in the I/O domain.
+
+    Events are *pulses*: a producer asserts a line during one cycle and the
+    fabric clears all pulses at the end of the cycle (:meth:`end_cycle`),
+    after consumers (the PELS trigger units, peripherals with event inputs)
+    have sampled them.  Level-type observers can subscribe with
+    :meth:`subscribe` to be notified synchronously on every pulse.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("event fabric capacity must be positive")
+        self.capacity = capacity
+        self._lines: List[EventLine] = []
+        self._by_name: Dict[str, EventLine] = {}
+        self._pending: set[int] = set()
+        self._subscribers: List[Callable[[EventLine], None]] = []
+        self.total_pulses = 0
+
+    # --------------------------------------------------------------- registry
+
+    def add_line(self, name: str, producer: str = "unknown") -> EventLine:
+        """Register a new event line and return it."""
+        if name in self._by_name:
+            raise ValueError(f"event line {name!r} already exists")
+        if len(self._lines) >= self.capacity:
+            raise ValueError(f"event fabric is full ({self.capacity} lines)")
+        line = EventLine(index=len(self._lines), name=name, producer=producer)
+        self._lines.append(line)
+        self._by_name[name] = line
+        return line
+
+    def line(self, name_or_index: str | int) -> EventLine:
+        """Look up a line by name or index."""
+        if isinstance(name_or_index, int):
+            if not 0 <= name_or_index < len(self._lines):
+                raise KeyError(f"no event line with index {name_or_index}")
+            return self._lines[name_or_index]
+        try:
+            return self._by_name[name_or_index]
+        except KeyError as exc:
+            raise KeyError(f"no event line named {name_or_index!r}") from exc
+
+    def index_of(self, name: str) -> int:
+        """Index of the line called ``name``."""
+        return self.line(name).index
+
+    @property
+    def lines(self) -> Tuple[EventLine, ...]:
+        """All registered lines in index order."""
+        return tuple(self._lines)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    # --------------------------------------------------------------- behaviour
+
+    def pulse(self, name_or_index: str | int) -> None:
+        """Assert a line for the current cycle."""
+        line = self.line(name_or_index)
+        line.level = True
+        line.pulse_count += 1
+        self.total_pulses += 1
+        self._pending.add(line.index)
+        for subscriber in self._subscribers:
+            subscriber(line)
+
+    def is_active(self, name_or_index: str | int) -> bool:
+        """Whether the line is asserted in the current cycle."""
+        return self.line(name_or_index).level
+
+    def active_mask(self) -> int:
+        """Bitmask of all lines asserted in the current cycle."""
+        mask = 0
+        for index in self._pending:
+            mask |= 1 << index
+        return mask
+
+    def active_lines(self) -> Tuple[EventLine, ...]:
+        """All currently asserted lines."""
+        return tuple(self._lines[index] for index in sorted(self._pending))
+
+    def end_cycle(self) -> None:
+        """Clear all pulses; call once per simulated cycle after consumers ran."""
+        for index in self._pending:
+            self._lines[index].level = False
+        self._pending.clear()
+
+    def subscribe(self, callback: Callable[[EventLine], None]) -> None:
+        """Register a callback invoked synchronously on every pulse."""
+        self._subscribers.append(callback)
+
+    def reset(self) -> None:
+        """Clear pulse state and statistics (registered lines are kept)."""
+        for line in self._lines:
+            line.level = False
+            line.pulse_count = 0
+        self._pending.clear()
+        self.total_pulses = 0
+
+
+def mask_for(fabric: EventFabric, names: Tuple[str, ...] | List[str]) -> int:
+    """Build an event bitmask from line names (helper for trigger configuration)."""
+    mask = 0
+    for name in names:
+        mask |= 1 << fabric.index_of(name)
+    return mask

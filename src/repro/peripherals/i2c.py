@@ -1,0 +1,111 @@
+"""I2C controller model.
+
+A minimal-but-faithful master: software (or PELS) programs a target register
+address and a transaction length, starts the transfer, and the controller
+clocks the transaction against a small behavioural target device, pulsing a
+``done`` event at the end.  It is used by the multi-peripheral examples to
+show PELS sequencing commands across more than one bus client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.peripherals.base import Peripheral
+from repro.peripherals.events import EventFabric
+
+CTRL_START = 0x1
+CTRL_READ = 0x2
+STATUS_BUSY = 0x1
+STATUS_DONE = 0x2
+DEFAULT_CYCLES_PER_BYTE = 9  # 8 data bits + ACK
+
+
+class I2cController(Peripheral):
+    """I2C master with a built-in behavioural target device.
+
+    Register map (byte offsets):
+
+    ========  ============  ==================================================
+    offset    name          function
+    ========  ============  ==================================================
+    0x00      CTRL          bit0 start (self-clearing), bit1 read (else write)
+    0x04      TARGET_ADDR   7-bit device address and 8-bit register index
+    0x08      DATA          write payload / read result
+    0x0C      STATUS        bit0 busy, bit1 done (W1C)
+    0x10      CLK_CYCLES    cycles per transferred byte
+    ========  ============  ==================================================
+    """
+
+    def __init__(self, name: str = "i2c", cycles_per_byte: int = DEFAULT_CYCLES_PER_BYTE) -> None:
+        super().__init__(name)
+        if cycles_per_byte < 1:
+            raise ValueError("cycles_per_byte must be >= 1")
+        self.regs.define("CTRL", 0x00, on_write=self._on_ctrl_write)
+        self.regs.define("TARGET_ADDR", 0x04)
+        self.regs.define("DATA", 0x08)
+        self.regs.define("STATUS", 0x0C, write_one_to_clear=True)
+        self.regs.define("CLK_CYCLES", 0x10, reset=cycles_per_byte)
+        self.target_memory: Dict[int, int] = {}
+        self._remaining = 0
+        self._pending_read = False
+        self.transactions = 0
+
+    def declare_events(self, fabric: EventFabric) -> None:
+        self.add_output_event("done")
+
+    def on_event_input(self, local_name: str) -> None:
+        """``start`` input begins a transaction with the current settings."""
+        super().on_event_input(local_name)
+        if local_name == "start":
+            self._start()
+
+    def _on_ctrl_write(self, value: int) -> None:
+        if value & CTRL_START:
+            self.regs.reg("CTRL").clear_bits(CTRL_START)
+            self._start()
+
+    def _start(self) -> None:
+        if self.busy:
+            self.record("start_while_busy")
+            return
+        # Address byte + register byte + one data byte.
+        self._remaining = 3 * max(self.regs.reg("CLK_CYCLES").value, 1)
+        self._pending_read = bool(self.regs.reg("CTRL").value & CTRL_READ)
+        self.regs.reg("STATUS").set_bits(STATUS_BUSY)
+        self.record("transactions_started")
+
+    def tick(self, cycle: int) -> None:
+        if self._remaining <= 0:
+            return
+        self.record("bus_cycles")
+        self._remaining -= 1
+        if self._remaining > 0:
+            return
+        target = self.regs.reg("TARGET_ADDR").value & 0xFFFF
+        if self._pending_read:
+            self.regs.reg("DATA").hw_write(self.target_memory.get(target, 0))
+        else:
+            self.target_memory[target] = self.regs.reg("DATA").value & 0xFF
+        status = self.regs.reg("STATUS")
+        status.clear_bits(STATUS_BUSY)
+        status.set_bits(STATUS_DONE)
+        self.transactions += 1
+        if self._fabric is not None:
+            self.emit_event("done")
+
+    @property
+    def busy(self) -> bool:
+        """Whether a transaction is in progress."""
+        return self._remaining > 0
+
+    def preload_target(self, register: int, value: int) -> None:
+        """Testbench helper: preload the behavioural target device's memory."""
+        self.target_memory[register & 0xFFFF] = value & 0xFF
+
+    def reset(self) -> None:
+        super().reset()
+        self.target_memory.clear()
+        self._remaining = 0
+        self._pending_read = False
+        self.transactions = 0

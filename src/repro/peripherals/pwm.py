@@ -1,0 +1,131 @@
+"""PWM (pulse-width modulation) timer.
+
+The PWM block is the classic *actuator-side* client of an event-linking
+system: an ADC conversion result (or a PELS ``capture``/``write`` sequence)
+updates the duty cycle without waking the CPU, and the PWM's period event can
+in turn trigger the next conversion.  The register interface follows the
+shadow-register pattern used by real motor-control timers: software (or
+PELS) writes ``DUTY_SHADOW`` and the value is taken over at the next period
+boundary or instantly through the ``update`` event input.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.base import Peripheral
+from repro.peripherals.events import EventFabric
+
+CTRL_ENABLE = 0x1
+CTRL_UPDATE_ON_PERIOD = 0x2
+STATUS_PERIOD = 0x1
+
+
+class Pwm(Peripheral):
+    """Single-channel up-counting PWM with shadowed duty updates.
+
+    Register map (byte offsets):
+
+    ========  =============  =================================================
+    offset    name           function
+    ========  =============  =================================================
+    0x00      CTRL           bit0 enable, bit1 take over DUTY_SHADOW at period
+    0x04      PERIOD         counter period in cycles (>= 1)
+    0x08      DUTY           active duty threshold (read only; output high while COUNT < DUTY)
+    0x0C      DUTY_SHADOW    next duty value, latched at period or on ``update``
+    0x10      COUNT          current counter value (read only)
+    0x14      STATUS         bit0 period-elapsed flag (W1C)
+    ========  =============  =================================================
+    """
+
+    def __init__(self, name: str = "pwm", period: int = 100, duty: int = 0) -> None:
+        super().__init__(name)
+        if period < 1:
+            raise ValueError("PWM period must be >= 1")
+        if not 0 <= duty <= period:
+            raise ValueError("PWM duty must be within [0, period]")
+        self.regs.define("CTRL", 0x00)
+        self.regs.define("PERIOD", 0x04, reset=period)
+        self.regs.define("DUTY", 0x08, writable_mask=0)
+        self.regs.define("DUTY_SHADOW", 0x0C, reset=duty)
+        self.regs.define("COUNT", 0x10, writable_mask=0)
+        self.regs.define("STATUS", 0x14, write_one_to_clear=True)
+        self.regs.reg("DUTY").hw_write(duty)
+        self.periods_elapsed = 0
+        self.duty_updates = 0
+        self.output_high_cycles = 0
+
+    # ----------------------------------------------------------------- events
+
+    def declare_events(self, fabric: EventFabric) -> None:
+        self.add_output_event("period")
+
+    def on_event_input(self, local_name: str) -> None:
+        """Event inputs: ``update`` latches the shadow duty, ``start``/``stop`` gate the counter."""
+        super().on_event_input(local_name)
+        ctrl = self.regs.reg("CTRL")
+        if local_name == "update":
+            self._latch_duty()
+        elif local_name == "start":
+            ctrl.set_bits(CTRL_ENABLE)
+        elif local_name == "stop":
+            ctrl.clear_bits(CTRL_ENABLE)
+
+    # --------------------------------------------------------------- behaviour
+
+    def tick(self, cycle: int) -> None:
+        if not self.regs.reg("CTRL").value & CTRL_ENABLE:
+            return
+        self.record("active_cycles")
+        count_reg = self.regs.reg("COUNT")
+        period = max(self.regs.reg("PERIOD").value, 1)
+        if count_reg.value < self.regs.reg("DUTY").value:
+            self.output_high_cycles += 1
+        new_count = count_reg.value + 1
+        if new_count < period:
+            count_reg.hw_write(new_count)
+            return
+        count_reg.hw_write(0)
+        self.periods_elapsed += 1
+        self.regs.reg("STATUS").set_bits(STATUS_PERIOD)
+        if self.regs.reg("CTRL").value & CTRL_UPDATE_ON_PERIOD:
+            self._latch_duty()
+        if self._fabric is not None:
+            self.emit_event("period")
+
+    def _latch_duty(self) -> None:
+        shadow = self.regs.reg("DUTY_SHADOW").value
+        period = max(self.regs.reg("PERIOD").value, 1)
+        self.regs.reg("DUTY").hw_write(min(shadow, period))
+        self.duty_updates += 1
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the counter is running."""
+        return bool(self.regs.reg("CTRL").value & CTRL_ENABLE)
+
+    @property
+    def output(self) -> bool:
+        """Current PWM output level (high while COUNT < DUTY)."""
+        return self.enabled and self.regs.reg("COUNT").value < self.regs.reg("DUTY").value
+
+    @property
+    def duty_fraction(self) -> float:
+        """Active duty cycle as a fraction of the period."""
+        period = max(self.regs.reg("PERIOD").value, 1)
+        return self.regs.reg("DUTY").value / period
+
+    def start(self) -> None:
+        """Software helper: enable the counter."""
+        self.regs.reg("CTRL").set_bits(CTRL_ENABLE)
+
+    def stop(self) -> None:
+        """Software helper: disable the counter."""
+        self.regs.reg("CTRL").clear_bits(CTRL_ENABLE)
+
+    def reset(self) -> None:
+        super().reset()
+        self.regs.reg("DUTY").hw_write(self.regs.reg("DUTY_SHADOW").reset)
+        self.periods_elapsed = 0
+        self.duty_updates = 0
+        self.output_high_cycles = 0

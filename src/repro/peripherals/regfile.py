@@ -1,0 +1,174 @@
+"""Memory-mapped register files.
+
+Every peripheral (and PELS itself) exposes its software interface as a
+:class:`RegisterFile`: a set of named 32-bit :class:`Register` objects at
+word-aligned byte offsets, with optional read-only bits, write-one-to-clear
+semantics, and side-effect callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+WORD_MASK = 0xFFFF_FFFF
+WORD_BYTES = 4
+
+
+class RegisterError(RuntimeError):
+    """Raised on invalid register definitions or accesses."""
+
+
+@dataclass
+class Register:
+    """One 32-bit software-visible register.
+
+    Parameters
+    ----------
+    name:
+        Register name, unique within its file.
+    offset:
+        Byte offset within the peripheral's address window (word aligned).
+    reset:
+        Reset value.
+    writable_mask:
+        Bits software (or PELS) may modify; writes to other bits are ignored.
+    write_one_to_clear:
+        If true, writing a 1 to a bit clears it instead of setting it
+        (typical for interrupt/event flag registers).
+    on_write:
+        Optional callback invoked after the stored value is updated, with the
+        value that was written (before masking).  Used for command registers.
+    on_read:
+        Optional callback invoked before the value is returned; may be used to
+        model volatile registers (e.g. a FIFO data register).
+    """
+
+    name: str
+    offset: int
+    reset: int = 0
+    writable_mask: int = WORD_MASK
+    write_one_to_clear: bool = False
+    on_write: Optional[Callable[[int], None]] = None
+    on_read: Optional[Callable[[], None]] = None
+    value: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.offset % WORD_BYTES != 0:
+            raise RegisterError(f"register {self.name!r}: offset must be word aligned and >= 0")
+        if not 0 <= self.reset <= WORD_MASK:
+            raise RegisterError(f"register {self.name!r}: reset value must fit in 32 bits")
+        self.value = self.reset
+
+    def read(self) -> int:
+        """Return the current value, invoking the read side effect if any."""
+        if self.on_read is not None:
+            self.on_read()
+        return self.value & WORD_MASK
+
+    def write(self, value: int) -> None:
+        """Update the register with ``value`` honouring masks and W1C bits."""
+        value &= WORD_MASK
+        if self.write_one_to_clear:
+            self.value &= ~(value & self.writable_mask) & WORD_MASK
+        else:
+            preserved = self.value & ~self.writable_mask
+            self.value = preserved | (value & self.writable_mask)
+        if self.on_write is not None:
+            self.on_write(value)
+
+    def set_bits(self, mask: int) -> None:
+        """Hardware-side helper: set bits regardless of the writable mask."""
+        self.value = (self.value | mask) & WORD_MASK
+
+    def clear_bits(self, mask: int) -> None:
+        """Hardware-side helper: clear bits regardless of the writable mask."""
+        self.value &= ~mask & WORD_MASK
+
+    def hw_write(self, value: int) -> None:
+        """Hardware-side helper: overwrite the stored value without callbacks."""
+        self.value = value & WORD_MASK
+
+    def reset_value(self) -> None:
+        """Restore the reset value."""
+        self.value = self.reset
+
+
+class RegisterFile:
+    """An offset-indexed collection of :class:`Register` objects."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._by_offset: Dict[int, Register] = {}
+        self._by_name: Dict[str, Register] = {}
+
+    def add(self, register: Register) -> Register:
+        """Add a register; offsets and names must be unique."""
+        if register.offset in self._by_offset:
+            raise RegisterError(
+                f"{self.name}: offset 0x{register.offset:x} already used by "
+                f"{self._by_offset[register.offset].name!r}"
+            )
+        if register.name in self._by_name:
+            raise RegisterError(f"{self.name}: register name {register.name!r} already used")
+        self._by_offset[register.offset] = register
+        self._by_name[register.name] = register
+        return register
+
+    def define(self, name: str, offset: int, **kwargs: object) -> Register:
+        """Create and add a register in one call."""
+        register = Register(name=name, offset=offset, **kwargs)  # type: ignore[arg-type]
+        return self.add(register)
+
+    def reg(self, name: str) -> Register:
+        """Look up a register by name."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise RegisterError(f"{self.name}: unknown register {name!r}") from exc
+
+    def at_offset(self, offset: int) -> Register:
+        """Look up a register by byte offset."""
+        try:
+            return self._by_offset[offset]
+        except KeyError as exc:
+            raise RegisterError(f"{self.name}: no register at offset 0x{offset:x}") from exc
+
+    def offset_of(self, name: str) -> int:
+        """Byte offset of the register called ``name``."""
+        return self.reg(name).offset
+
+    def read(self, offset: int) -> int:
+        """Bus-facing read at ``offset``; unmapped offsets read as zero."""
+        register = self._by_offset.get(offset)
+        if register is None:
+            return 0
+        return register.read()
+
+    def write(self, offset: int, value: int) -> None:
+        """Bus-facing write at ``offset``; unmapped offsets are ignored."""
+        register = self._by_offset.get(offset)
+        if register is not None:
+            register.write(value)
+
+    def reset(self) -> None:
+        """Restore every register to its reset value."""
+        for register in self._by_offset.values():
+            register.reset_value()
+
+    def registers(self) -> Tuple[Register, ...]:
+        """All registers sorted by offset."""
+        return tuple(self._by_offset[offset] for offset in sorted(self._by_offset))
+
+    @property
+    def size_bytes(self) -> int:
+        """Smallest power-of-two-free window size covering all offsets."""
+        if not self._by_offset:
+            return WORD_BYTES
+        return max(self._by_offset) + WORD_BYTES
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_offset)

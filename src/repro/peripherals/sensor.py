@@ -1,0 +1,118 @@
+"""Synthetic analog sensor.
+
+The paper's functional evaluation reads a thermistor/varistor through SPI (or
+an ADC) and checks the sample against a threshold.  We do not have the
+physical sensor, so :class:`SyntheticSensor` generates deterministic sample
+streams (constant, ramp, sine, step, or an explicit sequence) that the ADC and
+SPI models expose to the digital side.  The substitution preserves the code
+path the paper exercises: the sample value is produced outside the processing
+domain and only its threshold crossing matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+SAMPLE_MASK = 0xFFFF_FFFF
+
+
+@dataclass
+class SensorWaveform:
+    """Deterministic waveform description for :class:`SyntheticSensor`.
+
+    ``kind`` selects the generator:
+
+    * ``"constant"`` — always ``amplitude``.
+    * ``"ramp"`` — starts at ``offset`` and increases by ``step`` per sample,
+      wrapping at ``amplitude``.
+    * ``"sine"`` — ``offset + amplitude * sin(2*pi*n/period)`` rounded to int.
+    * ``"step"`` — ``offset`` for the first ``period`` samples, then
+      ``offset + amplitude``.
+    * ``"sequence"`` — replays ``values`` cyclically.
+    """
+
+    kind: str = "constant"
+    amplitude: int = 100
+    offset: int = 0
+    step: int = 1
+    period: int = 16
+    values: Sequence[int] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        valid = {"constant", "ramp", "sine", "step", "sequence"}
+        if self.kind not in valid:
+            raise ValueError(f"unknown waveform kind {self.kind!r}; expected one of {sorted(valid)}")
+        if self.kind == "sequence" and not self.values:
+            raise ValueError("sequence waveform requires a non-empty values list")
+        if self.period <= 0:
+            raise ValueError("waveform period must be positive")
+
+    def sample(self, index: int) -> int:
+        """Value of sample number ``index`` (non-negative)."""
+        if index < 0:
+            raise ValueError("sample index must be non-negative")
+        if self.kind == "constant":
+            value = self.amplitude
+        elif self.kind == "ramp":
+            span = max(self.amplitude, 1)
+            value = self.offset + (index * self.step) % span
+        elif self.kind == "sine":
+            value = self.offset + round(self.amplitude * math.sin(2 * math.pi * index / self.period))
+        elif self.kind == "step":
+            value = self.offset if index < self.period else self.offset + self.amplitude
+        else:  # sequence
+            value = int(self.values[index % len(self.values)])
+        return value & SAMPLE_MASK
+
+
+class SyntheticSensor:
+    """A sample source with an optional waveform and manual override queue.
+
+    The sensor is *not* a bus slave: it models the analog world.  The ADC and
+    SPI peripherals pull samples from it.
+    """
+
+    def __init__(self, name: str = "sensor", waveform: Optional[SensorWaveform] = None) -> None:
+        self.name = name
+        self.waveform = waveform if waveform is not None else SensorWaveform()
+        self._sample_index = 0
+        self._override_queue: List[int] = []
+        self.samples_produced = 0
+
+    def push_sample(self, value: int) -> None:
+        """Queue an explicit next sample (takes priority over the waveform)."""
+        if not 0 <= value <= SAMPLE_MASK:
+            raise ValueError("sensor samples must fit in 32 bits")
+        self._override_queue.append(value)
+
+    def push_samples(self, values: Sequence[int]) -> None:
+        """Queue several explicit samples in order."""
+        for value in values:
+            self.push_sample(value)
+
+    def next_sample(self) -> int:
+        """Produce the next sample (override queue first, then the waveform)."""
+        if self._override_queue:
+            value = self._override_queue.pop(0)
+        else:
+            value = self.waveform.sample(self._sample_index)
+        self._sample_index += 1
+        self.samples_produced += 1
+        return value
+
+    def peek_next(self) -> int:
+        """Return the next sample without consuming it."""
+        if self._override_queue:
+            return self._override_queue[0]
+        return self.waveform.sample(self._sample_index)
+
+    def reset(self) -> None:
+        """Restart the waveform and drop queued overrides."""
+        self._sample_index = 0
+        self._override_queue.clear()
+        self.samples_produced = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyntheticSensor(name={self.name!r}, kind={self.waveform.kind!r}, produced={self.samples_produced})"

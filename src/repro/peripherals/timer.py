@@ -1,0 +1,97 @@
+"""Periodic timer with an overflow event line.
+
+The timer is the canonical *producer* peripheral: "a periodic timer overflow
+triggering an ADC conversion" is the first motivating example in the paper's
+introduction.  It counts up every cycle while enabled and pulses its
+``overflow`` event line when the counter reaches the compare value.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.base import Peripheral
+from repro.peripherals.events import EventFabric
+
+CTRL_ENABLE = 0x1
+CTRL_ONE_SHOT = 0x2
+STATUS_OVERFLOW = 0x1
+
+
+class Timer(Peripheral):
+    """Up-counting timer with compare, prescaler, and overflow event.
+
+    Register map (byte offsets):
+
+    ========  =========  ====================================================
+    offset    name       function
+    ========  =========  ====================================================
+    0x00      CTRL       bit0 enable, bit1 one-shot
+    0x04      COUNT      current counter value (writable for preloading)
+    0x08      COMPARE    overflow threshold (counter wraps to 0 on match)
+    0x0C      PRESCALER  counter increments every PRESCALER + 1 cycles
+    0x10      STATUS     bit0 overflow flag (write 1 to clear)
+    ========  =========  ====================================================
+    """
+
+    def __init__(self, name: str = "timer", compare: int = 100) -> None:
+        super().__init__(name)
+        self.regs.define("CTRL", 0x00)
+        self.regs.define("COUNT", 0x04)
+        self.regs.define("COMPARE", 0x08, reset=compare)
+        self.regs.define("PRESCALER", 0x0C)
+        self.regs.define("STATUS", 0x10, write_one_to_clear=True)
+        self._prescale_counter = 0
+        self.overflow_count = 0
+
+    def declare_events(self, fabric: EventFabric) -> None:
+        self.add_output_event("overflow")
+
+    def on_event_input(self, local_name: str) -> None:
+        """Instant-action inputs: ``start`` and ``stop`` gate the counter."""
+        super().on_event_input(local_name)
+        ctrl = self.regs.reg("CTRL")
+        if local_name == "start":
+            ctrl.set_bits(CTRL_ENABLE)
+        elif local_name == "stop":
+            ctrl.clear_bits(CTRL_ENABLE)
+
+    def tick(self, cycle: int) -> None:
+        ctrl = self.regs.reg("CTRL").value
+        if not ctrl & CTRL_ENABLE:
+            return
+        self.record("active_cycles")
+        prescaler = self.regs.reg("PRESCALER").value
+        self._prescale_counter += 1
+        if self._prescale_counter <= prescaler:
+            return
+        self._prescale_counter = 0
+        count_reg = self.regs.reg("COUNT")
+        compare = self.regs.reg("COMPARE").value
+        new_count = count_reg.value + 1
+        if new_count >= max(compare, 1):
+            count_reg.hw_write(0)
+            self.regs.reg("STATUS").set_bits(STATUS_OVERFLOW)
+            self.overflow_count += 1
+            if self._fabric is not None:
+                self.emit_event("overflow")
+            if ctrl & CTRL_ONE_SHOT:
+                self.regs.reg("CTRL").clear_bits(CTRL_ENABLE)
+        else:
+            count_reg.hw_write(new_count)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the counter is currently running."""
+        return bool(self.regs.reg("CTRL").value & CTRL_ENABLE)
+
+    def start(self) -> None:
+        """Software helper: enable the counter."""
+        self.regs.reg("CTRL").set_bits(CTRL_ENABLE)
+
+    def stop(self) -> None:
+        """Software helper: disable the counter."""
+        self.regs.reg("CTRL").clear_bits(CTRL_ENABLE)
+
+    def reset(self) -> None:
+        super().reset()
+        self._prescale_counter = 0
+        self.overflow_count = 0

@@ -1,0 +1,102 @@
+"""UART model.
+
+The UART is not part of the paper's measured workload but PULPissimo ships
+one and the examples use it as a second consumer peripheral (e.g. emitting an
+alert byte when a threshold crossing is detected).  Only the transmit path is
+modelled in detail; the receive path accepts injected bytes for tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.peripherals.base import Peripheral
+from repro.peripherals.events import EventFabric
+
+STATUS_TX_BUSY = 0x1
+STATUS_TX_DONE = 0x2
+STATUS_RX_AVAILABLE = 0x4
+DEFAULT_CYCLES_PER_BYTE = 10  # 8N1 framing: start + 8 data + stop bits
+
+
+class Uart(Peripheral):
+    """UART with a TX shift timer and TX-done event line.
+
+    Register map (byte offsets):
+
+    ========  ===========  ===================================================
+    offset    name         function
+    ========  ===========  ===================================================
+    0x00      TXDATA       write a byte to transmit
+    0x04      RXDATA       read the oldest received byte
+    0x08      STATUS       bit0 TX busy, bit1 TX done (W1C), bit2 RX available
+    0x0C      BAUD_CYCLES  cycles per transmitted byte (>= 1)
+    ========  ===========  ===================================================
+    """
+
+    def __init__(self, name: str = "uart", cycles_per_byte: int = DEFAULT_CYCLES_PER_BYTE) -> None:
+        super().__init__(name)
+        if cycles_per_byte < 1:
+            raise ValueError("cycles_per_byte must be >= 1")
+        self.regs.define("TXDATA", 0x00, on_write=self._on_tx_write)
+        self.regs.define("RXDATA", 0x04, writable_mask=0, on_read=self._on_rx_read)
+        self.regs.define("STATUS", 0x08, write_one_to_clear=True)
+        self.regs.define("BAUD_CYCLES", 0x0C, reset=cycles_per_byte)
+        self._tx_queue: Deque[int] = deque()
+        self._rx_queue: Deque[int] = deque()
+        self._tx_timer = 0
+        self.transmitted: List[int] = []
+
+    def declare_events(self, fabric: EventFabric) -> None:
+        self.add_output_event("tx_done")
+        self.add_output_event("rx_ready")
+
+    def _on_tx_write(self, value: int) -> None:
+        self._tx_queue.append(value & 0xFF)
+        self.regs.reg("STATUS").set_bits(STATUS_TX_BUSY)
+
+    def _on_rx_read(self) -> None:
+        if self._rx_queue:
+            self.regs.reg("RXDATA").hw_write(self._rx_queue.popleft())
+        if not self._rx_queue:
+            self.regs.reg("STATUS").clear_bits(STATUS_RX_AVAILABLE)
+
+    def tick(self, cycle: int) -> None:
+        if not self._tx_queue:
+            return
+        self.record("tx_cycles")
+        if self._tx_timer == 0:
+            self._tx_timer = max(self.regs.reg("BAUD_CYCLES").value, 1)
+        self._tx_timer -= 1
+        if self._tx_timer > 0:
+            return
+        byte = self._tx_queue.popleft()
+        self.transmitted.append(byte)
+        status = self.regs.reg("STATUS")
+        status.set_bits(STATUS_TX_DONE)
+        if not self._tx_queue:
+            status.clear_bits(STATUS_TX_BUSY)
+        if self._fabric is not None:
+            self.emit_event("tx_done")
+
+    def inject_rx(self, byte: int) -> None:
+        """Testbench helper: deliver a received byte."""
+        self._rx_queue.append(byte & 0xFF)
+        self.regs.reg("STATUS").set_bits(STATUS_RX_AVAILABLE)
+        if not self.regs.reg("RXDATA").value and len(self._rx_queue) == 1:
+            self.regs.reg("RXDATA").hw_write(self._rx_queue[0])
+        if self._fabric is not None:
+            self.emit_event("rx_ready")
+
+    @property
+    def tx_busy(self) -> bool:
+        """Whether bytes are still waiting to go out."""
+        return bool(self._tx_queue)
+
+    def reset(self) -> None:
+        super().reset()
+        self._tx_queue.clear()
+        self._rx_queue.clear()
+        self._tx_timer = 0
+        self.transmitted = []

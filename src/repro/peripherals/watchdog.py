@@ -1,0 +1,138 @@
+"""Watchdog timer.
+
+Section III-2 of the paper notes that PELS's ``loop`` and ``wait`` commands
+"subsume watchdog-like functions without requiring an external timer"; this
+block is the *conventional* external watchdog those functions replace, kept
+in the model so the examples and ablations can compare the two approaches
+and so PELS has a realistic peripheral to kick autonomously (e.g. an SPI
+end-of-transfer event proving the sensor path is alive).
+
+Behaviour: a down-counter that, when it reaches zero, first pulses a ``bark``
+event (early warning) and, after a further grace period, a ``bite`` event
+(system reset request).  Kicking reloads the counter; the kick can come from
+a register write or from the ``kick`` event input driven by PELS.
+"""
+
+from __future__ import annotations
+
+from repro.peripherals.base import Peripheral
+from repro.peripherals.events import EventFabric
+
+CTRL_ENABLE = 0x1
+STATUS_BARKED = 0x1
+STATUS_BITTEN = 0x2
+
+
+class Watchdog(Peripheral):
+    """Bark/bite watchdog with an event-driven kick input.
+
+    Register map (byte offsets):
+
+    ========  ============  ==================================================
+    offset    name          function
+    ========  ============  ==================================================
+    0x00      CTRL          bit0 enable
+    0x04      TIMEOUT       cycles until the bark event (>= 1)
+    0x08      GRACE         further cycles until the bite event (>= 1)
+    0x0C      KICK          write any value to reload the counter
+    0x10      COUNT         remaining cycles (read only)
+    0x14      STATUS        bit0 barked (W1C), bit1 bitten (W1C)
+    ========  ============  ==================================================
+    """
+
+    def __init__(self, name: str = "wdt", timeout: int = 1000, grace: int = 100) -> None:
+        super().__init__(name)
+        if timeout < 1 or grace < 1:
+            raise ValueError("watchdog timeout and grace period must be >= 1")
+        self.regs.define("CTRL", 0x00, on_write=self._on_ctrl_write)
+        self.regs.define("TIMEOUT", 0x04, reset=timeout)
+        self.regs.define("GRACE", 0x08, reset=grace)
+        self.regs.define("KICK", 0x0C, on_write=self._on_kick_write)
+        self.regs.define("COUNT", 0x10, reset=timeout, writable_mask=0)
+        self.regs.define("STATUS", 0x14, write_one_to_clear=True)
+        self.kicks = 0
+        self.barks = 0
+        self.bites = 0
+        self._in_grace = False
+
+    def declare_events(self, fabric: EventFabric) -> None:
+        self.add_output_event("bark")
+        self.add_output_event("bite")
+
+    def on_event_input(self, local_name: str) -> None:
+        """``kick`` reloads the counter — the input PELS drives autonomously."""
+        super().on_event_input(local_name)
+        if local_name == "kick":
+            self.kick()
+
+    # --------------------------------------------------------- register hooks
+
+    def _on_ctrl_write(self, value: int) -> None:
+        if value & CTRL_ENABLE:
+            self._reload()
+
+    def _on_kick_write(self, value: int) -> None:
+        self.kick()
+
+    # --------------------------------------------------------------- behaviour
+
+    def kick(self) -> None:
+        """Reload the down-counter and leave the grace phase."""
+        self.kicks += 1
+        self._reload()
+
+    def _reload(self) -> None:
+        self.regs.reg("COUNT").hw_write(max(self.regs.reg("TIMEOUT").value, 1))
+        self._in_grace = False
+
+    def tick(self, cycle: int) -> None:
+        if not self.regs.reg("CTRL").value & CTRL_ENABLE:
+            return
+        self.record("active_cycles")
+        count_reg = self.regs.reg("COUNT")
+        remaining = count_reg.value
+        if remaining > 1:
+            count_reg.hw_write(remaining - 1)
+            return
+        count_reg.hw_write(0)
+        if not self._in_grace:
+            self._in_grace = True
+            count_reg.hw_write(max(self.regs.reg("GRACE").value, 1))
+            self.barks += 1
+            self.regs.reg("STATUS").set_bits(STATUS_BARKED)
+            if self._fabric is not None:
+                self.emit_event("bark")
+        else:
+            self.bites += 1
+            self.regs.reg("STATUS").set_bits(STATUS_BITTEN)
+            self.regs.reg("CTRL").clear_bits(CTRL_ENABLE)
+            if self._fabric is not None:
+                self.emit_event("bite")
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the watchdog is counting."""
+        return bool(self.regs.reg("CTRL").value & CTRL_ENABLE)
+
+    @property
+    def barked(self) -> bool:
+        """Whether the early-warning event has fired since the last clear."""
+        return bool(self.regs.reg("STATUS").value & STATUS_BARKED)
+
+    @property
+    def bitten(self) -> bool:
+        """Whether the watchdog has expired completely."""
+        return bool(self.regs.reg("STATUS").value & STATUS_BITTEN)
+
+    def start(self) -> None:
+        """Software helper: arm the watchdog."""
+        self.regs.reg("CTRL").write(CTRL_ENABLE)
+
+    def reset(self) -> None:
+        super().reset()
+        self.kicks = 0
+        self.barks = 0
+        self.bites = 0
+        self._in_grace = False

@@ -1,0 +1,43 @@
+"""Activity-based power estimation (the PrimeTime substitute).
+
+The paper estimates the power of a linking event with Synopsys PrimeTime on
+the synthesized 65 nm netlist.  We cannot run PrimeTime, so the model here
+follows the standard activity-based decomposition instead:
+
+    P_component = (sum of events x energy-per-event) / window-time + P_leakage
+
+The *events* (bus transfers, SRAM accesses, instruction fetches, busy
+cycles, ...) come from the cycle-accurate simulation; the *energy
+coefficients* are per-event energies representative of a 65 nm LP process at
+1.2 V, grouped into the same components Figure 5 plots (Processor, RAM,
+Interconnect, PELS, Others, Leakage).  Absolute numbers are indicative; the
+quantity the reproduction tracks is the *ratio* between the PELS-driven and
+Ibex-driven scenarios, which is produced by the simulated activity and the
+operating frequency rather than by the coefficients themselves.
+"""
+
+from repro.power.components import EnergyCoefficients, TechnologyProfile, TECH_65NM_LP
+from repro.power.model import PowerBreakdown, PowerModel
+from repro.power.scenarios import (
+    Figure5Dataset,
+    ScenarioResult,
+    measure_idle_power,
+    measure_linking_power,
+    run_figure5,
+)
+from repro.power.report import format_breakdown, format_figure5
+
+__all__ = [
+    "EnergyCoefficients",
+    "Figure5Dataset",
+    "PowerBreakdown",
+    "PowerModel",
+    "ScenarioResult",
+    "TECH_65NM_LP",
+    "TechnologyProfile",
+    "format_breakdown",
+    "format_figure5",
+    "measure_idle_power",
+    "measure_linking_power",
+    "run_figure5",
+]

@@ -1,0 +1,99 @@
+"""Energy coefficients and the technology profile.
+
+All dynamic energies are in picojoules per event; all leakage figures are in
+microwatts.  The defaults describe a 65 nm low-power process at 1.2 V, TT
+corner, 25 C — the paper's implementation technology — with magnitudes taken
+from published PULP-class measurements (Ibex-class core ~ 10–20 uW/MHz, SRAM
+macro access ~ 10–15 pJ, SCM access an order of magnitude below the SRAM,
+APB transfer a few pJ).  The calibration notes in DESIGN.md explain how the
+coefficients were anchored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-event dynamic energies (pJ) and per-block leakage (uW)."""
+
+    # Processing domain -----------------------------------------------------
+    cpu_active_cycle_pj: float = 6.0        # Ibex datapath + control per active cycle
+    cpu_sleep_cycle_pj: float = 1.4         # WFI: clock tree still toggling
+    cpu_ifetch_pj: float = 8.0              # instruction fetch served by the SRAM banks
+    # Memory system ----------------------------------------------------------
+    sram_read_pj: float = 12.0
+    sram_write_pj: float = 13.0
+    sram_idle_cycle_pj: float = 1.5         # bank clocking / retention while idle
+    scm_read_pj: float = 0.5                # PELS private SCM line fetch
+    scm_write_pj: float = 0.7
+    # Interconnect -----------------------------------------------------------
+    soc_interconnect_transfer_pj: float = 3.0
+    apb_transfer_pj: float = 2.2
+    apb_busy_cycle_pj: float = 0.15
+    # PELS --------------------------------------------------------------------
+    pels_link_busy_cycle_pj: float = 1.1
+    pels_idle_cycle_pj: float = 1.5         # clock tree of a multi-link PELS while armed
+    pels_instant_action_pj: float = 0.3
+    # Peripherals / rest of the SoC -------------------------------------------
+    peripheral_access_pj: float = 1.5
+    peripheral_active_cycle_pj: float = 0.4
+    soc_background_cycle_pj: float = 6.5    # FLL, always-on clock tree, pads ("Others")
+    # Leakage (uW) -------------------------------------------------------------
+    leakage_processor_uw: float = 38.0
+    leakage_ram_uw: float = 95.0
+    leakage_interconnect_uw: float = 14.0
+    leakage_pels_uw: float = 3.0
+    leakage_others_uw: float = 120.0
+
+    def leakage_total_uw(self, include_pels: bool = True) -> float:
+        """Total leakage power of the SoC in microwatts."""
+        total = (
+            self.leakage_processor_uw
+            + self.leakage_ram_uw
+            + self.leakage_interconnect_uw
+            + self.leakage_others_uw
+        )
+        if include_pels:
+            total += self.leakage_pels_uw
+        return total
+
+
+@dataclass(frozen=True)
+class TechnologyProfile:
+    """Named bundle of process conditions and energy coefficients."""
+
+    name: str
+    voltage_v: float
+    corner: str
+    temperature_c: float
+    energies: EnergyCoefficients = field(default_factory=EnergyCoefficients)
+
+    def scaled(self, voltage_v: float) -> "TechnologyProfile":
+        """Return a profile with dynamic energies scaled by (V / V0)^2.
+
+        Dynamic energy scales quadratically with supply voltage; leakage is
+        left untouched (its voltage dependence is technology specific and not
+        needed for the paper's scenarios).
+        """
+        if voltage_v <= 0:
+            raise ValueError("supply voltage must be positive")
+        ratio = (voltage_v / self.voltage_v) ** 2
+        scaled_values: Dict[str, float] = {}
+        for name, value in vars(self.energies).items():
+            if name.endswith("_pj"):
+                scaled_values[name] = value * ratio
+            else:
+                scaled_values[name] = value
+        return TechnologyProfile(
+            name=f"{self.name}@{voltage_v:.2f}V",
+            voltage_v=voltage_v,
+            corner=self.corner,
+            temperature_c=self.temperature_c,
+            energies=EnergyCoefficients(**scaled_values),
+        )
+
+
+TECH_65NM_LP = TechnologyProfile(name="tsmc65lp", voltage_v=1.2, corner="TT", temperature_c=25.0)

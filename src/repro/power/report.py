@@ -1,0 +1,52 @@
+"""Plain-text reporting of power results (the textual stand-in for Figure 5)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.power.model import COMPONENTS, PowerBreakdown
+from repro.power.scenarios import Figure5Dataset
+
+_BAR_ORDER = (
+    ("idle_iso_latency", "Idle (iso-latency)"),
+    ("linking_iso_latency", "Linking (iso-latency)"),
+    ("idle_iso_freq", "Idle (iso-freq)"),
+    ("linking_iso_freq", "Linking (iso-freq)"),
+)
+
+
+def format_breakdown(breakdown: PowerBreakdown) -> str:
+    """Render one power breakdown as an aligned text block."""
+    lines = [f"{breakdown.scenario}  (f = {breakdown.frequency_hz / 1e6:.0f} MHz, window = {breakdown.window_cycles} cycles)"]
+    for component in COMPONENTS:
+        lines.append(f"  {component:<13s} {breakdown.component(component):10.1f} uW")
+    lines.append(f"  {'Total':<13s} {breakdown.total_uw:10.1f} uW")
+    return "\n".join(lines)
+
+
+def format_figure5(dataset: Figure5Dataset) -> str:
+    """Render the whole Figure 5 dataset as a table plus the headline ratios."""
+    header = f"{'Scenario':<24s} {'System':<6s} " + " ".join(f"{c:>13s}" for c in COMPONENTS) + f" {'Total':>10s}"
+    lines: List[str] = [header, "-" * len(header)]
+    for key, label in _BAR_ORDER:
+        for system in ("ibex", "pels"):
+            result = dataset.get(f"{key}_{system}")
+            row = f"{label:<24s} {system:<6s} "
+            row += " ".join(f"{result.breakdown.component(c):13.1f}" for c in COMPONENTS)
+            row += f" {result.total_uw:10.1f}"
+            lines.append(row)
+    lines.append("")
+    lines.append("Headline ratios (Ibex / PELS):")
+    lines.append(f"  linking, iso-latency : {dataset.ratio('linking_iso_latency'):.2f}x   (paper: 2.5x)")
+    lines.append(f"  idle,    iso-latency : {dataset.ratio('idle_iso_latency'):.2f}x   (paper: 1.5x)")
+    lines.append(f"  linking, iso-freq    : {dataset.ratio('linking_iso_freq'):.2f}x   (paper: 1.6x)")
+    lines.append(f"  RAM,     iso-latency : {dataset.ram_ratio('linking_iso_latency'):.2f}x   (paper: 3.7x)")
+    lines.append(f"  RAM,     iso-freq    : {dataset.ram_ratio('linking_iso_freq'):.2f}x   (paper: 4.3x)")
+    return "\n".join(lines)
+
+
+def summarize_totals(breakdowns: Iterable[PowerBreakdown]) -> str:
+    """One line per breakdown with its total power (compact comparison helper)."""
+    return "\n".join(
+        f"{breakdown.scenario:<28s} {breakdown.total_uw:10.1f} uW" for breakdown in breakdowns
+    )

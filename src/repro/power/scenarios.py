@@ -1,0 +1,255 @@
+"""The Figure 5 power scenarios.
+
+Four scenarios, each measured for the Ibex-driven baseline and the
+PELS-driven system:
+
+* **Idle, iso-latency** — waiting for a linking event.  Ibex runs at 55 MHz
+  (it needs the frequency to meet the 500 ns latency target), the PELS-based
+  system at 27 MHz; in the PELS system the core's clock is gated.
+* **Linking, iso-latency** — the event-handling window only (from the SPI
+  end-of-transfer event until the linking action has fully landed).
+* **Idle / Linking, iso-frequency** — same measurements with both systems
+  clocked at 55 MHz.
+
+The workload is the paper's: a threshold-crossing check after a µDMA-managed
+SPI sensor readout (:mod:`repro.workloads.threshold`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.trigger import TriggerCondition
+from repro.cpu.programs import build_threshold_isr
+from repro.power.model import PowerBreakdown, PowerModel, diff_activity
+from repro.soc.pulpissimo import PulpissimoSoc, SocConfig, build_soc
+from repro.workloads.threshold import (
+    GPIO_ALERT_MASK,
+    SAMPLE_MASK,
+    THRESHOLD_IRQ,
+    ThresholdWorkload,
+    ThresholdWorkloadConfig,
+    _pels_figure3_program,
+)
+
+ISO_LATENCY_PELS_HZ = 27e6
+ISO_LATENCY_IBEX_HZ = 55e6
+ISO_FREQUENCY_HZ = 55e6
+LATENCY_TARGET_NS = 500.0
+
+
+@dataclass
+class ScenarioResult:
+    """One bar of Figure 5: the power breakdown plus bookkeeping."""
+
+    breakdown: PowerBreakdown
+    mode: str
+    phase: str
+    events_measured: int = 0
+    window_cycles: int = 0
+
+    @property
+    def total_uw(self) -> float:
+        """Total power in microwatts."""
+        return self.breakdown.total_uw
+
+
+@dataclass
+class Figure5Dataset:
+    """All eight bars of Figure 5."""
+
+    results: Dict[str, ScenarioResult] = field(default_factory=dict)
+
+    def add(self, key: str, result: ScenarioResult) -> None:
+        """Store a scenario under its bar label (e.g. ``"linking_iso_latency_pels"``)."""
+        self.results[key] = result
+
+    def get(self, key: str) -> ScenarioResult:
+        """Fetch a stored scenario by bar label."""
+        return self.results[key]
+
+    def ratio(self, phase_and_condition: str) -> float:
+        """Ibex/PELS total power ratio for e.g. ``"linking_iso_latency"``."""
+        ibex = self.results[f"{phase_and_condition}_ibex"]
+        pels = self.results[f"{phase_and_condition}_pels"]
+        return ibex.total_uw / pels.total_uw
+
+    def ram_ratio(self, phase_and_condition: str) -> float:
+        """Ibex/PELS RAM-component (memory system) power ratio."""
+        ibex = self.results[f"{phase_and_condition}_ibex"]
+        pels = self.results[f"{phase_and_condition}_pels"]
+        pels_ram = pels.breakdown.component("RAM")
+        if pels_ram == 0:
+            raise ZeroDivisionError("PELS scenario has zero RAM power")
+        return ibex.breakdown.component("RAM") / pels_ram
+
+
+# ----------------------------------------------------------------------- setup
+
+
+def _setup_pels_soc(config: ThresholdWorkloadConfig, frequency_hz: float) -> tuple:
+    soc = build_soc(SocConfig(frequency_hz=frequency_hz, spi_cycles_per_word=config.spi_cycles_per_word))
+    assert soc.pels is not None
+    soc.cpu.clock_gated = True
+    program, base_address = _pels_figure3_program(soc, config)
+    workload = ThresholdWorkload(soc, config)
+    spi_eot_bit = 1 << soc.fabric.index_of(soc.spi.event_line_name("eot"))
+    link = soc.pels.program_link(
+        0,
+        program,
+        trigger_mask=spi_eot_bit,
+        condition=TriggerCondition.ANY_SELECTED_ACTIVE,
+        base_address=base_address,
+    )
+    return soc, workload, link
+
+
+def _setup_ibex_soc(config: ThresholdWorkloadConfig, frequency_hz: float) -> tuple:
+    soc = build_soc(
+        SocConfig(frequency_hz=frequency_hz, with_pels=False, spi_cycles_per_word=config.spi_cycles_per_word)
+    )
+    workload = ThresholdWorkload(soc, config)
+    isr = build_threshold_isr(
+        flag_register_address=soc.register_address("spi", "AFLAG"),
+        flag_mask=0x1,
+        data_register_address=soc.register_address("spi", "RXDATA"),
+        data_mask=SAMPLE_MASK,
+        threshold=config.threshold,
+        gpio_set_register_address=soc.register_address("gpio", "OUT"),
+        gpio_mask=GPIO_ALERT_MASK,
+    )
+    soc.cpu.register_isr(THRESHOLD_IRQ, isr)
+    soc.irq_controller.enable_line(soc.spi.event_line_name("eot"), THRESHOLD_IRQ)
+    return soc, workload
+
+
+# -------------------------------------------------------------------- measures
+
+
+def measure_idle_power(
+    mode: str,
+    frequency_hz: float,
+    idle_cycles: int = 2_000,
+    model: Optional[PowerModel] = None,
+    config: ThresholdWorkloadConfig = ThresholdWorkloadConfig(),
+) -> ScenarioResult:
+    """Average power while waiting for a linking event (no events arrive)."""
+    model = model if model is not None else PowerModel()
+    if mode == "pels":
+        soc, _, _ = _setup_pels_soc(config, frequency_hz)
+    elif mode == "ibex":
+        soc, _ = _setup_ibex_soc(config, frequency_hz)
+    else:
+        raise ValueError(f"unknown mode {mode!r}; expected 'pels' or 'ibex'")
+    before = soc.activity.as_dict()
+    start_cycle = soc.simulator.current_cycle
+    soc.run(idle_cycles)
+    delta = diff_activity(before, soc.activity.as_dict())
+    window = soc.simulator.current_cycle - start_cycle
+    breakdown = model.estimate(
+        delta,
+        window_cycles=window,
+        frequency_hz=frequency_hz,
+        scenario=f"idle_{mode}",
+        pels_present=(mode == "pels"),
+    )
+    return ScenarioResult(breakdown=breakdown, mode=mode, phase="idle", window_cycles=window)
+
+
+def measure_linking_power(
+    mode: str,
+    frequency_hz: float,
+    n_events: int = 8,
+    model: Optional[PowerModel] = None,
+    config: Optional[ThresholdWorkloadConfig] = None,
+) -> ScenarioResult:
+    """Average power over the event-linking windows of ``n_events`` events.
+
+    The window of one event starts at the SPI end-of-transfer event and ends
+    when the linking agent has completely handled it (PELS: microcode ``end``
+    reached with the write-back landed; Ibex: handler finished and ``mret``
+    executed).
+    """
+    model = model if model is not None else PowerModel()
+    workload_config = config if config is not None else ThresholdWorkloadConfig(n_events=n_events)
+    if mode == "pels":
+        soc, workload, link = _setup_pels_soc(workload_config, frequency_hz)
+
+        def events_done() -> int:
+            return len(link.records)
+
+    elif mode == "ibex":
+        soc, workload = _setup_ibex_soc(workload_config, frequency_hz)
+
+        def events_done() -> int:
+            return soc.activity.get("ibex", "handlers_completed")
+
+    else:
+        raise ValueError(f"unknown mode {mode!r}; expected 'pels' or 'ibex'")
+
+    accumulated: Dict = {}
+    total_window = 0
+    for event_index in range(workload_config.n_events):
+        transfers_before = soc.spi.transfers_completed
+        workload.start_transfer()
+        soc.run_until(
+            lambda: soc.spi.transfers_completed > transfers_before,
+            max_cycles=5_000,
+            label="SPI end of transfer",
+        )
+        window_start_cycle = soc.simulator.current_cycle
+        before = soc.activity.as_dict()
+        target = event_index + 1
+        soc.run_until(lambda: events_done() >= target, max_cycles=5_000, label="linking completion")
+        soc.run(2)  # let the final bus write retire inside the window
+        delta = diff_activity(before, soc.activity.as_dict())
+        total_window += soc.simulator.current_cycle - window_start_cycle
+        for key, value in delta.items():
+            accumulated[key] = accumulated.get(key, 0) + value
+        soc.run(workload_config.event_gap_cycles)
+
+    breakdown = model.estimate(
+        accumulated,
+        window_cycles=max(total_window, 1),
+        frequency_hz=frequency_hz,
+        scenario=f"linking_{mode}",
+        pels_present=(mode == "pels"),
+    )
+    return ScenarioResult(
+        breakdown=breakdown,
+        mode=mode,
+        phase="linking",
+        events_measured=workload_config.n_events,
+        window_cycles=total_window,
+    )
+
+
+def run_figure5(
+    n_events: int = 8,
+    idle_cycles: int = 2_000,
+    model: Optional[PowerModel] = None,
+) -> Figure5Dataset:
+    """Reproduce the full Figure 5 dataset (eight bars)."""
+    model = model if model is not None else PowerModel()
+    dataset = Figure5Dataset()
+    # Iso-latency: Ibex at 55 MHz, the PELS system at 27 MHz.
+    dataset.add("idle_iso_latency_ibex", measure_idle_power("ibex", ISO_LATENCY_IBEX_HZ, idle_cycles, model))
+    dataset.add("idle_iso_latency_pels", measure_idle_power("pels", ISO_LATENCY_PELS_HZ, idle_cycles, model))
+    dataset.add(
+        "linking_iso_latency_ibex", measure_linking_power("ibex", ISO_LATENCY_IBEX_HZ, n_events, model)
+    )
+    dataset.add(
+        "linking_iso_latency_pels", measure_linking_power("pels", ISO_LATENCY_PELS_HZ, n_events, model)
+    )
+    # Iso-frequency: both systems at 55 MHz.
+    dataset.add("idle_iso_freq_ibex", measure_idle_power("ibex", ISO_FREQUENCY_HZ, idle_cycles, model))
+    dataset.add("idle_iso_freq_pels", measure_idle_power("pels", ISO_FREQUENCY_HZ, idle_cycles, model))
+    dataset.add("linking_iso_freq_ibex", measure_linking_power("ibex", ISO_FREQUENCY_HZ, n_events, model))
+    dataset.add("linking_iso_freq_pels", measure_linking_power("pels", ISO_FREQUENCY_HZ, n_events, model))
+    return dataset
+
+
+def latency_cycles_budget(frequency_hz: float, latency_target_ns: float = LATENCY_TARGET_NS) -> int:
+    """How many cycles fit in the latency target at ``frequency_hz`` (iso-latency check)."""
+    return int(latency_target_ns * 1e-9 * frequency_hz)

@@ -1,0 +1,24 @@
+"""Cycle-driven simulation kernel used by every hardware model in the repo.
+
+The kernel intentionally stays small: components register themselves with a
+:class:`Simulator`, the simulator advances a global cycle counter, and each
+component's :meth:`Component.tick` is called exactly once per cycle of the
+clock domain it belongs to.  Activity counters and signal traces hang off the
+simulator so the power model can consume them after a run.
+"""
+
+from repro.sim.clock import ClockDomain
+from repro.sim.component import Component
+from repro.sim.activity import ActivityCounters
+from repro.sim.simulator import Simulator, SimulationError
+from repro.sim.trace import SignalTrace, TraceRecorder
+
+__all__ = [
+    "ActivityCounters",
+    "ClockDomain",
+    "Component",
+    "SignalTrace",
+    "SimulationError",
+    "Simulator",
+    "TraceRecorder",
+]

@@ -1,0 +1,103 @@
+"""Switching-activity bookkeeping.
+
+The power model (``repro.power``) is activity based: during a simulation each
+component increments named counters (bus transactions, memory reads, register
+writes, busy cycles, ...) and the power model later multiplies those counts by
+per-event energy coefficients.  :class:`ActivityCounters` is a thin wrapper
+around a ``dict`` that adds merging, scoping, and defensive checks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class ActivityCounters:
+    """Named, non-negative event counters grouped by component.
+
+    Counter keys are ``(component, event)`` pairs, e.g.
+    ``("ibex", "instructions")`` or ``("sram", "reads")``.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def add(self, component: str, event: str, amount: int = 1) -> None:
+        """Increment the ``event`` counter of ``component`` by ``amount``."""
+        if amount < 0:
+            raise ValueError("activity increments must be non-negative")
+        if not component or not event:
+            raise ValueError("component and event names must be non-empty")
+        self._counts[(component, event)] += amount
+
+    def get(self, component: str, event: str) -> int:
+        """Return the current count for ``(component, event)`` (0 if unseen)."""
+        return self._counts.get((component, event), 0)
+
+    def component_total(self, component: str, event: str | None = None) -> int:
+        """Total count for a component, optionally restricted to one event."""
+        if event is not None:
+            return self.get(component, event)
+        return sum(count for (comp, _), count in self._counts.items() if comp == component)
+
+    def components(self) -> Tuple[str, ...]:
+        """Sorted tuple of component names that have recorded activity."""
+        return tuple(sorted({comp for comp, _ in self._counts}))
+
+    def events(self, component: str) -> Dict[str, int]:
+        """Mapping of event name to count for one component."""
+        return {
+            event: count
+            for (comp, event), count in sorted(self._counts.items())
+            if comp == component
+        }
+
+    def merge(self, other: "ActivityCounters") -> None:
+        """Accumulate all counters from ``other`` into this instance."""
+        self._counts.update(other._counts)
+
+    def scaled(self, factor: float) -> Dict[Tuple[str, str], float]:
+        """Return a plain dict of counters multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scaling factor must be non-negative")
+        return {key: count * factor for key, count in self._counts.items()}
+
+    def clear(self) -> None:
+        """Drop all recorded activity."""
+        self._counts.clear()
+
+    def as_dict(self) -> Dict[Tuple[str, str], int]:
+        """Return a copy of the raw counter mapping."""
+        return dict(self._counts)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[str, str], int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(self._counts.values())
+        return f"ActivityCounters({len(self._counts)} keys, {total} events)"
+
+
+def merge_all(counter_sets: Iterable[ActivityCounters]) -> ActivityCounters:
+    """Merge an iterable of :class:`ActivityCounters` into a fresh instance."""
+    merged = ActivityCounters()
+    for counters in counter_sets:
+        merged.merge(counters)
+    return merged
+
+
+def as_nested_dict(counters: ActivityCounters) -> Dict[str, Dict[str, int]]:
+    """Convert flat ``(component, event)`` counters to ``{component: {event: n}}``."""
+    nested: Dict[str, Dict[str, int]] = {}
+    for (component, event), count in counters:
+        nested.setdefault(component, {})[event] = count
+    return nested
+
+
+def total_events(counters: Mapping[Tuple[str, str], int]) -> int:
+    """Sum of all event counts in a raw counter mapping."""
+    return sum(counters.values())

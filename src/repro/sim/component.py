@@ -1,0 +1,94 @@
+"""Base class for all simulated hardware blocks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.activity import ActivityCounters
+from repro.sim.clock import ClockDomain
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.sim.simulator import Simulator
+
+
+class Component:
+    """A named hardware block that is ticked once per clock cycle.
+
+    Subclasses override :meth:`tick` (combinational + sequential behaviour for
+    one cycle) and optionally :meth:`reset`.  Components record switching
+    activity through :meth:`record`, which forwards to the owning simulator's
+    :class:`~repro.sim.activity.ActivityCounters` once the component has been
+    attached; activity recorded before attachment is buffered locally and
+    merged at attach time so construction-time initialisation is not lost.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("component name must be non-empty")
+        self.name = name
+        self._simulator: Optional["Simulator"] = None
+        self._clock: Optional[ClockDomain] = None
+        self._local_activity = ActivityCounters()
+
+    # ------------------------------------------------------------------ wiring
+
+    def attach(self, simulator: "Simulator", clock: ClockDomain) -> None:
+        """Bind the component to a simulator and clock domain.
+
+        Called by :meth:`Simulator.add_component`; not meant to be called by
+        user code directly.
+        """
+        if self._simulator is not None:
+            raise RuntimeError(f"component {self.name!r} is already attached")
+        self._simulator = simulator
+        self._clock = clock
+        simulator.activity.merge(self._local_activity)
+        self._local_activity.clear()
+
+    @property
+    def simulator(self) -> "Simulator":
+        """The owning simulator (raises if the component is not attached)."""
+        if self._simulator is None:
+            raise RuntimeError(f"component {self.name!r} is not attached to a simulator")
+        return self._simulator
+
+    @property
+    def clock(self) -> ClockDomain:
+        """The clock domain this component runs in."""
+        if self._clock is None:
+            raise RuntimeError(f"component {self.name!r} is not attached to a clock domain")
+        return self._clock
+
+    @property
+    def is_attached(self) -> bool:
+        """Whether the component has been added to a simulator."""
+        return self._simulator is not None
+
+    # ---------------------------------------------------------------- activity
+
+    def record(self, event: str, amount: int = 1) -> None:
+        """Record ``amount`` occurrences of ``event`` for this component."""
+        if self._simulator is not None:
+            self._simulator.activity.add(self.name, event, amount)
+        else:
+            self._local_activity.add(self.name, event, amount)
+
+    # --------------------------------------------------------------- behaviour
+
+    def tick(self, cycle: int) -> None:
+        """Advance the component by one clock cycle.
+
+        ``cycle`` is the domain-local cycle index.  The default implementation
+        does nothing; purely combinational helpers may choose not to override.
+        """
+
+    def reset(self) -> None:
+        """Return the component to its post-reset state.
+
+        Subclasses with internal state should override and call
+        ``super().reset()``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        domain = self._clock.name if self._clock is not None else "unattached"
+        return f"{type(self).__name__}(name={self.name!r}, clock={domain})"

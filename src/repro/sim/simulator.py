@@ -1,0 +1,184 @@
+"""The cycle-driven simulator.
+
+The simulator owns the set of components, their clock domains, the activity
+counters, and the trace recorder.  A simulation advances in *base ticks*: one
+base tick corresponds to one cycle of the fastest clock domain; slower domains
+tick on the cycles where their (integer) divisor divides the base tick index.
+
+For the scenarios in this repository all active components share one domain,
+but the multi-domain support is what lets the iso-latency experiment clock
+PELS at 27 MHz while the reference Ibex system runs at 55 MHz.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.activity import ActivityCounters
+from repro.sim.clock import ClockDomain
+from repro.sim.component import Component
+from repro.sim.trace import TraceRecorder
+
+
+class SimulationError(RuntimeError):
+    """Raised for simulator misuse or when a run exceeds its cycle budget."""
+
+
+class Simulator:
+    """Coordinates clock domains and components and advances simulated time."""
+
+    def __init__(self, default_frequency_hz: float = 55e6) -> None:
+        self.activity = ActivityCounters()
+        self.traces = TraceRecorder()
+        self._domains: Dict[str, ClockDomain] = {}
+        self._components: List[Tuple[Component, ClockDomain]] = []
+        self._component_names: set[str] = set()
+        self._base_tick = 0
+        self._default_domain = self.add_clock_domain("default", default_frequency_hz)
+
+    # ----------------------------------------------------------------- domains
+
+    def add_clock_domain(self, name: str, frequency_hz: float) -> ClockDomain:
+        """Create and register a clock domain."""
+        if name in self._domains:
+            raise SimulationError(f"clock domain {name!r} already exists")
+        domain = ClockDomain(name, frequency_hz)
+        self._domains[name] = domain
+        return domain
+
+    def clock_domain(self, name: str) -> ClockDomain:
+        """Look up a registered clock domain by name."""
+        try:
+            return self._domains[name]
+        except KeyError as exc:
+            raise SimulationError(f"unknown clock domain {name!r}") from exc
+
+    @property
+    def default_domain(self) -> ClockDomain:
+        """The domain components are added to when none is specified."""
+        return self._default_domain
+
+    @property
+    def domains(self) -> Tuple[ClockDomain, ...]:
+        """All registered clock domains."""
+        return tuple(self._domains.values())
+
+    # -------------------------------------------------------------- components
+
+    def add_component(self, component: Component, domain: Optional[ClockDomain] = None) -> Component:
+        """Register a component with the simulator and a clock domain."""
+        if component.name in self._component_names:
+            raise SimulationError(f"a component named {component.name!r} is already registered")
+        clock = domain if domain is not None else self._default_domain
+        if clock.name not in self._domains:
+            raise SimulationError(f"clock domain {clock.name!r} is not registered with this simulator")
+        component.attach(self, clock)
+        self._components.append((component, clock))
+        self._component_names.add(component.name)
+        return component
+
+    def component(self, name: str) -> Component:
+        """Look up a registered component by name."""
+        for component, _ in self._components:
+            if component.name == name:
+                return component
+        raise SimulationError(f"unknown component {name!r}")
+
+    @property
+    def components(self) -> Tuple[Component, ...]:
+        """All registered components, in registration order."""
+        return tuple(component for component, _ in self._components)
+
+    # ------------------------------------------------------------------ timing
+
+    @property
+    def current_cycle(self) -> int:
+        """Base-tick counter (cycles of the fastest domain)."""
+        return self._base_tick
+
+    def _fastest_frequency(self) -> float:
+        return max(domain.frequency_hz for domain in self._domains.values())
+
+    def _divisor(self, domain: ClockDomain) -> int:
+        """Integer ratio between the fastest clock and ``domain``."""
+        ratio = self._fastest_frequency() / domain.frequency_hz
+        divisor = round(ratio)
+        if divisor < 1 or abs(ratio - divisor) > 1e-6:
+            raise SimulationError(
+                f"clock domain {domain.name!r} frequency must divide the fastest domain"
+            )
+        return divisor
+
+    # --------------------------------------------------------------------- run
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by ``cycles`` base ticks."""
+        if cycles < 0:
+            raise SimulationError("cannot step a negative number of cycles")
+        divisors = {clock.name: self._divisor(clock) for _, clock in self._components}
+        for _ in range(cycles):
+            for component, clock in self._components:
+                if self._base_tick % divisors[clock.name] == 0:
+                    component.tick(clock.cycles)
+            ticked: set[str] = set()
+            for _, clock in self._components:
+                if clock.name not in ticked and self._base_tick % divisors[clock.name] == 0:
+                    clock.advance()
+                    ticked.add(clock.name)
+            self._base_tick += 1
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+        label: str = "condition",
+    ) -> int:
+        """Step until ``condition()`` is true; return the number of cycles stepped.
+
+        Raises :class:`SimulationError` if the condition does not become true
+        within ``max_cycles``.
+        """
+        start = self._base_tick
+        while not condition():
+            if self._base_tick - start >= max_cycles:
+                raise SimulationError(
+                    f"{label} not reached within {max_cycles} cycles"
+                )
+            self.step()
+        return self._base_tick - start
+
+    def run_for_time(self, seconds: float) -> int:
+        """Run for a wall-clock duration measured in the fastest domain."""
+        cycles = int(seconds * self._fastest_frequency())
+        self.step(cycles)
+        return cycles
+
+    def reset(self) -> None:
+        """Reset every component, clock domain, and all bookkeeping."""
+        for component, _ in self._components:
+            component.reset()
+        for domain in self._domains.values():
+            domain.reset()
+        self.activity.clear()
+        self.traces = TraceRecorder()
+        self._base_tick = 0
+
+    # ------------------------------------------------------------------- trace
+
+    def trace(self, signal: str, value: object) -> None:
+        """Record a value change of ``signal`` at the current base tick."""
+        self.traces.record(self._base_tick, signal, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(cycle={self._base_tick}, components={len(self._components)}, "
+            f"domains={[d.name for d in self._domains.values()]})"
+        )
+
+
+def build_simulator(frequency_hz: float, components: Sequence[Component] = ()) -> Simulator:
+    """Convenience helper: create a simulator and register ``components``."""
+    simulator = Simulator(default_frequency_hz=frequency_hz)
+    for component in components:
+        simulator.add_component(component)
+    return simulator

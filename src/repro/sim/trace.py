@@ -1,0 +1,100 @@
+"""Lightweight signal tracing.
+
+Traces are optional — the power and latency analyses rely on activity
+counters and explicit timestamps — but they are invaluable when debugging a
+linking scenario, and the examples use them to print event timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single recorded value change."""
+
+    cycle: int
+    signal: str
+    value: object
+
+    def __str__(self) -> str:
+        return f"@{self.cycle:>6} {self.signal} = {self.value!r}"
+
+
+class SignalTrace:
+    """Value-change history of one named signal."""
+
+    def __init__(self, signal: str) -> None:
+        self.signal = signal
+        self._events: List[TraceEvent] = []
+
+    def record(self, cycle: int, value: object) -> None:
+        """Append a value change at ``cycle``."""
+        if cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        if self._events and cycle < self._events[-1].cycle:
+            raise ValueError("trace events must be recorded in non-decreasing cycle order")
+        self._events.append(TraceEvent(cycle, self.signal, value))
+
+    def value_at(self, cycle: int) -> object:
+        """Value of the signal at ``cycle`` (last change at or before it)."""
+        value: object = None
+        for event in self._events:
+            if event.cycle > cycle:
+                break
+            value = event.value
+        return value
+
+    def changes(self) -> Tuple[TraceEvent, ...]:
+        """All recorded value changes, oldest first."""
+        return tuple(self._events)
+
+    def first_cycle_with_value(self, value: object) -> Optional[int]:
+        """Cycle of the first change to ``value``, or ``None`` if never seen."""
+        for event in self._events:
+            if event.value == value:
+                return event.cycle
+        return None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class TraceRecorder:
+    """A set of named :class:`SignalTrace` objects."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, SignalTrace] = {}
+
+    def record(self, cycle: int, signal: str, value: object) -> None:
+        """Record a value change, creating the trace on first use."""
+        trace = self._traces.get(signal)
+        if trace is None:
+            trace = SignalTrace(signal)
+            self._traces[signal] = trace
+        trace.record(cycle, value)
+
+    def trace(self, signal: str) -> SignalTrace:
+        """Return the trace for ``signal`` (raises ``KeyError`` if absent)."""
+        return self._traces[signal]
+
+    def signals(self) -> Tuple[str, ...]:
+        """Sorted names of all traced signals."""
+        return tuple(sorted(self._traces))
+
+    def merged_timeline(self, signals: Optional[Iterable[str]] = None) -> List[TraceEvent]:
+        """Chronologically merged events of ``signals`` (default: all)."""
+        selected = self.signals() if signals is None else tuple(signals)
+        events: List[TraceEvent] = []
+        for name in selected:
+            if name in self._traces:
+                events.extend(self._traces[name].changes())
+        return sorted(events, key=lambda event: (event.cycle, event.signal))
+
+    def __contains__(self, signal: str) -> bool:
+        return signal in self._traces
+
+    def __len__(self) -> int:
+        return len(self._traces)

@@ -1,0 +1,20 @@
+"""PULPissimo-style SoC integration (Figure 4 of the paper).
+
+The SoC top wires the processing domain (Ibex core, interrupt controller,
+SRAM banks, SoC interconnect) to the I/O domain (peripheral interconnect,
+peripherals, µDMA, and PELS), establishes the address map, and fixes the
+component tick order so the cycle-level timing is deterministic.
+"""
+
+from repro.soc.address_map import AddressMap, DEFAULT_ADDRESS_MAP
+from repro.soc.memory import SramBank
+from repro.soc.pulpissimo import PulpissimoSoc, SocConfig, build_soc
+
+__all__ = [
+    "AddressMap",
+    "DEFAULT_ADDRESS_MAP",
+    "PulpissimoSoc",
+    "SocConfig",
+    "SramBank",
+    "build_soc",
+]

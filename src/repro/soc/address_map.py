@@ -1,0 +1,65 @@
+"""SoC address map.
+
+The layout follows PULPissimo's convention: L2 SRAM in the 0x1C00_0000
+region and the peripheral subsystem in the 0x1A10_0000 region, with one
+4 KiB window per peripheral.  Offsets inside a window are what PELS encodes
+in its 12-bit command field, relative to the link's base address — which is
+simply the peripheral window base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Base addresses and window sizes for every slave in the SoC."""
+
+    sram_base: int = 0x1C00_0000
+    sram_size: int = 192 * 1024
+    peripheral_window: int = 0x1000
+    peripheral_bases: Dict[str, int] = field(
+        default_factory=lambda: {
+            "udma": 0x1A10_0000,
+            "gpio": 0x1A10_1000,
+            "spi": 0x1A10_2000,
+            "adc": 0x1A10_3000,
+            "uart": 0x1A10_4000,
+            "i2c": 0x1A10_5000,
+            "pwm": 0x1A10_6000,
+            "wdt": 0x1A10_7000,
+            "timer": 0x1A10_B000,
+            "pels": 0x1A10_C000,
+        }
+    )
+
+    def peripheral_base(self, name: str) -> int:
+        """Base address of peripheral ``name``."""
+        try:
+            return self.peripheral_bases[name]
+        except KeyError as exc:
+            raise KeyError(f"no base address defined for peripheral {name!r}") from exc
+
+    def register_address(self, peripheral: str, byte_offset: int) -> int:
+        """Absolute address of a register given its peripheral and byte offset."""
+        if byte_offset < 0 or byte_offset >= self.peripheral_window:
+            raise ValueError(
+                f"offset 0x{byte_offset:x} outside the 0x{self.peripheral_window:x} peripheral window"
+            )
+        return self.peripheral_base(peripheral) + byte_offset
+
+    def with_peripheral(self, name: str, base: int) -> "AddressMap":
+        """Return a copy of the map with an extra (or overridden) peripheral base."""
+        bases = dict(self.peripheral_bases)
+        bases[name] = base
+        return AddressMap(
+            sram_base=self.sram_base,
+            sram_size=self.sram_size,
+            peripheral_window=self.peripheral_window,
+            peripheral_bases=bases,
+        )
+
+
+DEFAULT_ADDRESS_MAP = AddressMap()

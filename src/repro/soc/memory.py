@@ -1,0 +1,86 @@
+"""SRAM bank model.
+
+The 192 KiB of L2 memory in the implemented PULPissimo configuration
+(Section IV-C) is modelled as a sparse word store.  What matters for the
+evaluation is not the contents but the *access activity*: every read and
+write (data accesses through the interconnect plus the core's instruction
+fetches) is counted so the power model can price the memory system, which is
+where the baseline loses most of its power against PELS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.component import Component
+
+KIB = 1024
+DEFAULT_SRAM_BYTES = 192 * KIB
+
+
+class SramBank(Component):
+    """A word-addressable SRAM bank with access counting."""
+
+    def __init__(self, name: str = "sram", size_bytes: int = DEFAULT_SRAM_BYTES, wait_states: int = 0) -> None:
+        super().__init__(name)
+        if size_bytes <= 0 or size_bytes % 4 != 0:
+            raise ValueError("SRAM size must be a positive multiple of 4 bytes")
+        self.size_bytes = size_bytes
+        self.wait_states = wait_states
+        self._words: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.instruction_fetches = 0
+
+    # --------------------------------------------------------------- bus slave
+
+    def bus_read(self, offset: int) -> int:
+        """Word read at byte ``offset``."""
+        self._check_offset(offset)
+        self.reads += 1
+        self.record("reads")
+        return self._words.get(offset // 4, 0)
+
+    def bus_write(self, offset: int, value: int) -> None:
+        """Word write at byte ``offset``."""
+        self._check_offset(offset)
+        self.writes += 1
+        self.record("writes")
+        self._words[offset // 4] = value & 0xFFFF_FFFF
+
+    # ------------------------------------------------------------ direct access
+
+    def load_words(self, offset: int, values) -> None:
+        """Testbench helper: bulk-load words starting at byte ``offset``."""
+        for index, value in enumerate(values):
+            self._check_offset(offset + 4 * index)
+            self._words[(offset + 4 * index) // 4] = value & 0xFFFF_FFFF
+
+    def peek(self, offset: int) -> int:
+        """Read a word without counting an access (for assertions)."""
+        self._check_offset(offset)
+        return self._words.get(offset // 4, 0)
+
+    def record_fetch(self) -> None:
+        """Account one instruction fetch served by this bank."""
+        self.instruction_fetches += 1
+        self.record("instruction_fetches")
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def total_accesses(self) -> int:
+        """Data reads + data writes + instruction fetches."""
+        return self.reads + self.writes + self.instruction_fetches
+
+    def _check_offset(self, offset: int) -> None:
+        if not 0 <= offset < self.size_bytes:
+            raise IndexError(f"{self.name}: offset 0x{offset:x} outside 0..0x{self.size_bytes:x}")
+        if offset % 4 != 0:
+            raise ValueError(f"{self.name}: offset 0x{offset:x} is not word aligned")
+
+    def reset(self) -> None:
+        self._words.clear()
+        self.reads = 0
+        self.writes = 0
+        self.instruction_fetches = 0

@@ -1,0 +1,13 @@
+"""Firmware-style software support.
+
+Real systems configure PELS from the main core over the memory-mapped
+configuration window.  :class:`~repro.software.driver.PelsDriver` models that
+firmware: it issues configuration reads and writes through the SoC
+interconnect and the peripheral bridge (the same path the Ibex core uses)
+and blocks until each transfer completes, exactly like a polling driver
+would.
+"""
+
+from repro.software.driver import PelsDriver
+
+__all__ = ["PelsDriver"]

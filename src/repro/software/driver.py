@@ -1,0 +1,152 @@
+"""Firmware-style PELS driver.
+
+The driver programs PELS exclusively through its memory-mapped configuration
+window (no direct Python access to the link objects), the way the boot
+firmware on the Ibex core would: microcode upload, trigger mask/condition,
+per-link base address, enable bits, and status/capture readback.
+
+Every access goes through the SoC interconnect and the peripheral bridge and
+therefore consumes simulated cycles; the driver advances the simulation
+until the transfer completes (polling semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bus.transaction import BusRequest, TransferKind
+from repro.core.assembler import Program
+from repro.core.isa import Command, encode_command
+from repro.core.pels import (
+    GLOBAL_ENABLE_BIT,
+    LINK_REG_BASE_ADDR,
+    LINK_REG_CAPTURE,
+    LINK_REG_CONDITION,
+    LINK_REG_ENABLE,
+    LINK_REG_MASK,
+    LINK_REG_STATUS,
+    LINK_SCM_WINDOW,
+    LINK_WINDOW_BASE,
+    LINK_WINDOW_STRIDE,
+    REG_GLOBAL_CTRL,
+    REG_NUM_LINKS,
+    REG_SCM_LINES,
+)
+from repro.core.trigger import TriggerCondition
+from repro.soc.pulpissimo import PulpissimoSoc
+
+
+class PelsDriver:
+    """Polling configuration driver for PELS, running "on" the main core."""
+
+    def __init__(self, soc: PulpissimoSoc, master: str = "ibex_fw", timeout_cycles: int = 200) -> None:
+        if soc.pels is None:
+            raise ValueError("the SoC was built without PELS; nothing to drive")
+        self.soc = soc
+        self.master = master
+        self.timeout_cycles = timeout_cycles
+        self.base_address = soc.address_map.peripheral_base("pels")
+        self.transfers_issued = 0
+
+    # ------------------------------------------------------------ raw accessors
+
+    def write_reg(self, offset: int, value: int) -> None:
+        """Blocking write to a PELS configuration register."""
+        self._transfer(TransferKind.WRITE, offset, value)
+
+    def read_reg(self, offset: int) -> int:
+        """Blocking read of a PELS configuration register."""
+        return self._transfer(TransferKind.READ, offset, 0)
+
+    def _transfer(self, kind: TransferKind, offset: int, value: int) -> int:
+        request = BusRequest(
+            master=self.master,
+            kind=kind,
+            address=self.base_address + offset,
+            wdata=value,
+        )
+        self.soc.interconnect.submit(request)
+        self.soc.run_until(lambda: request.done, max_cycles=self.timeout_cycles, label="PELS config access")
+        self.transfers_issued += 1
+        return request.rdata if kind is TransferKind.READ else 0
+
+    # ------------------------------------------------------------ identification
+
+    def probe(self) -> dict:
+        """Read the identification registers (links, SCM lines, enable state)."""
+        return {
+            "n_links": self.read_reg(REG_NUM_LINKS),
+            "scm_lines": self.read_reg(REG_SCM_LINES),
+            "enabled": bool(self.read_reg(REG_GLOBAL_CTRL) & GLOBAL_ENABLE_BIT),
+        }
+
+    def set_global_enable(self, enabled: bool) -> None:
+        """Enable or disable event processing globally."""
+        self.write_reg(REG_GLOBAL_CTRL, GLOBAL_ENABLE_BIT if enabled else 0)
+
+    # ------------------------------------------------------------ link programming
+
+    def _link_window(self, link_index: int) -> int:
+        n_links = self.soc.pels.config.n_links
+        if not 0 <= link_index < n_links:
+            raise IndexError(f"link index {link_index} out of range [0, {n_links})")
+        return LINK_WINDOW_BASE + link_index * LINK_WINDOW_STRIDE
+
+    def upload_program(self, link_index: int, program: Program | List[Command]) -> None:
+        """Write a program into a link's SCM, padding the rest with ``end``."""
+        commands = list(program.commands) if isinstance(program, Program) else list(program)
+        scm_lines = self.soc.pels.config.scm_lines
+        if len(commands) > scm_lines:
+            raise ValueError(f"program has {len(commands)} commands but the SCM holds {scm_lines}")
+        window = self._link_window(link_index) + LINK_SCM_WINDOW
+        padded = commands + [Command.end()] * (scm_lines - len(commands))
+        for line, command in enumerate(padded):
+            encoded = encode_command(command)
+            self.write_reg(window + 8 * line, encoded & 0xFFFF_FFFF)
+            self.write_reg(window + 8 * line + 4, (encoded >> 32) & 0xFFFF)
+
+    def configure_trigger(
+        self,
+        link_index: int,
+        mask: int,
+        condition: TriggerCondition = TriggerCondition.ANY_SELECTED_ACTIVE,
+        base_address: int = 0,
+    ) -> None:
+        """Program a link's trigger mask, condition, and sequenced-action base address."""
+        window = self._link_window(link_index)
+        self.write_reg(window + LINK_REG_MASK, mask)
+        self.write_reg(window + LINK_REG_CONDITION, int(condition))
+        self.write_reg(window + LINK_REG_BASE_ADDR, base_address)
+
+    def enable_link(self, link_index: int, enabled: bool = True) -> None:
+        """Arm (or disarm) a link's trigger unit."""
+        self.write_reg(self._link_window(link_index) + LINK_REG_ENABLE, int(enabled))
+
+    def setup_link(
+        self,
+        link_index: int,
+        program: Program | List[Command],
+        trigger_mask: int,
+        condition: TriggerCondition = TriggerCondition.ANY_SELECTED_ACTIVE,
+        base_address: int = 0,
+    ) -> None:
+        """Complete link bring-up: upload the microcode, configure and arm the trigger."""
+        self.upload_program(link_index, program)
+        self.configure_trigger(link_index, trigger_mask, condition, base_address)
+        self.enable_link(link_index, True)
+
+    # ---------------------------------------------------------------- monitoring
+
+    def link_status(self, link_index: int) -> dict:
+        """Decode a link's status register."""
+        status = self.read_reg(self._link_window(link_index) + LINK_REG_STATUS)
+        return {
+            "fifo_level": status & 0xFF,
+            "enabled": bool(status & (1 << 8)),
+            "condition_and": bool(status & (1 << 9)),
+            "busy": bool(status & (1 << 10)),
+        }
+
+    def read_capture(self, link_index: int) -> int:
+        """Read back a link's capture register (last ``capture`` result)."""
+        return self.read_reg(self._link_window(link_index) + LINK_REG_CAPTURE)

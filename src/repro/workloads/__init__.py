@@ -1,0 +1,44 @@
+"""Reusable event-linking workloads.
+
+These are the applications the paper evaluates (Section IV-B), factored out
+so the examples, the tests, the latency analysis, and the power scenarios all
+drive exactly the same stimulus:
+
+* :mod:`repro.workloads.threshold` — the headline workload: a threshold-
+  crossing check after a µDMA-managed SPI sensor readout, handled either by
+  PELS sequenced/instant actions or by the Ibex interrupt baseline.
+* :mod:`repro.workloads.minimal` — the minimal linking event (a single
+  read-modify-write of one peripheral register) used for the 7-cycle vs
+  16-cycle latency comparison.
+* :mod:`repro.workloads.periodic` — an always-on monitoring scenario
+  (timer → ADC → PWM with watchdog supervision) built from the paper's
+  motivating applications.
+"""
+
+from repro.workloads.minimal import MinimalLinkingResult, run_minimal_ibex_linking, run_minimal_pels_linking
+from repro.workloads.periodic import (
+    PeriodicMonitorConfig,
+    PeriodicMonitorResult,
+    run_periodic_monitor,
+)
+from repro.workloads.threshold import (
+    ThresholdWorkload,
+    ThresholdWorkloadConfig,
+    ThresholdWorkloadResult,
+    run_ibex_threshold_workload,
+    run_pels_threshold_workload,
+)
+
+__all__ = [
+    "MinimalLinkingResult",
+    "PeriodicMonitorConfig",
+    "PeriodicMonitorResult",
+    "ThresholdWorkload",
+    "ThresholdWorkloadConfig",
+    "ThresholdWorkloadResult",
+    "run_ibex_threshold_workload",
+    "run_minimal_ibex_linking",
+    "run_minimal_pels_linking",
+    "run_pels_threshold_workload",
+    "run_periodic_monitor",
+]

@@ -1,0 +1,146 @@
+"""The minimal linking event.
+
+A producer peripheral (the timer) raises an event; the linking agent must
+perform one read-modify-write (``set``) on a consumer peripheral register
+(the GPIO OUT register).  Section IV-B reports this taking **7 cycles** when
+PELS issues it as a sequenced action, **2 cycles** as an instant action, and
+**16 cycles** when the Ibex core services it through an interrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.assembler import Assembler
+from repro.core.trigger import TriggerCondition
+from repro.cpu.programs import build_linking_isr
+from repro.soc.pulpissimo import PulpissimoSoc, SocConfig, build_soc
+
+GPIO_PAD_MASK = 0x1
+LINKING_IRQ = 1
+
+
+@dataclass
+class MinimalLinkingResult:
+    """Latency measurements for one serviced minimal linking event."""
+
+    trigger_cycle: int
+    write_landed_cycle: Optional[int]
+    instant_action_cycle: Optional[int]
+    handler_done_cycle: Optional[int]
+
+    @property
+    def sequenced_latency(self) -> Optional[int]:
+        """Cycles from the event to the peripheral write landing (inclusive)."""
+        if self.write_landed_cycle is None:
+            return None
+        return self.write_landed_cycle - self.trigger_cycle + 1
+
+    @property
+    def instant_latency(self) -> Optional[int]:
+        """Cycles from the event to the instant-action line toggling (inclusive)."""
+        if self.instant_action_cycle is None:
+            return None
+        return self.instant_action_cycle - self.trigger_cycle + 1
+
+
+def _fire_timer_once(soc: PulpissimoSoc) -> None:
+    """Arm the timer so it overflows exactly once, two cycles from now."""
+    soc.timer.regs.reg("COMPARE").hw_write(2)
+    soc.timer.regs.reg("CTRL").hw_write(0x3)  # enable + one-shot
+
+
+def run_minimal_pels_linking(
+    instant: bool = False,
+    soc: Optional[PulpissimoSoc] = None,
+    frequency_hz: float = 55e6,
+) -> MinimalLinkingResult:
+    """Run the minimal linking event through PELS and measure its latency.
+
+    With ``instant=False`` the link issues a sequenced ``set`` on the GPIO OUT
+    register; with ``instant=True`` it drives the GPIO ``set_pad0`` event
+    input through an ``action`` command.
+    """
+    if soc is None:
+        soc = build_soc(SocConfig(frequency_hz=frequency_hz))
+    if soc.pels is None:
+        raise ValueError("the provided SoC was built without PELS")
+    pels = soc.pels
+    peripheral_region = soc.address_map.peripheral_base("udma")
+    gpio_out_offset = soc.address_map.peripheral_base("gpio") + soc.gpio.regs.offset_of("OUT") - peripheral_region
+
+    assembler = Assembler()
+    assembler.define_register("GPIO_OUT", gpio_out_offset)
+    assembler.define_symbol("PAD_MASK", GPIO_PAD_MASK)
+    if instant:
+        program = assembler.assemble(
+            """
+            action 0 PAD_MASK
+            end
+            """
+        )
+        pels.route_action_to_peripheral(group=0, bit=0, peripheral=soc.gpio, port="set_pad0")
+    else:
+        program = assembler.assemble(
+            """
+            set GPIO_OUT PAD_MASK
+            end
+            """
+        )
+
+    timer_event = 1 << soc.fabric.index_of(soc.timer.event_line_name("overflow"))
+    pels.program_link(
+        0,
+        program,
+        trigger_mask=timer_event,
+        condition=TriggerCondition.ANY_SELECTED_ACTIVE,
+        base_address=peripheral_region,
+    )
+
+    _fire_timer_once(soc)
+    link = pels.link(0)
+    soc.run_until(lambda: link.last_record is not None, max_cycles=200, label="PELS linking event")
+    soc.run(4)  # let trailing bus activity settle
+    record = link.last_record
+    assert record is not None
+    return MinimalLinkingResult(
+        trigger_cycle=record.trigger_cycle,
+        write_landed_cycle=record.last_bus_write_cycle,
+        instant_action_cycle=record.first_action_cycle,
+        handler_done_cycle=record.completion_cycle,
+    )
+
+
+def run_minimal_ibex_linking(
+    soc: Optional[PulpissimoSoc] = None,
+    frequency_hz: float = 55e6,
+) -> MinimalLinkingResult:
+    """Run the same minimal linking event through the Ibex interrupt baseline."""
+    if soc is None:
+        soc = build_soc(SocConfig(frequency_hz=frequency_hz, with_pels=False))
+    gpio_out_address = soc.register_address("gpio", "OUT")
+    timer_status_address = soc.register_address("timer", "STATUS")
+    soc.cpu.register_isr(
+        LINKING_IRQ,
+        build_linking_isr(
+            gpio_out_address,
+            GPIO_PAD_MASK,
+            source_flag_address=timer_status_address,
+            source_flag_mask=0x1,
+        ),
+    )
+    soc.irq_controller.enable_line(soc.timer.event_line_name("overflow"), LINKING_IRQ)
+
+    _fire_timer_once(soc)
+    soc.run_until(lambda: soc.cpu.last_handler_done_cycle is not None, max_cycles=500, label="Ibex linking event")
+    soc.run(4)
+    # The interrupt is taken in the same cycle the timer event pulses, so the
+    # wake-up cycle recorded by the core *is* the event cycle.
+    event_cycle = soc.cpu.last_interrupt_cycle if soc.cpu.last_interrupt_cycle is not None else 0
+    return MinimalLinkingResult(
+        trigger_cycle=event_cycle,
+        write_landed_cycle=soc.cpu.last_store_complete_cycle,
+        instant_action_cycle=None,
+        handler_done_cycle=soc.cpu.last_handler_done_cycle,
+    )

@@ -1,0 +1,277 @@
+"""The evaluation workload: threshold check after µDMA-managed SPI readout.
+
+The stimulus mirrors Section IV-B of the paper:
+
+1. the SPI controller reads sensor samples; the µDMA drains the RX FIFO into
+   L2 memory without waking the core;
+2. at the end of the SPI transfer an ``eot`` event fires;
+3. the *linking agent* — PELS or the Ibex interrupt handler — must clear the
+   SPI application flag, read the latest sample, compare it against a
+   threshold, and set a GPIO pad when the threshold is exceeded (the
+   Figure 3 program).
+
+Both variants run on the same :class:`~repro.soc.pulpissimo.PulpissimoSoc`
+model so their activity counters are directly comparable; the power
+scenarios in :mod:`repro.power.scenarios` are thin wrappers around these
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.assembler import Assembler
+from repro.core.trigger import TriggerCondition
+from repro.cpu.programs import build_threshold_isr
+from repro.peripherals.sensor import SensorWaveform
+from repro.soc.pulpissimo import PulpissimoSoc, SocConfig, build_soc
+
+THRESHOLD_IRQ = 2
+SAMPLE_MASK = 0x0FF
+GPIO_ALERT_MASK = 0x1
+DMA_BUFFER_ADDRESS_OFFSET = 0x100
+
+
+@dataclass(frozen=True)
+class ThresholdWorkloadConfig:
+    """Parameters of the threshold-linking workload."""
+
+    threshold: int = 50
+    n_events: int = 8
+    words_per_transfer: int = 4
+    spi_cycles_per_word: int = 4
+    event_gap_cycles: int = 40
+    frequency_hz: float = 55e6
+    samples: tuple = (10, 80, 20, 90, 30, 100, 40, 110, 5, 75, 15, 85, 25, 95, 35, 105)
+    use_instant_alert: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_events < 1:
+            raise ValueError("the workload needs at least one linking event")
+        if self.words_per_transfer < 1:
+            raise ValueError("words_per_transfer must be >= 1")
+        if not self.samples:
+            raise ValueError("the sample sequence must be non-empty")
+
+    @property
+    def samples_above_threshold(self) -> int:
+        """How many of the per-event *last* samples exceed the threshold.
+
+        The linking agent only inspects the most recent sample of each
+        transfer, so the expected number of GPIO alerts follows from the
+        sample at each transfer's final position.
+        """
+        alerts = 0
+        position = 0
+        for _ in range(self.n_events):
+            position += self.words_per_transfer
+            last_sample = self.samples[(position - 1) % len(self.samples)]
+            if (last_sample & SAMPLE_MASK) > self.threshold:
+                alerts += 1
+        return alerts
+
+
+@dataclass
+class ThresholdWorkloadResult:
+    """Outcome and statistics of one workload run."""
+
+    mode: str
+    events_serviced: int
+    alerts_raised: int
+    total_cycles: int
+    idle_cycles: int
+    linking_cycles: int
+    event_latencies: List[int] = field(default_factory=list)
+    soc: Optional[PulpissimoSoc] = None
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean event-to-completion latency in cycles."""
+        if not self.event_latencies:
+            return 0.0
+        return sum(self.event_latencies) / len(self.event_latencies)
+
+    @property
+    def worst_latency(self) -> int:
+        """Worst observed event-to-completion latency in cycles."""
+        return max(self.event_latencies) if self.event_latencies else 0
+
+
+class ThresholdWorkload:
+    """Shared stimulus driver for both linking variants."""
+
+    def __init__(self, soc: PulpissimoSoc, config: ThresholdWorkloadConfig) -> None:
+        self.soc = soc
+        self.config = config
+        self.alerts_observed = 0
+        self.dma_buffer_address = soc.address_map.sram_base + DMA_BUFFER_ADDRESS_OFFSET
+        soc.sensor.waveform = SensorWaveform(kind="sequence", values=config.samples)
+        soc.sensor.reset()
+        soc.spi.regs.reg("LEN").hw_write(config.words_per_transfer)
+        soc.spi.regs.reg("CLK_DIV").hw_write(config.spi_cycles_per_word)
+        self.dma_channel = soc.udma.add_channel(
+            source=soc.spi,
+            destination_address=self.dma_buffer_address,
+            length_words=config.words_per_transfer,
+        )
+
+    def start_transfer(self) -> None:
+        """Kick one SPI sensor readout (as a timer or previous event would)."""
+        self.soc.spi.regs.write(self.soc.spi.regs.offset_of("CTRL"), 0x1)
+
+    def run_events(self, on_event_done, max_cycles_per_event: int = 5_000) -> int:
+        """Run ``n_events`` transfers, waiting for the linking agent after each.
+
+        ``on_event_done`` is a callable returning the number of linking events
+        the agent has completed so far; the stimulus starts the next transfer
+        only after the previous event was fully handled, plus a configurable
+        idle gap, mimicking a periodic sensing application.  After every
+        event the GPIO alert pad is sampled (and re-armed) so both linking
+        variants report alerts the same way.
+        """
+        total_events = 0
+        for _ in range(self.config.n_events):
+            self.start_transfer()
+            target = total_events + 1
+            self.soc.run_until(
+                lambda: on_event_done() >= target,
+                max_cycles=max_cycles_per_event,
+                label="linking event completion",
+            )
+            total_events = target
+            self.soc.run(self.config.event_gap_cycles)
+            self._sample_alert()
+        return total_events
+
+    def _sample_alert(self) -> None:
+        if self.soc.gpio.pad(0):
+            self.alerts_observed += 1
+            # Re-arm the alert pad, as the actuator-side firmware would.
+            self.soc.gpio.regs.reg("OUT").clear_bits(GPIO_ALERT_MASK)
+
+
+# --------------------------------------------------------------------------- PELS
+
+
+def _pels_figure3_program(soc: PulpissimoSoc, config: ThresholdWorkloadConfig):
+    """Assemble the Figure 3 microcode against the SoC's real register offsets."""
+    peripheral_region = soc.address_map.peripheral_base("udma")
+    spi_base = soc.address_map.peripheral_base("spi") - peripheral_region
+    gpio_base = soc.address_map.peripheral_base("gpio") - peripheral_region
+
+    assembler = Assembler()
+    assembler.define_register("AFLAG", spi_base + soc.spi.regs.offset_of("AFLAG"))
+    assembler.define_register("ADATA", spi_base + soc.spi.regs.offset_of("RXDATA"))
+    assembler.define_register("AGPIO", gpio_base + soc.gpio.regs.offset_of("OUT"))
+    assembler.define_symbol("FLAG_MASK", 0x1)
+    assembler.define_symbol("DATA_MASK", SAMPLE_MASK)
+    assembler.define_symbol("THRES", config.threshold)
+    assembler.define_symbol("GPIO_MASK", GPIO_ALERT_MASK)
+    assembler.define_symbol("ALERT_GROUP", 0)
+
+    if config.use_instant_alert:
+        # Figure 3, left branch: drive the co-designed GPIO event input.
+        alert_command = "action ALERT_GROUP GPIO_MASK"
+    else:
+        # Figure 3, right branch: sequenced read-modify-write on the GPIO.
+        alert_command = "set AGPIO GPIO_MASK"
+    source = f"""
+    CMD0: clear   AFLAG  FLAG_MASK
+    CMD1: capture ADATA  DATA_MASK
+    CMD2: jump-if CMD4 LE THRES
+    CMD3: {alert_command}
+    CMD4: end
+    """
+    return assembler.assemble(source), peripheral_region
+
+
+def run_pels_threshold_workload(
+    config: ThresholdWorkloadConfig = ThresholdWorkloadConfig(),
+    soc: Optional[PulpissimoSoc] = None,
+) -> ThresholdWorkloadResult:
+    """Run the threshold workload with PELS mediating the linking events."""
+    if soc is None:
+        soc = build_soc(
+            SocConfig(frequency_hz=config.frequency_hz, spi_cycles_per_word=config.spi_cycles_per_word)
+        )
+    if soc.pels is None:
+        raise ValueError("the provided SoC was built without PELS")
+    pels = soc.pels
+    program, base_address = _pels_figure3_program(soc, config)
+    workload = ThresholdWorkload(soc, config)
+
+    if config.use_instant_alert:
+        pels.route_action_to_peripheral(group=0, bit=0, peripheral=soc.gpio, port="set_pad0")
+
+    spi_eot_bit = 1 << soc.fabric.index_of(soc.spi.event_line_name("eot"))
+    link = pels.program_link(
+        0,
+        program,
+        trigger_mask=spi_eot_bit,
+        condition=TriggerCondition.ANY_SELECTED_ACTIVE,
+        base_address=base_address,
+    )
+
+    start_cycle = soc.simulator.current_cycle
+    workload.run_events(lambda: len(link.records))
+    total_cycles = soc.simulator.current_cycle - start_cycle
+
+    latencies = [record.total_latency for record in link.records if record.total_latency is not None]
+    linking_cycles = soc.activity.get("pels", "busy_cycles")
+    return ThresholdWorkloadResult(
+        mode="pels",
+        events_serviced=len(link.records),
+        alerts_raised=workload.alerts_observed,
+        total_cycles=total_cycles,
+        idle_cycles=total_cycles - linking_cycles,
+        linking_cycles=linking_cycles,
+        event_latencies=latencies,
+        soc=soc,
+    )
+
+
+# --------------------------------------------------------------------------- Ibex
+
+
+def run_ibex_threshold_workload(
+    config: ThresholdWorkloadConfig = ThresholdWorkloadConfig(),
+    soc: Optional[PulpissimoSoc] = None,
+) -> ThresholdWorkloadResult:
+    """Run the threshold workload with the Ibex interrupt baseline."""
+    if soc is None:
+        soc = build_soc(
+            SocConfig(
+                frequency_hz=config.frequency_hz,
+                with_pels=False,
+                spi_cycles_per_word=config.spi_cycles_per_word,
+            )
+        )
+    workload = ThresholdWorkload(soc, config)
+    isr = build_threshold_isr(
+        flag_register_address=soc.register_address("spi", "AFLAG"),
+        flag_mask=0x1,
+        data_register_address=soc.register_address("spi", "RXDATA"),
+        data_mask=SAMPLE_MASK,
+        threshold=config.threshold,
+        gpio_set_register_address=soc.register_address("gpio", "OUT"),
+        gpio_mask=GPIO_ALERT_MASK,
+    )
+    soc.cpu.register_isr(THRESHOLD_IRQ, isr)
+    soc.irq_controller.enable_line(soc.spi.event_line_name("eot"), THRESHOLD_IRQ)
+
+    start_cycle = soc.simulator.current_cycle
+    workload.run_events(lambda: soc.activity.get("ibex", "handlers_completed"))
+    total_cycles = soc.simulator.current_cycle - start_cycle
+
+    linking_cycles = soc.cpu.active_cycles
+    return ThresholdWorkloadResult(
+        mode="ibex",
+        events_serviced=soc.cpu.interrupts_serviced,
+        alerts_raised=workload.alerts_observed,
+        total_cycles=total_cycles,
+        idle_cycles=total_cycles - linking_cycles,
+        linking_cycles=linking_cycles,
+        event_latencies=[],
+        soc=soc,
+    )

@@ -1,0 +1,103 @@
+"""Tests for the Table I feature model, table rendering, and latency analysis."""
+
+import pytest
+
+from repro.analysis.latency import (
+    PAPER_IBEX_CYCLES,
+    PAPER_INSTANT_CYCLES,
+    PAPER_SEQUENCED_CYCLES,
+    LatencyComparison,
+    measure_latency_comparison,
+)
+from repro.analysis.sota import (
+    PELS_ENTRY,
+    SOTA_SYSTEMS,
+    all_systems,
+    open_source_systems,
+    systems_with_sequenced_actions,
+)
+from repro.analysis.tables import format_table1, table1_rows
+
+
+class TestSotaFeatureModel:
+    def test_table_has_eight_rows(self):
+        """Table I lists seven prior systems plus PELS."""
+        assert len(all_systems()) == 8
+        assert len(SOTA_SYSTEMS) == 7
+
+    def test_pels_is_the_only_open_source_system(self):
+        assert open_source_systems() == [PELS_ENTRY]
+
+    def test_pels_is_the_only_system_with_both_action_types(self):
+        both = [system for system in all_systems() if system.supports_both_action_types]
+        assert both == [PELS_ENTRY]
+
+    def test_only_microcode_systems_offer_sequenced_actions(self):
+        sequenced = systems_with_sequenced_actions()
+        assert {system.name for system in sequenced} == {"XGATE", "PELS"}
+        assert all(system.event_processing == "microcode" for system in sequenced)
+
+    def test_channel_routing_dominates_industry_solutions(self):
+        channel = [s for s in SOTA_SYSTEMS if s.routing_topology == "channel"]
+        assert len(channel) == 5
+
+    def test_specific_vendor_entries(self):
+        by_name = {system.name: system for system in all_systems()}
+        assert by_name["PIM"].routing_topology == "matrix"
+        assert by_name["XGATE"].routing_topology is None
+        assert not by_name["XGATE"].instant_actions
+        assert by_name["PPI"].vendor == "Nordic"
+        assert by_name["AESRN"].category == "academia"
+
+
+class TestTable1Rendering:
+    def test_rows_cover_all_systems(self):
+        rows = table1_rows()
+        assert len(rows) == 8
+        assert rows[-1]["system"] == "This work (PELS)"
+
+    def test_row_flags_rendered_as_yes_no(self):
+        rows = table1_rows()
+        pels_row = rows[-1]
+        assert pels_row["instant_actions"] == "yes"
+        assert pels_row["sequenced_actions"] == "yes"
+        assert pels_row["open_source"] == "yes"
+        xgate_row = next(row for row in rows if "XGATE" in row["system"])
+        assert xgate_row["instant_actions"] == "no"
+
+    def test_formatted_table_contains_categories_and_columns(self):
+        text = format_table1()
+        assert "[industry]" in text
+        assert "[academia]" in text
+        assert "Open source" in text
+        assert "Silicon Labs PRS" in text
+
+
+class TestLatencyComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return measure_latency_comparison()
+
+    def test_paper_reference_constants(self):
+        assert (PAPER_SEQUENCED_CYCLES, PAPER_INSTANT_CYCLES, PAPER_IBEX_CYCLES) == (7, 2, 16)
+
+    def test_measured_latencies_match_paper(self, comparison):
+        assert comparison.pels_sequenced_cycles == PAPER_SEQUENCED_CYCLES
+        assert comparison.pels_instant_cycles == PAPER_INSTANT_CYCLES
+        assert comparison.ibex_interrupt_cycles == PAPER_IBEX_CYCLES
+
+    def test_speedups(self, comparison):
+        assert comparison.speedup_vs_ibex() == pytest.approx(16 / 7)
+        assert comparison.speedup_vs_ibex(instant=True) == pytest.approx(8.0)
+
+    def test_as_dict_and_format(self, comparison):
+        data = comparison.as_dict()
+        assert data["pels_sequenced"] == 7
+        text = comparison.format()
+        assert "Ibex interrupt" in text
+        assert "16" in text
+
+    def test_speedup_requires_measurements(self):
+        empty = LatencyComparison(None, None, None)
+        with pytest.raises(ValueError):
+            empty.speedup_vs_ibex()

@@ -1,0 +1,102 @@
+"""Tests for the timeline rendering and the one-shot experiment report."""
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.timeline import LinkTimeline, bus_transfer_timeline, merge_timelines
+from repro.core.assembler import assemble
+from repro.soc.pulpissimo import SocConfig, build_soc
+
+
+def run_linked_soc(n_overflows=3):
+    soc = build_soc(SocConfig())
+    base = soc.address_map.peripheral_base("udma")
+    gpio_toggle = (soc.address_map.peripheral_base("gpio") + soc.gpio.regs.offset_of("TOGGLE") - base) // 4
+    soc.pels.route_action_to_peripheral(group=0, bit=0, peripheral=soc.gpio, port="set_pad0")
+    program = assemble(f"action 0 0x1\nwrite {gpio_toggle} 0x2\nend")
+    timer_bit = 1 << soc.fabric.index_of(soc.timer.event_line_name("overflow"))
+    link = soc.pels.program_link(0, program, trigger_mask=timer_bit, base_address=base)
+    soc.timer.regs.reg("COMPARE").hw_write(20)
+    soc.timer.start()
+    soc.run(20 * n_overflows + 20)
+    return soc, link
+
+
+class TestLinkTimeline:
+    def test_entries_cover_each_event(self):
+        soc, link = run_linked_soc(n_overflows=2)
+        timeline = LinkTimeline(link)
+        entries = timeline.entries()
+        assert len(entries) == 4 * len(link.records)  # trigger, action, write-back, end
+        assert entries == sorted(entries, key=lambda entry: entry.cycle)
+
+    def test_render_contains_latencies(self):
+        soc, link = run_linked_soc(n_overflows=1)
+        text = LinkTimeline(link).render()
+        assert "trigger" in text
+        assert "instant action" in text
+        assert "sequenced write-back" in text
+        assert "latency 2 cycles" in text
+
+    def test_empty_timeline(self):
+        soc = build_soc(SocConfig())
+        text = LinkTimeline(soc.pels.link(1)).render()
+        assert "no linking events" in text
+
+    def test_latency_histogram(self):
+        soc, link = run_linked_soc(n_overflows=3)
+        histogram = LinkTimeline(link).latency_histogram()
+        assert sum(histogram.values()) == len(link.records)
+        assert all(latency > 0 for latency in histogram)
+
+    def test_bus_transfer_timeline(self):
+        soc, link = run_linked_soc(n_overflows=1)
+        text = bus_transfer_timeline(soc.simulator.traces)
+        assert "apb transfers" in text
+        assert "pels_link0" in text
+
+    def test_bus_transfer_timeline_without_traffic(self):
+        soc = build_soc(SocConfig())
+        assert "no transfers" in bus_transfer_timeline(soc.simulator.traces)
+
+    def test_merge_timelines(self):
+        soc, link = run_linked_soc(n_overflows=1)
+        merged = merge_timelines([LinkTimeline(link), LinkTimeline(soc.pels.link(1))])
+        assert "pels_link0" in merged
+        empty = merge_timelines([LinkTimeline(soc.pels.link(2))])
+        assert "no linking events" in empty
+
+
+class TestExperimentReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(n_events=3, idle_cycles=500)
+
+    def test_headline_values_match_paper(self, report):
+        headline = report.headline()
+        assert headline["sequenced_cycles"] == 7
+        assert headline["instant_cycles"] == 2
+        assert headline["ibex_cycles"] == 16
+        assert headline["linking_iso_latency_ratio"] == pytest.approx(2.5, rel=0.2)
+        assert headline["pels_minimal_kge"] == pytest.approx(7.0, abs=0.3)
+        assert headline["pels_soc_logic_fraction"] == pytest.approx(0.095, abs=0.01)
+
+    def test_markdown_contains_all_sections(self, report):
+        markdown = report.markdown
+        for section in (
+            "Headline comparison",
+            "Latency comparison",
+            "Figure 5",
+            "Figure 6a",
+            "Figure 6b",
+            "Table I",
+        ):
+            assert section in markdown
+        assert "| ok |" in markdown
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        report = write_report(str(path), n_events=2, idle_cycles=300)
+        assert path.exists()
+        assert "PELS reproduction" in path.read_text()
+        assert report.markdown

@@ -1,0 +1,131 @@
+"""Tests for the area models (Figure 6a sweep and Figure 6b SoC breakdown)."""
+
+import pytest
+
+from repro.area.model import BASELINE_CORE_AREAS_KGE, AreaCoefficients, PelsAreaModel
+from repro.area.soc import PulpissimoAreaModel, figure6b_breakdown
+from repro.area.sweep import (
+    PAPER_LINE_SWEEP,
+    PAPER_LINK_SWEEP,
+    figure6a_sweep,
+    minimal_configuration_summary,
+    sweep_as_table,
+)
+from repro.core.config import PelsConfig
+
+
+class TestPelsAreaModel:
+    def test_minimal_configuration_is_about_7_kge(self):
+        """Section IV-C: 1 link with 4 commands costs about 7 kGE."""
+        model = PelsAreaModel()
+        minimal = model.estimate_config(1, 4)
+        assert minimal.total_kge == pytest.approx(7.0, abs=0.3)
+
+    def test_minimal_is_4x_smaller_than_ibex(self):
+        model = PelsAreaModel()
+        ratio = model.ratio_to_core(PelsConfig(n_links=1, scm_lines=4), "ibex")
+        assert ratio == pytest.approx(4.0, rel=0.15)
+
+    def test_minimal_is_2x_smaller_than_picorv32(self):
+        model = PelsAreaModel()
+        ratio = model.ratio_to_core(PelsConfig(n_links=1, scm_lines=4), "picorv32")
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_baseline_core_areas_match_paper(self):
+        assert BASELINE_CORE_AREAS_KGE["ibex"] == pytest.approx(27.0)
+        assert BASELINE_CORE_AREAS_KGE["picorv32"] == pytest.approx(14.5)
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(KeyError):
+            PelsAreaModel().ratio_to_core(PelsConfig(), "cortex-m0")
+
+    def test_area_grows_with_links(self):
+        model = PelsAreaModel()
+        areas = [model.estimate_config(n, 6).total_kge for n in PAPER_LINK_SWEEP]
+        assert areas == sorted(areas)
+        assert areas[-1] > areas[0]
+
+    def test_area_grows_with_scm_lines(self):
+        model = PelsAreaModel()
+        areas = [model.estimate_config(4, lines).total_kge for lines in PAPER_LINE_SWEEP]
+        assert areas == sorted(areas)
+
+    def test_memory_component_scales_only_with_lines_per_link(self):
+        model = PelsAreaModel()
+        small = model.estimate_config(2, 4)
+        large = model.estimate_config(2, 8)
+        assert large.component("Memory") > small.component("Memory")
+        assert large.component("Trigger") == small.component("Trigger")
+
+    def test_breakdown_components_match_figure_legend(self):
+        breakdown = PelsAreaModel().estimate_config(1, 4)
+        assert set(breakdown.components_kge) == set(PelsAreaModel.COMPONENT_NAMES)
+        assert breakdown.as_dict()["Total"] == pytest.approx(breakdown.total_kge)
+
+    def test_largest_configuration_stays_in_figure_range(self):
+        """Figure 6a's y-axis tops out around 54 kGE for 8 links x 8 lines."""
+        total = PelsAreaModel().estimate_config(8, 8).total_kge
+        assert 45.0 <= total <= 56.0
+
+    def test_custom_coefficients(self):
+        model = PelsAreaModel(AreaCoefficients(trigger_per_link=1.0))
+        assert model.estimate_config(1, 4).component("Trigger") == pytest.approx(1.0)
+
+
+class TestFigure6aSweep:
+    def test_sweep_covers_all_paper_points(self):
+        points = figure6a_sweep()
+        assert len(points) == len(PAPER_LINK_SWEEP) * len(PAPER_LINE_SWEEP)
+        configurations = {(point.n_links, point.scm_lines) for point in points}
+        assert (1, 4) in configurations and (8, 8) in configurations
+
+    def test_every_swept_configuration_is_smaller_than_ibex_or_close(self):
+        """Even an 8-link PELS with 4 lines stays cheaper than two Ibex cores."""
+        for point in figure6a_sweep():
+            assert point.total_kge < 2 * BASELINE_CORE_AREAS_KGE["ibex"]
+
+    def test_minimal_summary(self):
+        summary = minimal_configuration_summary()
+        assert summary["pels_minimal_kge"] == pytest.approx(7.0, abs=0.3)
+        assert summary["ibex_ratio"] > 3.5
+
+    def test_table_rendering(self):
+        table = sweep_as_table(figure6a_sweep())
+        assert "links" in table
+        assert "ibex" in table
+        assert "picorv32" in table
+
+
+class TestFigure6b:
+    def test_pels_fraction_of_logic_area(self):
+        """Figure 6b: a 4-link / 6-line PELS costs about 9.5 % of PULPissimo's logic."""
+        model = PulpissimoAreaModel()
+        fraction = model.pels_fraction(PelsConfig(n_links=4, scm_lines=6))
+        assert fraction == pytest.approx(0.095, abs=0.01)
+
+    def test_pels_fraction_with_sram_about_one_percent(self):
+        model = PulpissimoAreaModel()
+        fraction = model.pels_fraction(PelsConfig(n_links=4, scm_lines=6), include_sram=True)
+        assert fraction == pytest.approx(0.01, abs=0.004)
+
+    def test_fractions_sum_to_one(self):
+        model = PulpissimoAreaModel()
+        for include_sram in (False, True):
+            fractions = model.fractions(PelsConfig(n_links=4, scm_lines=6), include_sram=include_sram)
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_figure6b_helper_structure(self):
+        data = figure6b_breakdown()
+        assert set(data) == {"logic_fractions", "with_sram_fractions", "absolute_kge"}
+        assert "SRAM" in data["absolute_kge"]
+        assert "PELS" in data["logic_fractions"]
+
+    def test_sram_dominates_total_area(self):
+        data = figure6b_breakdown()
+        assert data["with_sram_fractions"]["SRAM"] > 0.8
+
+    def test_smaller_pels_configuration_takes_smaller_fraction(self):
+        model = PulpissimoAreaModel()
+        small = model.pels_fraction(PelsConfig(n_links=1, scm_lines=4))
+        default = model.pels_fraction(PelsConfig(n_links=4, scm_lines=6))
+        assert small < default

@@ -1,0 +1,149 @@
+"""Tests for the configurable event-interconnect baseline (Section II-B class)."""
+
+import pytest
+
+from repro.baselines.event_interconnect import (
+    MAX_TASKS_PER_CHANNEL,
+    Channel,
+    ChannelFunction,
+    EventInterconnect,
+)
+from repro.peripherals.events import EventFabric
+from repro.peripherals.gpio import Gpio
+from repro.peripherals.timer import Timer
+from repro.sim.component import Component
+from repro.sim.simulator import Simulator
+
+
+class _FabricCloser(Component):
+    def __init__(self, fabric):
+        super().__init__("closer")
+        self._fabric = fabric
+
+    def tick(self, cycle):
+        self._fabric.end_cycle()
+
+
+def make_system(n_channels=4):
+    simulator = Simulator()
+    fabric = EventFabric()
+    timer = Timer("timer", compare=5)
+    timer.connect_events(fabric)
+    gpio = Gpio("gpio")
+    gpio.connect_events(fabric)
+    interconnect = EventInterconnect("prs", fabric=fabric, n_channels=n_channels)
+    simulator.add_component(timer)
+    simulator.add_component(gpio)
+    simulator.add_component(interconnect)
+    simulator.add_component(_FabricCloser(fabric))
+    return simulator, fabric, timer, gpio, interconnect
+
+
+class TestChannelFunction:
+    def test_any(self):
+        assert ChannelFunction.ANY.evaluate([False, True])
+        assert not ChannelFunction.ANY.evaluate([False, False])
+
+    def test_all(self):
+        assert ChannelFunction.ALL.evaluate([True, True])
+        assert not ChannelFunction.ALL.evaluate([True, False])
+
+    def test_none_forwards_first(self):
+        assert ChannelFunction.NONE.evaluate([True, False])
+        assert not ChannelFunction.NONE.evaluate([False, True])
+
+    def test_empty_selection_never_fires(self):
+        for function in ChannelFunction:
+            assert not function.evaluate([])
+
+
+class TestEventInterconnect:
+    def test_routes_timer_overflow_to_gpio(self):
+        simulator, fabric, timer, gpio, interconnect = make_system()
+        interconnect.configure_channel(0, [timer.event_line_name("overflow")])
+        interconnect.route_to_peripheral(0, gpio, "set_pad0")
+        timer.start()
+        simulator.step(6)
+        assert gpio.pad(0)
+        assert interconnect.total_fires == 1
+
+    def test_single_cycle_latency(self):
+        """The baseline's strength: fixed single-cycle event-to-task latency."""
+        simulator, fabric, timer, gpio, interconnect = make_system()
+        fired_at = []
+        interconnect.configure_channel(0, [timer.event_line_name("overflow")])
+        interconnect.route_to_callback(0, "probe", lambda: fired_at.append(simulator.current_cycle))
+        timer.start()
+        simulator.step(10)
+        assert timer.overflow_count >= 1
+        # The timer overflows at cycle 4 (compare=5, counting from cycle 0) and
+        # the channel fires in the same fabric cycle.
+        assert fired_at[0] == 4
+        assert interconnect.channel_latency_cycles() == 1
+
+    def test_all_condition_needs_every_producer(self):
+        simulator, fabric, timer, gpio, interconnect = make_system()
+        fabric.add_line("ext.a")
+        fabric.add_line("ext.b")
+        hits = []
+        interconnect.configure_channel(0, ["ext.a", "ext.b"], function=ChannelFunction.ALL)
+        interconnect.route_to_callback(0, "probe", lambda: hits.append(1))
+        fabric.pulse("ext.a")
+        simulator.step(1)
+        assert not hits
+        fabric.pulse("ext.a")
+        fabric.pulse("ext.b")
+        simulator.step(1)
+        assert len(hits) == 1
+
+    def test_task_fan_out_limited_to_two(self):
+        """Table I note b: channel systems broadcast to at most two tasks."""
+        channel = Channel(index=0)
+        channel.add_task("a", lambda: None)
+        channel.add_task("b", lambda: None)
+        with pytest.raises(ValueError):
+            channel.add_task("c", lambda: None)
+        assert MAX_TASKS_PER_CHANNEL == 2
+
+    def test_no_sequenced_actions(self):
+        """The baseline cannot issue bus transactions — that is what PELS adds."""
+        _, _, _, _, interconnect = make_system()
+        assert not interconnect.supports_sequenced_actions
+
+    def test_disabled_channel_does_not_fire(self):
+        simulator, fabric, timer, gpio, interconnect = make_system()
+        channel = interconnect.configure_channel(0, [timer.event_line_name("overflow")], enabled=False)
+        interconnect.route_to_peripheral(0, gpio, "set_pad0")
+        timer.start()
+        simulator.step(10)
+        assert channel.fire_count == 0
+        assert not gpio.pad(0)
+
+    def test_unknown_producer_line_rejected(self):
+        _, _, _, _, interconnect = make_system()
+        with pytest.raises(KeyError):
+            interconnect.configure_channel(0, ["missing.line"])
+
+    def test_channel_index_bounds(self):
+        _, _, _, _, interconnect = make_system(n_channels=2)
+        with pytest.raises(IndexError):
+            interconnect.channel(2)
+
+    def test_requires_fabric_before_configuration(self):
+        interconnect = EventInterconnect("prs", fabric=None)
+        with pytest.raises(RuntimeError):
+            interconnect.configure_channel(0, ["x"])
+
+    def test_invalid_channel_count_rejected(self):
+        with pytest.raises(ValueError):
+            EventInterconnect(n_channels=0)
+
+    def test_reset(self):
+        simulator, fabric, timer, gpio, interconnect = make_system()
+        interconnect.configure_channel(0, [timer.event_line_name("overflow")])
+        interconnect.route_to_peripheral(0, gpio, "set_pad0")
+        timer.start()
+        simulator.step(6)
+        interconnect.reset()
+        assert interconnect.total_fires == 0
+        assert interconnect.channel(0).fire_count == 0

@@ -1,0 +1,135 @@
+"""Tests for the APB peripheral bus model."""
+
+import pytest
+
+from repro.bus.apb import ApbBus, BusError
+from repro.bus.transaction import read_request, write_request
+from repro.sim.simulator import Simulator
+
+
+class WordSlave:
+    """Simple word store used as a bus slave."""
+
+    def __init__(self, name="slave", wait_states=0):
+        self.name = name
+        self.wait_states = wait_states
+        self.words = {}
+
+    def bus_read(self, offset):
+        return self.words.get(offset, 0)
+
+    def bus_write(self, offset, value):
+        self.words[offset] = value
+
+
+def make_bus(wait_states=0):
+    simulator = Simulator()
+    bus = ApbBus("apb")
+    slave = WordSlave(wait_states=wait_states)
+    bus.attach_slave(0x1000, 0x100, slave)
+    simulator.add_component(bus)
+    return simulator, bus, slave
+
+
+class TestApbTransfers:
+    def test_write_then_read(self):
+        simulator, bus, slave = make_bus()
+        write = bus.submit(write_request("m0", 0x1004, 0xABCD))
+        simulator.step(3)
+        assert write.done
+        assert slave.words[0x4] == 0xABCD
+        read = bus.submit(read_request("m0", 0x1004))
+        simulator.step(3)
+        assert read.done
+        assert read.rdata == 0xABCD
+
+    def test_unloaded_transfer_takes_two_cycles(self):
+        """Setup + access: a zero-wait-state APB transfer completes in 2 cycles."""
+        simulator, bus, _ = make_bus()
+        request = bus.submit(write_request("m0", 0x1000, 1))
+        simulator.step(1)
+        assert not request.done
+        simulator.step(1)
+        assert request.done
+
+    def test_wait_states_extend_the_transfer(self):
+        simulator, bus, _ = make_bus(wait_states=2)
+        request = bus.submit(read_request("m0", 0x1000))
+        simulator.step(3)
+        assert not request.done
+        simulator.step(1)
+        assert request.done
+
+    def test_back_to_back_transfers_same_master(self):
+        simulator, bus, slave = make_bus()
+        first = bus.submit(write_request("m0", 0x1000, 1))
+        second = bus.submit(write_request("m0", 0x1004, 2))
+        simulator.step(4)
+        assert first.done and second.done
+        assert slave.words == {0x0: 1, 0x4: 2}
+
+    def test_round_robin_between_masters(self):
+        simulator, bus, slave = make_bus()
+        a = bus.submit(write_request("a", 0x1000, 0xA))
+        b = bus.submit(write_request("b", 0x1004, 0xB))
+        simulator.step(4)
+        assert a.done and b.done
+        assert bus.arbiter.grant_count("a") == 1
+        assert bus.arbiter.grant_count("b") == 1
+
+    def test_completed_request_cannot_be_resubmitted(self):
+        simulator, bus, _ = make_bus()
+        request = bus.submit(write_request("m0", 0x1000, 1))
+        simulator.step(3)
+        with pytest.raises(BusError):
+            bus.submit(request)
+
+    def test_busy_and_pending_flags(self):
+        simulator, bus, _ = make_bus()
+        assert not bus.busy and not bus.has_pending
+        bus.submit(read_request("m0", 0x1000))
+        assert bus.has_pending
+        simulator.step(1)
+        assert bus.busy
+
+    def test_completed_transfer_counter(self):
+        simulator, bus, _ = make_bus()
+        for index in range(3):
+            bus.submit(write_request("m0", 0x1000 + 4 * index, index))
+        simulator.step(10)
+        assert bus.completed_transfers == 3
+
+    def test_activity_records_reads_and_writes(self):
+        simulator, bus, _ = make_bus()
+        bus.submit(write_request("m0", 0x1000, 1))
+        bus.submit(read_request("m0", 0x1000))
+        simulator.step(6)
+        assert simulator.activity.get("apb", "writes") == 1
+        assert simulator.activity.get("apb", "reads") == 1
+        assert simulator.activity.get("apb", "grants") == 2
+
+    def test_reset_clears_state(self):
+        simulator, bus, _ = make_bus()
+        bus.submit(write_request("m0", 0x1000, 1))
+        bus.reset()
+        assert not bus.has_pending
+        assert bus.completed_transfers == 0
+
+
+class TestContention:
+    def test_eight_masters_all_complete(self):
+        """Worst case of Section III-1: all links hit the bus simultaneously."""
+        simulator, bus, slave = make_bus()
+        requests = [bus.submit(write_request(f"link{i}", 0x1000 + 4 * i, i)) for i in range(8)]
+        simulator.step(2 * 8 + 2)
+        assert all(request.done for request in requests)
+        assert len(slave.words) == 8
+
+    def test_contention_latency_bounded(self):
+        """Each extra contender adds at most one transfer time (2 cycles)."""
+        simulator, bus, _ = make_bus()
+        requests = [bus.submit(write_request(f"link{i}", 0x1000 + 4 * i, i)) for i in range(4)]
+        simulator.step(8)
+        completion = [request.response.completed_cycle for request in requests]
+        assert completion == sorted(completion)
+        assert completion[-1] - completion[0] == 2 * 3

@@ -1,0 +1,68 @@
+"""Tests for the round-robin arbiter."""
+
+import pytest
+
+from repro.bus.arbiter import RoundRobinArbiter
+
+
+class TestRoundRobinArbiter:
+    def test_single_requestor_always_granted(self):
+        arbiter = RoundRobinArbiter(["a"])
+        for _ in range(5):
+            assert arbiter.grant(["a"]) == "a"
+        assert arbiter.grant_count("a") == 5
+
+    def test_no_request_no_grant(self):
+        arbiter = RoundRobinArbiter(["a", "b"])
+        assert arbiter.grant([]) is None
+
+    def test_round_robin_rotation(self):
+        arbiter = RoundRobinArbiter(["a", "b", "c"])
+        grants = [arbiter.grant(["a", "b", "c"]) for _ in range(6)]
+        assert grants == ["a", "b", "c", "a", "b", "c"]
+
+    def test_fairness_no_starvation(self):
+        """A continuously requesting master cannot starve the others (PULPissimo policy)."""
+        arbiter = RoundRobinArbiter(["hog", "meek"])
+        grants = [arbiter.grant(["hog", "meek"]) for _ in range(100)]
+        assert grants.count("hog") == 50
+        assert grants.count("meek") == 50
+
+    def test_rotation_skips_idle_requestors(self):
+        arbiter = RoundRobinArbiter(["a", "b", "c"])
+        assert arbiter.grant(["b"]) == "b"
+        assert arbiter.grant(["a", "c"]) == "c"  # rotation continues after b
+        assert arbiter.grant(["a", "c"]) == "a"
+
+    def test_unknown_requestor_registered_on_the_fly(self):
+        arbiter = RoundRobinArbiter()
+        assert arbiter.grant(["new"]) == "new"
+        assert "new" in arbiter.requestors
+
+    def test_add_requestor_idempotent(self):
+        arbiter = RoundRobinArbiter(["a"])
+        arbiter.add_requestor("a")
+        assert arbiter.requestors == ("a",)
+
+    def test_empty_name_rejected(self):
+        arbiter = RoundRobinArbiter()
+        with pytest.raises(ValueError):
+            arbiter.add_requestor("")
+
+    def test_reset_restores_initial_state(self):
+        arbiter = RoundRobinArbiter(["a", "b"])
+        arbiter.grant(["a", "b"])
+        arbiter.reset()
+        assert arbiter.grant_count("a") == 0
+        assert arbiter.grant(["a", "b"]) == "a"
+
+    def test_worst_case_wait_bounded_by_requestor_count(self):
+        """With N active requestors, nobody waits more than N - 1 grants."""
+        names = [f"link{i}" for i in range(8)]
+        arbiter = RoundRobinArbiter(names)
+        last_seen = {name: -1 for name in names}
+        for index in range(64):
+            granted = arbiter.grant(names)
+            if last_seen[granted] >= 0:
+                assert index - last_seen[granted] <= len(names)
+            last_seen[granted] = index

@@ -1,0 +1,80 @@
+"""Tests for address decoding."""
+
+import pytest
+
+from repro.bus.decoder import AddressDecoder, AddressRegion, DecodeError
+
+
+class FakeSlave:
+    def __init__(self, name):
+        self.name = name
+        self.store = {}
+
+    def bus_read(self, offset):
+        return self.store.get(offset, 0)
+
+    def bus_write(self, offset, value):
+        self.store[offset] = value
+
+
+class TestAddressRegion:
+    def test_contains(self):
+        region = AddressRegion(base=0x1000, size=0x100, slave=FakeSlave("a"))
+        assert region.contains(0x1000)
+        assert region.contains(0x10FC)
+        assert not region.contains(0x1100)
+
+    def test_overlap_detection(self):
+        a = AddressRegion(base=0x1000, size=0x100, slave=FakeSlave("a"))
+        b = AddressRegion(base=0x1080, size=0x100, slave=FakeSlave("b"))
+        c = AddressRegion(base=0x1100, size=0x100, slave=FakeSlave("c"))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            AddressRegion(base=-4, size=0x100, slave=FakeSlave("a"))
+        with pytest.raises(ValueError):
+            AddressRegion(base=0x0, size=0, slave=FakeSlave("a"))
+        with pytest.raises(ValueError):
+            AddressRegion(base=0x2, size=0x100, slave=FakeSlave("a"))
+
+
+class TestAddressDecoder:
+    def test_decode_returns_slave_and_offset(self):
+        decoder = AddressDecoder()
+        slave = FakeSlave("gpio")
+        decoder.add_region(0x1A10_1000, 0x1000, slave)
+        decoded_slave, offset = decoder.decode(0x1A10_1004)
+        assert decoded_slave is slave
+        assert offset == 4
+
+    def test_unmapped_address_raises(self):
+        decoder = AddressDecoder()
+        with pytest.raises(DecodeError):
+            decoder.decode(0x0)
+
+    def test_overlapping_region_rejected(self):
+        decoder = AddressDecoder()
+        decoder.add_region(0x1000, 0x1000, FakeSlave("a"))
+        with pytest.raises(DecodeError):
+            decoder.add_region(0x1800, 0x1000, FakeSlave("b"))
+
+    def test_region_for_returns_none_when_missing(self):
+        decoder = AddressDecoder()
+        decoder.add_region(0x1000, 0x100, FakeSlave("a"))
+        assert decoder.region_for(0x2000) is None
+
+    def test_slave_base_lookup(self):
+        decoder = AddressDecoder()
+        decoder.add_region(0x4000, 0x100, FakeSlave("spi"))
+        assert decoder.slave_base("spi") == 0x4000
+        with pytest.raises(DecodeError):
+            decoder.slave_base("uart")
+
+    def test_regions_sorted_by_base(self):
+        decoder = AddressDecoder()
+        decoder.add_region(0x2000, 0x100, FakeSlave("b"))
+        decoder.add_region(0x1000, 0x100, FakeSlave("a"))
+        assert [region.base for region in decoder.regions] == [0x1000, 0x2000]
+        assert len(decoder) == 2

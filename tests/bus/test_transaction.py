@@ -1,0 +1,58 @@
+"""Tests for bus transaction primitives."""
+
+import pytest
+
+from repro.bus.transaction import BusRequest, TransferKind, read_request, write_request
+
+
+class TestBusRequest:
+    def test_read_helper(self):
+        request = read_request("cpu", 0x1A10_1000)
+        assert request.is_read and not request.is_write
+        assert request.kind is TransferKind.READ
+
+    def test_write_helper(self):
+        request = write_request("cpu", 0x1A10_1004, 0xDEAD_BEEF)
+        assert request.is_write
+        assert request.wdata == 0xDEAD_BEEF
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(ValueError):
+            read_request("cpu", 0x1A10_1001)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            BusRequest(master="cpu", kind=TransferKind.READ, address=-4)
+
+    def test_oversized_wdata_rejected(self):
+        with pytest.raises(ValueError):
+            write_request("cpu", 0x0, 1 << 32)
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(ValueError):
+            read_request("", 0x0)
+
+    def test_complete_sets_response(self):
+        request = read_request("cpu", 0x0, issued_cycle=3)
+        request.complete(0x1234, cycle=5)
+        assert request.done
+        assert request.rdata == 0x1234
+        assert request.latency == 2
+
+    def test_double_completion_rejected(self):
+        request = read_request("cpu", 0x0)
+        request.complete(0, cycle=1)
+        with pytest.raises(RuntimeError):
+            request.complete(0, cycle=2)
+
+    def test_rdata_before_completion_raises(self):
+        request = read_request("cpu", 0x0)
+        with pytest.raises(RuntimeError):
+            _ = request.rdata
+        with pytest.raises(RuntimeError):
+            _ = request.latency
+
+    def test_completion_masks_to_32_bits(self):
+        request = read_request("cpu", 0x0)
+        request.complete(0x1_FFFF_FFFF, cycle=1)
+        assert request.rdata == 0xFFFF_FFFF

@@ -1,0 +1,145 @@
+"""Tests for the PELS microcode assembler."""
+
+import pytest
+
+from repro.core.assembler import Assembler, AssemblyError, assemble
+from repro.core.isa import JumpCondition, Opcode
+
+
+FIGURE3_SOURCE = """
+; Figure 3 of the paper: threshold-triggered operation after sensor readout
+CMD0: clear   AFLAG  MASK
+CMD1: capture ADATA  0x0FF
+CMD2: jump-if CMD4 GT THRES
+CMD3: action  GROUP  MASK
+CMD4: end
+"""
+
+
+def figure3_assembler():
+    assembler = Assembler()
+    assembler.define_register("AFLAG", 0x14)
+    assembler.define_register("ADATA", 0x08)
+    assembler.define_symbol("MASK", 0x1)
+    assembler.define_symbol("THRES", 50)
+    assembler.define_symbol("GROUP", 0)
+    return assembler
+
+
+class TestAssembler:
+    def test_figure3_program_assembles(self):
+        program = figure3_assembler().assemble(FIGURE3_SOURCE)
+        assert len(program) == 5
+        assert [command.opcode for command in program] == [
+            Opcode.CLEAR,
+            Opcode.CAPTURE,
+            Opcode.JUMP_IF,
+            Opcode.ACTION,
+            Opcode.END,
+        ]
+
+    def test_figure3_jump_targets_resolve_to_labels(self):
+        program = figure3_assembler().assemble(FIGURE3_SOURCE)
+        jump = program[2]
+        assert jump.jump_target == 4
+        assert jump.jump_condition is JumpCondition.GT
+        assert jump.data == 50
+
+    def test_register_symbols_are_word_offsets(self):
+        program = figure3_assembler().assemble(FIGURE3_SOURCE)
+        assert program[0].byte_offset == 0x14
+        assert program[1].byte_offset == 0x08
+
+    def test_labels_recorded(self):
+        program = figure3_assembler().assemble(FIGURE3_SOURCE)
+        assert program.labels["CMD0"] == 0
+        assert program.labels["CMD4"] == 4
+
+    def test_numeric_literals(self):
+        program = assemble("write 0x10 0b101\nend")
+        assert program[0].word_offset == 0x10
+        assert program[0].data == 5
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("# comment\n\n  ; another\nend")
+        assert len(program) == 1
+
+    def test_action_toggle_modifier(self):
+        program = assemble("action 2 0xF toggle\nend")
+        assert program[0].action_is_toggle
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate 1 2")
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble("write UNKNOWN 1")
+        assert "UNKNOWN" in str(err.value)
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("write 1")
+        with pytest.raises(AssemblyError):
+            assemble("end 1")
+        with pytest.raises(AssemblyError):
+            assemble("jump-if 0 GT")
+
+    def test_bad_jump_condition_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("jump-if 0 FOO 1\nend")
+
+    def test_bad_action_modifier_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("action 0 1 pulse")
+
+    def test_label_without_command_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("LONELY:")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("; only a comment")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble("end\nbogus 1 2")
+        assert err.value.line_number == 2
+
+    def test_unaligned_register_rejected(self):
+        assembler = Assembler()
+        with pytest.raises(AssemblyError):
+            assembler.define_register("X", 0x3)
+
+    def test_invalid_symbol_names_rejected(self):
+        assembler = Assembler()
+        with pytest.raises(AssemblyError):
+            assembler.define_symbol("bad name", 1)
+        with pytest.raises(AssemblyError):
+            assembler.define_symbol("NEG", -1)
+
+    def test_symbols_constructor_and_copy(self):
+        assembler = Assembler({"FOO": 3})
+        assert assembler.symbols() == {"FOO": 3}
+
+    def test_wait_and_loop(self):
+        program = assemble("BODY: toggle 4 0x1\nloop BODY 3\nwait 100\nend")
+        assert program[1].opcode is Opcode.LOOP
+        assert program[1].jump_target == 0
+        assert program[2].data == 100
+
+    def test_listing_contains_labels_and_mnemonics(self):
+        program = figure3_assembler().assemble(FIGURE3_SOURCE)
+        listing = program.listing()
+        assert "CMD0" in listing
+        assert "capture" in listing
+
+    def test_encoded_matches_length(self):
+        program = figure3_assembler().assemble(FIGURE3_SOURCE)
+        assert len(program.encoded()) == 5
+
+    def test_case_insensitive_symbols_and_mnemonics(self):
+        assembler = Assembler({"REG": 2})
+        program = assembler.assemble("SET reg 0x1\nEND")
+        assert program[0].opcode is Opcode.SET
+        assert program[0].word_offset == 2

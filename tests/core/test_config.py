@@ -1,0 +1,75 @@
+"""Tests for PELS configuration parameters."""
+
+import pytest
+
+from repro.core.config import MINIMAL_CONFIG, PAPER_SOC_CONFIG, LinkConfig, PelsConfig
+
+
+class TestLinkConfig:
+    def test_defaults(self):
+        config = LinkConfig()
+        assert config.scm_lines == 4
+        assert config.fifo_depth == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkConfig(scm_lines=0)
+        with pytest.raises(ValueError):
+            LinkConfig(fifo_depth=0)
+        with pytest.raises(ValueError):
+            LinkConfig(base_address=-4)
+        with pytest.raises(ValueError):
+            LinkConfig(base_address=0x3)
+
+
+class TestPelsConfig:
+    def test_paper_configurations(self):
+        assert MINIMAL_CONFIG.is_paper_minimal
+        assert not MINIMAL_CONFIG.is_paper_soc_default
+        assert PAPER_SOC_CONFIG.is_paper_soc_default
+        assert PAPER_SOC_CONFIG.n_links == 4
+        assert PAPER_SOC_CONFIG.scm_lines == 6
+
+    def test_link_config_derivation(self):
+        config = PelsConfig(n_links=2, scm_lines=8, fifo_depth=2)
+        link = config.link_config(1)
+        assert link.scm_lines == 8
+        assert link.fifo_depth == 2
+
+    def test_per_link_base_addresses(self):
+        config = PelsConfig(n_links=2, link_base_addresses=(0x1000, 0x2000))
+        assert config.link_config(0).base_address == 0x1000
+        assert config.link_config(1).base_address == 0x2000
+
+    def test_base_address_count_must_match_links(self):
+        with pytest.raises(ValueError):
+            PelsConfig(n_links=2, link_base_addresses=(0x1000,))
+
+    def test_link_index_bounds(self):
+        config = PelsConfig(n_links=2)
+        with pytest.raises(ValueError):
+            config.link_config(2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_links": 0},
+            {"n_links": 17},
+            {"scm_lines": 0},
+            {"event_capacity": 0},
+            {"event_capacity": 65},
+            {"action_groups": 0},
+            {"action_group_width": 0},
+            {"fifo_depth": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PelsConfig(**kwargs)
+
+    def test_paper_sweep_configurations_are_valid(self):
+        """Every point of the Figure 6a sweep must be constructible."""
+        for n_links in (1, 2, 3, 4, 6, 8):
+            for scm_lines in (4, 6, 8):
+                config = PelsConfig(n_links=n_links, scm_lines=scm_lines)
+                assert config.link_config(0).scm_lines == scm_lines

@@ -1,0 +1,145 @@
+"""Tests for the PELS microcode encoding."""
+
+import pytest
+
+from repro.core.isa import (
+    COMMAND_BITS,
+    Command,
+    CommandEncodingError,
+    JumpCondition,
+    Opcode,
+    decode_command,
+    encode_command,
+)
+
+
+class TestCommandConstructors:
+    def test_write(self):
+        command = Command.write(0x101, 0xDEAD)
+        assert command.opcode is Opcode.WRITE
+        assert command.word_offset == 0x101
+        assert command.byte_offset == 0x404
+        assert command.data == 0xDEAD
+
+    def test_rmw_commands(self):
+        assert Command.set(1, 0xF).opcode is Opcode.SET
+        assert Command.clear(1, 0xF).opcode is Opcode.CLEAR
+        assert Command.toggle(1, 0xF).opcode is Opcode.TOGGLE
+        for opcode in (Opcode.SET, Opcode.CLEAR, Opcode.TOGGLE):
+            assert opcode.is_read_modify_write
+            assert opcode.is_sequenced
+
+    def test_capture(self):
+        command = Command.capture(0x20, 0x0FF)
+        assert command.opcode is Opcode.CAPTURE
+        assert command.data == 0x0FF
+        assert Opcode.CAPTURE.is_sequenced
+
+    def test_jump_if_packs_target_and_condition(self):
+        command = Command.jump_if(4, JumpCondition.GT, 50)
+        assert command.jump_target == 4
+        assert command.jump_condition is JumpCondition.GT
+        assert command.data == 50
+
+    def test_jump_target_range_checked(self):
+        with pytest.raises(CommandEncodingError):
+            Command.jump_if(64, JumpCondition.EQ, 0)
+
+    def test_loop(self):
+        command = Command.loop(2, 10)
+        assert command.jump_target == 2
+        assert command.data == 10
+        with pytest.raises(CommandEncodingError):
+            Command.loop(100, 1)
+
+    def test_wait(self):
+        assert Command.wait(500).data == 500
+
+    def test_action_group_and_toggle_flag(self):
+        pulse = Command.action(3, 0xFF)
+        toggled = Command.action(3, 0xFF, toggle=True)
+        assert pulse.action_group == 3
+        assert not pulse.action_is_toggle
+        assert toggled.action_is_toggle
+        assert Opcode.ACTION.is_instant
+        with pytest.raises(CommandEncodingError):
+            Command.action(16, 0x1)
+
+    def test_end(self):
+        command = Command.end()
+        assert command.opcode is Opcode.END
+        assert not Opcode.END.is_sequenced
+
+    def test_field_and_data_range_checks(self):
+        with pytest.raises(CommandEncodingError):
+            Command(Opcode.WRITE, field=1 << 12, data=0)
+        with pytest.raises(CommandEncodingError):
+            Command(Opcode.WRITE, field=0, data=1 << 32)
+
+    def test_str_representations(self):
+        assert "jump-if" in str(Command.jump_if(4, JumpCondition.GT, 50))
+        assert "action" in str(Command.action(0, 1))
+        assert "end" in str(Command.end())
+        assert "wait" in str(Command.wait(3))
+        assert "loop" in str(Command.loop(0, 2))
+        assert "set" in str(Command.set(1, 1))
+
+
+class TestEncoding:
+    def test_command_width_is_48_bits(self):
+        """The paper's point: a single-cycle RMW needs more than 32 bits."""
+        assert COMMAND_BITS == 48
+        assert COMMAND_BITS > 32
+
+    def test_roundtrip_all_opcodes(self):
+        commands = [
+            Command.write(0x7FF, 0xFFFF_FFFF),
+            Command.set(0, 0),
+            Command.clear(5, 0x0F),
+            Command.toggle(9, 0xF0),
+            Command.capture(0x3FF, 0x0FF),
+            Command.jump_if(63, JumpCondition.LE, 12345),
+            Command.loop(1, 8),
+            Command.wait(1000),
+            Command.action(15, 0xAAAA_AAAA, toggle=True),
+            Command.end(),
+        ]
+        for command in commands:
+            assert decode_command(encode_command(command)) == command
+
+    def test_encoding_fits_in_48_bits(self):
+        encoded = encode_command(Command.action(15, 0xFFFF_FFFF, toggle=True))
+        assert 0 <= encoded < (1 << COMMAND_BITS)
+
+    def test_decode_rejects_oversized_values(self):
+        with pytest.raises(CommandEncodingError):
+            decode_command(1 << COMMAND_BITS)
+
+    def test_decode_rejects_unknown_opcode(self):
+        encoded = 0xF << 44  # opcode 0xF is unused
+        with pytest.raises(CommandEncodingError):
+            decode_command(encoded)
+
+    def test_zero_decodes_to_end(self):
+        """Erased SCM lines behave as ``end``, stopping a runaway program."""
+        assert decode_command(0).opcode is Opcode.END
+
+
+class TestJumpCondition:
+    @pytest.mark.parametrize(
+        "condition, captured, operand, expected",
+        [
+            (JumpCondition.EQ, 5, 5, True),
+            (JumpCondition.EQ, 5, 6, False),
+            (JumpCondition.NE, 5, 6, True),
+            (JumpCondition.GT, 51, 50, True),
+            (JumpCondition.GT, 50, 50, False),
+            (JumpCondition.GE, 50, 50, True),
+            (JumpCondition.LT, 49, 50, True),
+            (JumpCondition.LE, 50, 50, True),
+            (JumpCondition.LE, 51, 50, False),
+            (JumpCondition.ALWAYS, 0, 99, True),
+        ],
+    )
+    def test_evaluate(self, condition, captured, operand, expected):
+        assert condition.evaluate(captured, operand) is expected

@@ -1,0 +1,250 @@
+"""Tests for the Ibex-class core model, the interrupt controller, and the ISR programs."""
+
+import pytest
+
+from repro.bus.apb import ApbBus
+from repro.bus.interconnect import SystemInterconnect
+from repro.cpu.ibex import CpuState, IbexCore
+from repro.cpu.instructions import (
+    Alu,
+    AluOp,
+    Branch,
+    BranchCondition,
+    Li,
+    Load,
+    Nop,
+    Store,
+)
+from repro.cpu.irq import InterruptController
+from repro.cpu.programs import build_linking_isr, build_threshold_isr
+from repro.peripherals.events import EventFabric
+from repro.peripherals.gpio import Gpio
+from repro.sim.simulator import Simulator
+from repro.soc.memory import SramBank
+
+
+def make_cpu_system():
+    simulator = Simulator()
+    fabric = EventFabric()
+    fabric.add_line("ext.irq_event", producer="test")
+    gpio = Gpio("gpio")
+    gpio.connect_events(fabric)
+    apb = ApbBus("apb")
+    apb.attach_slave(0x1A10_1000, 0x1000, gpio)
+    sram = SramBank("sram", size_bytes=4096)
+    interconnect = SystemInterconnect("soc_interconnect", peripheral_bus=apb)
+    interconnect.attach_memory(0x1C00_0000, 4096, sram)
+    irq = InterruptController("irq_ctrl", fabric=fabric)
+    cpu = IbexCore("ibex", interconnect=interconnect, irq_controller=irq, instruction_memory=sram)
+    for component in (gpio, irq, cpu, interconnect, apb, sram):
+        simulator.add_component(component)
+    return simulator, fabric, cpu, irq, gpio, sram
+
+
+class TestInstructions:
+    def test_alu_operations(self):
+        assert AluOp.ADD.apply(0xFFFF_FFFF, 1) == 0
+        assert AluOp.SUB.apply(0, 1) == 0xFFFF_FFFF
+        assert AluOp.AND.apply(0xF0, 0x3C) == 0x30
+        assert AluOp.OR.apply(0xF0, 0x0F) == 0xFF
+        assert AluOp.XOR.apply(0xFF, 0x0F) == 0xF0
+        assert AluOp.MOV.apply(0x12, 0x34) == 0x34
+
+    def test_branch_conditions(self):
+        assert BranchCondition.GT.evaluate(51, 50)
+        assert not BranchCondition.GT.evaluate(50, 50)
+        assert BranchCondition.LE.evaluate(50, 50)
+        assert BranchCondition.EQ.evaluate(1, 1)
+        assert BranchCondition.NE.evaluate(1, 2)
+        assert BranchCondition.GE.evaluate(2, 2)
+        assert BranchCondition.LT.evaluate(1, 2)
+
+    def test_describe_strings(self):
+        assert "li" in Li("t0", 5).describe()
+        assert "lw" in Load("t0", 0x1000).describe()
+        assert "sw" in Store("t0", 0x1000).describe()
+        assert "nop" in Nop().describe()
+        assert "or" in Alu("t0", "t0", AluOp.OR, 1).describe()
+        assert Branch("t0", BranchCondition.GT, 5).describe().startswith("bgt")
+
+
+class TestInterruptController:
+    def test_event_latches_pending_interrupt(self):
+        fabric = EventFabric()
+        fabric.add_line("spi.eot")
+        irq = InterruptController(fabric=fabric)
+        irq.enable_line("spi.eot", 3)
+        fabric.pulse("spi.eot")
+        assert irq.has_pending
+        assert irq.highest_pending() == 3
+        assert irq.pending_mask() == 0b1000
+
+    def test_unenabled_lines_ignored(self):
+        fabric = EventFabric()
+        fabric.add_line("spi.eot")
+        irq = InterruptController(fabric=fabric)
+        fabric.pulse("spi.eot")
+        assert not irq.has_pending
+
+    def test_claim_clears_pending(self):
+        fabric = EventFabric()
+        fabric.add_line("spi.eot")
+        irq = InterruptController(fabric=fabric)
+        irq.enable_line("spi.eot", 1)
+        fabric.pulse("spi.eot")
+        irq.claim(1)
+        assert not irq.has_pending
+        with pytest.raises(RuntimeError):
+            irq.claim(1)
+
+    def test_priority_is_lowest_number(self):
+        fabric = EventFabric()
+        fabric.add_line("a")
+        fabric.add_line("b")
+        irq = InterruptController(fabric=fabric)
+        irq.enable_line("a", 5)
+        irq.enable_line("b", 2)
+        fabric.pulse("a")
+        fabric.pulse("b")
+        assert irq.highest_pending() == 2
+
+    def test_disable_line(self):
+        fabric = EventFabric()
+        fabric.add_line("a")
+        irq = InterruptController(fabric=fabric)
+        irq.enable_line("a", 1)
+        irq.disable_line("a")
+        fabric.pulse("a")
+        assert not irq.has_pending
+
+    def test_invalid_irq_number_rejected(self):
+        irq = InterruptController()
+        with pytest.raises(ValueError):
+            irq.enable_line("x", -1)
+
+
+class TestIbexCore:
+    def test_sleeps_until_interrupt(self):
+        simulator, fabric, cpu, irq, _, _ = make_cpu_system()
+        cpu.register_isr(1, [Nop()])
+        irq.enable_line("ext.irq_event", 1)
+        simulator.step(10)
+        assert cpu.sleeping
+        assert cpu.sleep_cycles == 10
+
+    def test_interrupt_wakes_and_runs_handler(self):
+        simulator, fabric, cpu, irq, _, _ = make_cpu_system()
+        cpu.register_isr(1, [Li("t0", 5), Alu("t0", "t0", AluOp.ADD, 2)])
+        irq.enable_line("ext.irq_event", 1)
+        fabric.pulse("ext.irq_event")
+        simulator.step(20)
+        assert cpu.sleeping
+        assert cpu.interrupts_serviced == 1
+        assert cpu.registers["t0"] == 7
+        assert cpu.instructions_retired == 2
+
+    def test_unregistered_irq_is_ignored(self):
+        simulator, fabric, cpu, irq, _, _ = make_cpu_system()
+        irq.enable_line("ext.irq_event", 7)
+        fabric.pulse("ext.irq_event")
+        simulator.step(10)
+        assert cpu.interrupts_serviced == 0
+
+    def test_load_store_roundtrip_through_interconnect(self):
+        simulator, fabric, cpu, irq, gpio, _ = make_cpu_system()
+        gpio.regs.reg("OUT").hw_write(0x0F)
+        handler = [
+            Load("t0", 0x1A10_1004),
+            Alu("t0", "t0", AluOp.OR, 0xF0),
+            Store("t0", 0x1A10_1004),
+        ]
+        cpu.register_isr(1, handler)
+        irq.enable_line("ext.irq_event", 1)
+        fabric.pulse("ext.irq_event")
+        simulator.step(40)
+        assert gpio.output_value == 0xFF
+        assert cpu.loads == 1 and cpu.stores == 1
+
+    def test_branch_skips_instructions(self):
+        simulator, fabric, cpu, irq, _, _ = make_cpu_system()
+        handler = [
+            Li("t0", 100),
+            Branch("t0", BranchCondition.GT, 50, skip_count=1),
+            Li("t1", 0xBAD),
+            Li("t2", 0x600D),
+        ]
+        cpu.register_isr(1, handler)
+        irq.enable_line("ext.irq_event", 1)
+        fabric.pulse("ext.irq_event")
+        simulator.step(30)
+        assert "t1" not in cpu.registers
+        assert cpu.registers["t2"] == 0x600D
+
+    def test_ifetch_activity_attributed_to_sram(self):
+        simulator, fabric, cpu, irq, _, sram = make_cpu_system()
+        cpu.register_isr(1, [Nop(), Nop()])
+        irq.enable_line("ext.irq_event", 1)
+        fabric.pulse("ext.irq_event")
+        simulator.step(20)
+        assert sram.instruction_fetches > 0
+        assert simulator.activity.get("sram", "instruction_fetches") == sram.instruction_fetches
+
+    def test_clock_gating_changes_sleep_accounting(self):
+        simulator, fabric, cpu, irq, _, _ = make_cpu_system()
+        cpu.clock_gated = True
+        simulator.step(5)
+        assert simulator.activity.get("ibex", "gated_cycles") == 5
+        assert simulator.activity.get("ibex", "sleep_cycles") == 0
+
+    def test_multi_cycle_nop(self):
+        simulator, fabric, cpu, irq, _, _ = make_cpu_system()
+        cpu.register_isr(1, [Nop(cycles=5)])
+        irq.enable_line("ext.irq_event", 1)
+        fabric.pulse("ext.irq_event")
+        simulator.step(30)
+        assert cpu.sleeping
+        assert cpu.instructions_retired == 1
+
+    def test_load_store_without_interconnect_raises(self):
+        cpu = IbexCore("solo")
+        simulator = Simulator()
+        simulator.add_component(cpu)
+        cpu._current_isr = [Load("t0", 0x1000)]
+        cpu.state = CpuState.EXECUTING
+        with pytest.raises(RuntimeError):
+            simulator.step(1)
+
+    def test_reset(self):
+        simulator, fabric, cpu, irq, _, _ = make_cpu_system()
+        cpu.register_isr(1, [Nop()])
+        irq.enable_line("ext.irq_event", 1)
+        fabric.pulse("ext.irq_event")
+        simulator.step(15)
+        cpu.reset()
+        assert cpu.sleeping
+        assert cpu.instructions_retired == 0
+
+
+class TestIsrPrograms:
+    def test_linking_isr_structure(self):
+        isr = build_linking_isr(0x1A10_1004, 0x1, source_flag_address=0x1A10_B010)
+        kinds = [type(instruction).__name__ for instruction in isr]
+        assert kinds == ["Li", "Store", "Load", "Alu", "Store"]
+
+    def test_linking_isr_without_flag_clear(self):
+        isr = build_linking_isr(0x1A10_1004, 0x1)
+        assert len(isr) == 3
+
+    def test_threshold_isr_structure(self):
+        isr = build_threshold_isr(
+            flag_register_address=0x1A10_2014,
+            flag_mask=0x1,
+            data_register_address=0x1A10_2008,
+            data_mask=0xFF,
+            threshold=50,
+            gpio_set_register_address=0x1A10_1004,
+            gpio_mask=0x1,
+        )
+        assert len(isr) == 9
+        assert isinstance(isr[5], Branch)
+        assert isr[5].skip_count == 3

@@ -1,0 +1,154 @@
+"""Tests for the ADC and SPI controller models."""
+
+import pytest
+
+from repro.peripherals.adc import Adc
+from repro.peripherals.events import EventFabric
+from repro.peripherals.sensor import SensorWaveform, SyntheticSensor
+from repro.peripherals.spi import SpiController
+from repro.sim.simulator import Simulator
+
+
+def attach(peripheral):
+    simulator = Simulator()
+    fabric = EventFabric()
+    peripheral.connect_events(fabric)
+    simulator.add_component(peripheral)
+    return simulator, fabric
+
+
+class TestAdc:
+    def test_conversion_after_programmed_latency(self):
+        sensor = SyntheticSensor(waveform=SensorWaveform(kind="constant", amplitude=77))
+        adc = Adc(sensor=sensor, conversion_cycles=4)
+        simulator, fabric = attach(adc)
+        adc.bus_write(adc.regs.offset_of("CTRL"), 0x1)
+        simulator.step(3)
+        assert adc.busy
+        simulator.step(1)
+        assert not adc.busy
+        assert adc.last_sample == 77
+        assert fabric.line("adc.eoc").pulse_count == 1
+
+    def test_event_input_starts_conversion(self):
+        adc = Adc(conversion_cycles=2)
+        simulator, _ = attach(adc)
+        adc.on_event_input("soc")
+        simulator.step(2)
+        assert adc.conversions == 1
+
+    def test_start_while_busy_is_ignored(self):
+        adc = Adc(conversion_cycles=8)
+        simulator, _ = attach(adc)
+        adc.bus_write(adc.regs.offset_of("CTRL"), 0x1)
+        simulator.step(1)
+        adc.bus_write(adc.regs.offset_of("CTRL"), 0x1)
+        simulator.step(12)
+        assert adc.conversions == 1
+
+    def test_continuous_mode_restarts(self):
+        adc = Adc(conversion_cycles=2)
+        simulator, _ = attach(adc)
+        adc.bus_write(adc.regs.offset_of("CTRL"), 0x3)  # start + continuous
+        simulator.step(8)
+        assert adc.conversions >= 3
+
+    def test_eoc_flag_is_w1c(self):
+        adc = Adc(conversion_cycles=1)
+        simulator, _ = attach(adc)
+        adc.on_event_input("soc")
+        simulator.step(1)
+        status_offset = adc.regs.offset_of("STATUS")
+        assert adc.bus_read(status_offset) & 0x1
+        adc.bus_write(status_offset, 0x1)
+        assert not adc.bus_read(status_offset) & 0x1
+
+    def test_invalid_conversion_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            Adc(conversion_cycles=0)
+
+
+class TestSpiController:
+    def make_spi(self, samples=(11, 22, 33, 44), cycles_per_word=2, length=4):
+        sensor = SyntheticSensor(waveform=SensorWaveform(kind="sequence", values=samples))
+        spi = SpiController(sensor=sensor, cycles_per_word=cycles_per_word)
+        simulator, fabric = attach(spi)
+        spi.regs.reg("LEN").hw_write(length)
+        return simulator, fabric, spi
+
+    def test_transfer_produces_eot_event(self):
+        simulator, fabric, spi = self.make_spi()
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(4 * 2)
+        assert spi.transfers_completed == 1
+        assert fabric.line("spi.eot").pulse_count == 1
+
+    def test_words_land_in_rx_fifo_in_order(self):
+        simulator, _, spi = self.make_spi()
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(8)
+        assert spi.rx_level == 4
+        assert [spi.pop_rx() for _ in range(4)] == [11, 22, 33, 44]
+
+    def test_rxdata_mirrors_latest_word(self):
+        simulator, _, spi = self.make_spi()
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(8)
+        assert spi.regs.reg("RXDATA").value == 44
+
+    def test_rxdata_read_pops_fifo(self):
+        simulator, _, spi = self.make_spi(length=2)
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(4)
+        first = spi.bus_read(spi.regs.offset_of("RXDATA"))
+        assert first == 11
+        assert spi.rx_level == 1
+
+    def test_event_input_starts_transfer(self):
+        simulator, _, spi = self.make_spi(length=1)
+        spi.on_event_input("start")
+        simulator.step(2)
+        assert spi.transfers_completed == 1
+
+    def test_start_while_busy_ignored(self):
+        simulator, _, spi = self.make_spi()
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(1)
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(20)
+        assert spi.transfers_completed == 1
+
+    def test_fifo_overflow_drops_oldest(self):
+        simulator, _, spi = self.make_spi(
+            samples=tuple(range(1, 21)), cycles_per_word=1, length=12
+        )
+        spi.rx_fifo_depth = 4
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(12)
+        assert spi.rx_overflows > 0
+        assert spi.rx_level == 4
+
+    def test_pop_empty_fifo_raises(self):
+        _, _, spi = self.make_spi()
+        with pytest.raises(RuntimeError):
+            spi.pop_rx()
+
+    def test_rx_ready_event_per_word(self):
+        simulator, fabric, spi = self.make_spi(length=3)
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(6)
+        assert fabric.line("spi.rx_ready").pulse_count == 3
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            SpiController(cycles_per_word=0)
+        with pytest.raises(ValueError):
+            SpiController(rx_fifo_depth=0)
+
+    def test_reset(self):
+        simulator, _, spi = self.make_spi()
+        spi.bus_write(spi.regs.offset_of("CTRL"), 0x1)
+        simulator.step(8)
+        spi.reset()
+        assert spi.rx_level == 0
+        assert spi.transfers_completed == 0

@@ -1,0 +1,103 @@
+"""Tests for event lines and the event fabric."""
+
+import pytest
+
+from repro.peripherals.events import EventFabric, EventLine, mask_for
+
+
+class TestEventFabric:
+    def test_add_and_lookup(self):
+        fabric = EventFabric()
+        line = fabric.add_line("timer.overflow", producer="timer")
+        assert fabric.line("timer.overflow") is line
+        assert fabric.line(0) is line
+        assert fabric.index_of("timer.overflow") == 0
+
+    def test_duplicate_name_rejected(self):
+        fabric = EventFabric()
+        fabric.add_line("x")
+        with pytest.raises(ValueError):
+            fabric.add_line("x")
+
+    def test_capacity_limit(self):
+        fabric = EventFabric(capacity=2)
+        fabric.add_line("a")
+        fabric.add_line("b")
+        with pytest.raises(ValueError):
+            fabric.add_line("c")
+
+    def test_unknown_lookup_raises(self):
+        fabric = EventFabric()
+        with pytest.raises(KeyError):
+            fabric.line("missing")
+        with pytest.raises(KeyError):
+            fabric.line(3)
+
+    def test_pulse_sets_level_and_mask(self):
+        fabric = EventFabric()
+        fabric.add_line("a")
+        fabric.add_line("b")
+        fabric.pulse("b")
+        assert fabric.is_active("b")
+        assert not fabric.is_active("a")
+        assert fabric.active_mask() == 0b10
+
+    def test_end_cycle_clears_pulses(self):
+        fabric = EventFabric()
+        fabric.add_line("a")
+        fabric.pulse("a")
+        fabric.end_cycle()
+        assert not fabric.is_active("a")
+        assert fabric.active_mask() == 0
+
+    def test_pulse_counting(self):
+        fabric = EventFabric()
+        line = fabric.add_line("a")
+        for _ in range(3):
+            fabric.pulse("a")
+            fabric.end_cycle()
+        assert line.pulse_count == 3
+        assert fabric.total_pulses == 3
+
+    def test_subscribers_called_synchronously(self):
+        fabric = EventFabric()
+        fabric.add_line("a")
+        seen = []
+        fabric.subscribe(lambda line: seen.append(line.name))
+        fabric.pulse("a")
+        assert seen == ["a"]
+
+    def test_active_lines(self):
+        fabric = EventFabric()
+        fabric.add_line("a")
+        fabric.add_line("b")
+        fabric.pulse("a")
+        assert [line.name for line in fabric.active_lines()] == ["a"]
+
+    def test_reset_clears_statistics(self):
+        fabric = EventFabric()
+        fabric.add_line("a")
+        fabric.pulse("a")
+        fabric.reset()
+        assert fabric.total_pulses == 0
+        assert not fabric.is_active("a")
+        assert len(fabric) == 1  # lines survive reset
+
+    def test_mask_for_helper(self):
+        fabric = EventFabric()
+        fabric.add_line("a")
+        fabric.add_line("b")
+        fabric.add_line("c")
+        assert mask_for(fabric, ["a", "c"]) == 0b101
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventFabric(capacity=0)
+
+
+class TestEventLine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventLine(index=-1, name="x")
+        with pytest.raises(ValueError):
+            EventLine(index=0, name="")

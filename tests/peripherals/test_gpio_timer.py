@@ -1,0 +1,141 @@
+"""Tests for the GPIO and timer peripherals."""
+
+import pytest
+
+from repro.peripherals.events import EventFabric
+from repro.peripherals.gpio import Gpio
+from repro.peripherals.timer import Timer
+from repro.sim.simulator import Simulator
+
+
+def attach(peripheral):
+    simulator = Simulator()
+    fabric = EventFabric()
+    peripheral.connect_events(fabric)
+    simulator.add_component(peripheral)
+    return simulator, fabric
+
+
+class TestGpio:
+    def test_set_clear_toggle_registers(self):
+        gpio = Gpio()
+        attach(gpio)
+        gpio.bus_write(gpio.regs.offset_of("SET"), 0b110)
+        assert gpio.output_value == 0b110
+        gpio.bus_write(gpio.regs.offset_of("CLEAR"), 0b010)
+        assert gpio.output_value == 0b100
+        gpio.bus_write(gpio.regs.offset_of("TOGGLE"), 0b101)
+        assert gpio.output_value == 0b001
+        assert gpio.toggle_count == 1
+
+    def test_pad_query(self):
+        gpio = Gpio()
+        attach(gpio)
+        gpio.bus_write(gpio.regs.offset_of("OUT"), 0x2)
+        assert gpio.pad(1)
+        assert not gpio.pad(0)
+        with pytest.raises(ValueError):
+            gpio.pad(99)
+
+    def test_event_inputs_drive_pad0(self):
+        gpio = Gpio()
+        attach(gpio)
+        gpio.on_event_input("set_pad0")
+        assert gpio.pad(0)
+        gpio.on_event_input("toggle_pad0")
+        assert not gpio.pad(0)
+        gpio.on_event_input("clear_pad0")
+        assert not gpio.pad(0)
+
+    def test_rise_event_emitted_for_watched_pads(self):
+        gpio = Gpio()
+        _, fabric = attach(gpio)
+        gpio.bus_write(gpio.regs.offset_of("RISE_EVT"), 0x1)
+        gpio.bus_write(gpio.regs.offset_of("SET"), 0x1)
+        assert fabric.line("gpio.rise").pulse_count == 1
+
+    def test_no_rise_event_for_unwatched_pads(self):
+        gpio = Gpio()
+        _, fabric = attach(gpio)
+        gpio.bus_write(gpio.regs.offset_of("SET"), 0x2)
+        assert fabric.line("gpio.rise").pulse_count == 0
+
+    def test_input_register_read_only_from_bus(self):
+        gpio = Gpio()
+        attach(gpio)
+        gpio.drive_input(0x55)
+        gpio.bus_write(gpio.regs.offset_of("IN"), 0xFF)
+        assert gpio.bus_read(gpio.regs.offset_of("IN")) == 0x55
+
+    def test_reset_clears_counters(self):
+        gpio = Gpio()
+        attach(gpio)
+        gpio.bus_write(gpio.regs.offset_of("TOGGLE"), 0x1)
+        gpio.reset()
+        assert gpio.toggle_count == 0
+        assert gpio.output_value == 0
+
+
+class TestTimer:
+    def test_counts_and_overflows(self):
+        timer = Timer(compare=5)
+        simulator, fabric = attach(timer)
+        timer.start()
+        simulator.step(5)
+        assert timer.overflow_count == 1
+        assert fabric.line("timer.overflow").pulse_count == 1
+
+    def test_does_not_count_when_disabled(self):
+        timer = Timer(compare=3)
+        simulator, _ = attach(timer)
+        simulator.step(10)
+        assert timer.overflow_count == 0
+
+    def test_periodic_overflow(self):
+        timer = Timer(compare=4)
+        simulator, _ = attach(timer)
+        timer.start()
+        simulator.step(12)
+        assert timer.overflow_count == 3
+
+    def test_one_shot_mode_stops_after_first_overflow(self):
+        timer = Timer(compare=3)
+        simulator, _ = attach(timer)
+        timer.regs.reg("CTRL").hw_write(0x3)  # enable + one-shot
+        simulator.step(20)
+        assert timer.overflow_count == 1
+        assert not timer.enabled
+
+    def test_prescaler_slows_counting(self):
+        timer = Timer(compare=2)
+        simulator, _ = attach(timer)
+        timer.regs.reg("PRESCALER").hw_write(1)  # count every 2nd cycle
+        timer.start()
+        simulator.step(8)
+        assert timer.overflow_count == 2
+
+    def test_status_flag_and_w1c(self):
+        timer = Timer(compare=2)
+        simulator, _ = attach(timer)
+        timer.start()
+        simulator.step(2)
+        assert timer.bus_read(timer.regs.offset_of("STATUS")) & 0x1
+        timer.bus_write(timer.regs.offset_of("STATUS"), 0x1)
+        assert not timer.bus_read(timer.regs.offset_of("STATUS")) & 0x1
+
+    def test_event_inputs_start_and_stop(self):
+        timer = Timer(compare=100)
+        simulator, _ = attach(timer)
+        timer.on_event_input("start")
+        assert timer.enabled
+        timer.on_event_input("stop")
+        assert not timer.enabled
+
+    def test_reset(self):
+        timer = Timer(compare=2)
+        simulator, _ = attach(timer)
+        timer.start()
+        simulator.step(4)
+        timer.reset()
+        assert timer.overflow_count == 0
+        assert not timer.enabled

@@ -1,0 +1,222 @@
+"""Tests for the PWM timer and the watchdog peripheral."""
+
+import pytest
+
+from repro.peripherals.events import EventFabric
+from repro.peripherals.pwm import Pwm
+from repro.peripherals.watchdog import Watchdog
+from repro.sim.simulator import Simulator
+
+
+def attach(peripheral):
+    simulator = Simulator()
+    fabric = EventFabric()
+    peripheral.connect_events(fabric)
+    simulator.add_component(peripheral)
+    return simulator, fabric
+
+
+class TestPwm:
+    def test_period_event_and_counter_wrap(self):
+        pwm = Pwm(period=10, duty=5)
+        simulator, fabric = attach(pwm)
+        pwm.start()
+        simulator.step(20)
+        assert pwm.periods_elapsed == 2
+        assert fabric.line("pwm.period").pulse_count == 2
+
+    def test_output_follows_duty(self):
+        pwm = Pwm(period=10, duty=3)
+        simulator, _ = attach(pwm)
+        pwm.start()
+        simulator.step(30)
+        assert pwm.output_high_cycles == 9  # 3 cycles high per 10-cycle period
+        assert pwm.duty_fraction == pytest.approx(0.3)
+
+    def test_zero_duty_never_drives_output(self):
+        pwm = Pwm(period=8, duty=0)
+        simulator, _ = attach(pwm)
+        pwm.start()
+        simulator.step(16)
+        assert pwm.output_high_cycles == 0
+        assert not pwm.output
+
+    def test_shadow_duty_latched_on_update_event(self):
+        pwm = Pwm(period=10, duty=2)
+        simulator, _ = attach(pwm)
+        pwm.start()
+        pwm.bus_write(pwm.regs.offset_of("DUTY_SHADOW"), 7)
+        assert pwm.regs.reg("DUTY").value == 2  # not taken over yet
+        pwm.on_event_input("update")
+        assert pwm.regs.reg("DUTY").value == 7
+        assert pwm.duty_updates == 1
+
+    def test_shadow_duty_latched_at_period_boundary(self):
+        pwm = Pwm(period=5, duty=1)
+        simulator, _ = attach(pwm)
+        pwm.regs.reg("CTRL").hw_write(0x3)  # enable + update-on-period
+        pwm.bus_write(pwm.regs.offset_of("DUTY_SHADOW"), 4)
+        simulator.step(5)
+        assert pwm.regs.reg("DUTY").value == 4
+
+    def test_duty_clamped_to_period(self):
+        pwm = Pwm(period=10)
+        attach(pwm)
+        pwm.bus_write(pwm.regs.offset_of("DUTY_SHADOW"), 99)
+        pwm.on_event_input("update")
+        assert pwm.regs.reg("DUTY").value == 10
+
+    def test_start_stop_event_inputs(self):
+        pwm = Pwm(period=10)
+        simulator, _ = attach(pwm)
+        pwm.on_event_input("start")
+        assert pwm.enabled
+        pwm.on_event_input("stop")
+        assert not pwm.enabled
+
+    def test_disabled_pwm_does_not_count(self):
+        pwm = Pwm(period=4)
+        simulator, _ = attach(pwm)
+        simulator.step(10)
+        assert pwm.periods_elapsed == 0
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Pwm(period=0)
+        with pytest.raises(ValueError):
+            Pwm(period=4, duty=5)
+
+    def test_reset(self):
+        pwm = Pwm(period=4, duty=2)
+        simulator, _ = attach(pwm)
+        pwm.start()
+        simulator.step(10)
+        pwm.reset()
+        assert pwm.periods_elapsed == 0
+        assert pwm.regs.reg("COUNT").value == 0
+
+
+class TestWatchdog:
+    def test_bark_then_bite_without_kicks(self):
+        wdt = Watchdog(timeout=10, grace=5)
+        simulator, fabric = attach(wdt)
+        wdt.start()
+        simulator.step(10)
+        assert wdt.barked and not wdt.bitten
+        assert fabric.line("wdt.bark").pulse_count == 1
+        simulator.step(5)
+        assert wdt.bitten
+        assert fabric.line("wdt.bite").pulse_count == 1
+        assert not wdt.enabled  # a bite disables the counter
+
+    def test_kick_prevents_bark(self):
+        wdt = Watchdog(timeout=10, grace=5)
+        simulator, _ = attach(wdt)
+        wdt.start()
+        for _ in range(4):
+            simulator.step(8)
+            wdt.kick()
+        assert wdt.barks == 0
+        assert wdt.kicks == 4
+
+    def test_kick_via_event_input(self):
+        """The input PELS would drive autonomously (e.g. on every SPI end of transfer)."""
+        wdt = Watchdog(timeout=6, grace=3)
+        simulator, _ = attach(wdt)
+        wdt.start()
+        simulator.step(5)
+        wdt.on_event_input("kick")
+        simulator.step(5)
+        assert wdt.barks == 0
+
+    def test_kick_register_write(self):
+        wdt = Watchdog(timeout=6, grace=3)
+        simulator, _ = attach(wdt)
+        wdt.start()
+        simulator.step(5)
+        wdt.bus_write(wdt.regs.offset_of("KICK"), 1)
+        assert wdt.regs.reg("COUNT").value == 6
+
+    def test_kick_during_grace_recovers(self):
+        wdt = Watchdog(timeout=5, grace=10)
+        simulator, _ = attach(wdt)
+        wdt.start()
+        simulator.step(6)
+        assert wdt.barked
+        wdt.kick()
+        simulator.step(4)
+        assert not wdt.bitten
+
+    def test_status_flags_are_w1c(self):
+        wdt = Watchdog(timeout=3, grace=2)
+        simulator, _ = attach(wdt)
+        wdt.start()
+        simulator.step(3)
+        assert wdt.barked
+        wdt.bus_write(wdt.regs.offset_of("STATUS"), 0x1)
+        assert not wdt.barked
+
+    def test_disabled_watchdog_never_fires(self):
+        wdt = Watchdog(timeout=3, grace=2)
+        simulator, _ = attach(wdt)
+        simulator.step(20)
+        assert wdt.barks == 0 and wdt.bites == 0
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Watchdog(timeout=0)
+        with pytest.raises(ValueError):
+            Watchdog(grace=0)
+
+    def test_reset(self):
+        wdt = Watchdog(timeout=3, grace=2)
+        simulator, _ = attach(wdt)
+        wdt.start()
+        simulator.step(10)
+        wdt.reset()
+        assert wdt.barks == 0 and wdt.bites == 0 and wdt.kicks == 0
+
+
+class TestSocIntegration:
+    def test_pwm_and_watchdog_present_in_the_soc(self):
+        from repro.soc.pulpissimo import build_soc
+
+        soc = build_soc()
+        assert soc.register_address("pwm", "DUTY_SHADOW") == 0x1A10_600C
+        assert soc.register_address("wdt", "KICK") == 0x1A10_700C
+        names = {line.name for line in soc.fabric.lines}
+        assert "pwm.period" in names and "wdt.bark" in names
+
+    def test_pels_links_adc_result_to_pwm_duty(self):
+        """End-to-end actuator scenario: ADC sample becomes the PWM duty cycle."""
+        from repro.core.assembler import Assembler
+        from repro.peripherals.sensor import SensorWaveform
+        from repro.soc.pulpissimo import SocConfig, build_soc
+
+        soc = build_soc(SocConfig(sensor_waveform=SensorWaveform(kind="constant", amplitude=60)))
+        pels = soc.pels
+        # The link's base address is the ADC window so that both the ADC and
+        # the PWM (three windows higher) stay within the 12-bit word offset.
+        base = soc.address_map.peripheral_base("adc")
+        assembler = Assembler()
+        adc_data = (soc.register_address("adc", "DATA") - base) // 4
+        pwm_shadow = (soc.register_address("pwm", "DUTY_SHADOW") - base) // 4
+        # capture the ADC sample, then write it (masked to 8 bits) into the PWM
+        # shadow register and latch it through the update event input.
+        pels.route_action_to_peripheral(group=0, bit=0, peripheral=soc.pwm, port="update")
+        program = assembler.assemble(
+            f"""
+            capture {adc_data} 0xFF
+            set {pwm_shadow} 0x3C
+            action 0 0x1
+            end
+            """
+        )
+        adc_bit = 1 << soc.fabric.index_of(soc.adc.event_line_name("eoc"))
+        pels.program_link(0, program, trigger_mask=adc_bit, base_address=base)
+        soc.pwm.regs.reg("PERIOD").hw_write(100)
+        soc.pwm.start()
+        soc.adc.bus_write(soc.adc.regs.offset_of("CTRL"), 0x1)
+        soc.run(60)
+        assert soc.pwm.regs.reg("DUTY").value == 0x3C
+        assert soc.pels.link(0).execution.capture_register == 60

@@ -1,0 +1,119 @@
+"""Tests for the register-file abstraction."""
+
+import pytest
+
+from repro.peripherals.regfile import Register, RegisterError, RegisterFile
+
+
+class TestRegister:
+    def test_reset_value(self):
+        register = Register("CTRL", 0x0, reset=0x5)
+        assert register.read() == 0x5
+
+    def test_write_respects_writable_mask(self):
+        register = Register("CTRL", 0x0, writable_mask=0x0F)
+        register.write(0xFF)
+        assert register.value == 0x0F
+
+    def test_write_one_to_clear(self):
+        register = Register("STATUS", 0x0, reset=0xF, write_one_to_clear=True)
+        register.write(0x3)
+        assert register.value == 0xC
+
+    def test_on_write_callback_receives_raw_value(self):
+        seen = []
+        register = Register("CMD", 0x0, writable_mask=0x1, on_write=seen.append)
+        register.write(0xFF)
+        assert seen == [0xFF]
+
+    def test_on_read_callback(self):
+        calls = []
+        register = Register("DATA", 0x0, on_read=lambda: calls.append(1))
+        register.read()
+        assert calls == [1]
+
+    def test_hw_helpers_bypass_mask(self):
+        register = Register("STATUS", 0x0, writable_mask=0x0)
+        register.set_bits(0x5)
+        assert register.value == 0x5
+        register.clear_bits(0x1)
+        assert register.value == 0x4
+        register.hw_write(0x123)
+        assert register.value == 0x123
+
+    def test_invalid_offset_rejected(self):
+        with pytest.raises(RegisterError):
+            Register("X", 0x3)
+        with pytest.raises(RegisterError):
+            Register("X", -4)
+
+    def test_invalid_reset_rejected(self):
+        with pytest.raises(RegisterError):
+            Register("X", 0x0, reset=1 << 32)
+
+    def test_reset_value_restores(self):
+        register = Register("CTRL", 0x0, reset=0x7)
+        register.write(0x0)
+        register.reset_value()
+        assert register.value == 0x7
+
+
+class TestRegisterFile:
+    def make_file(self):
+        regs = RegisterFile("periph")
+        regs.define("CTRL", 0x0)
+        regs.define("DATA", 0x4, reset=0xAA)
+        return regs
+
+    def test_lookup_by_name_and_offset(self):
+        regs = self.make_file()
+        assert regs.reg("DATA").offset == 0x4
+        assert regs.at_offset(0x0).name == "CTRL"
+        assert regs.offset_of("DATA") == 0x4
+
+    def test_duplicate_offset_rejected(self):
+        regs = self.make_file()
+        with pytest.raises(RegisterError):
+            regs.define("OTHER", 0x0)
+
+    def test_duplicate_name_rejected(self):
+        regs = self.make_file()
+        with pytest.raises(RegisterError):
+            regs.define("CTRL", 0x8)
+
+    def test_unknown_lookups_raise(self):
+        regs = self.make_file()
+        with pytest.raises(RegisterError):
+            regs.reg("MISSING")
+        with pytest.raises(RegisterError):
+            regs.at_offset(0x40)
+
+    def test_bus_read_unmapped_returns_zero(self):
+        regs = self.make_file()
+        assert regs.read(0x100) == 0
+
+    def test_bus_write_unmapped_is_ignored(self):
+        regs = self.make_file()
+        regs.write(0x100, 0xFF)  # must not raise
+
+    def test_bus_read_write_roundtrip(self):
+        regs = self.make_file()
+        regs.write(0x0, 0x3)
+        assert regs.read(0x0) == 0x3
+
+    def test_reset_restores_all(self):
+        regs = self.make_file()
+        regs.write(0x4, 0x0)
+        regs.reset()
+        assert regs.read(0x4) == 0xAA
+
+    def test_registers_sorted_by_offset(self):
+        regs = self.make_file()
+        assert [register.name for register in regs.registers()] == ["CTRL", "DATA"]
+
+    def test_size_and_len(self):
+        regs = self.make_file()
+        assert regs.size_bytes == 0x8
+        assert len(regs) == 2
+        assert "CTRL" in regs
+        assert "MISSING" not in regs

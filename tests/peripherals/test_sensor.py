@@ -1,0 +1,84 @@
+"""Tests for the synthetic sensor (the paper's thermistor/varistor substitute)."""
+
+import pytest
+
+from repro.peripherals.sensor import SensorWaveform, SyntheticSensor
+
+
+class TestSensorWaveform:
+    def test_constant(self):
+        waveform = SensorWaveform(kind="constant", amplitude=42)
+        assert [waveform.sample(i) for i in range(3)] == [42, 42, 42]
+
+    def test_ramp_wraps(self):
+        waveform = SensorWaveform(kind="ramp", amplitude=4, offset=10, step=1)
+        assert [waveform.sample(i) for i in range(6)] == [10, 11, 12, 13, 10, 11]
+
+    def test_sine_oscillates_around_offset(self):
+        waveform = SensorWaveform(kind="sine", amplitude=100, offset=200, period=4)
+        samples = [waveform.sample(i) for i in range(4)]
+        assert samples[0] == 200
+        assert samples[1] == 300
+        assert samples[3] == 100
+
+    def test_step(self):
+        waveform = SensorWaveform(kind="step", amplitude=50, offset=10, period=3)
+        assert waveform.sample(2) == 10
+        assert waveform.sample(3) == 60
+
+    def test_sequence_cycles(self):
+        waveform = SensorWaveform(kind="sequence", values=(1, 2, 3))
+        assert [waveform.sample(i) for i in range(5)] == [1, 2, 3, 1, 2]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SensorWaveform(kind="noise")
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            SensorWaveform(kind="sequence", values=())
+
+    def test_negative_index_rejected(self):
+        waveform = SensorWaveform()
+        with pytest.raises(ValueError):
+            waveform.sample(-1)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SensorWaveform(kind="sine", period=0)
+
+
+class TestSyntheticSensor:
+    def test_waveform_sampling(self):
+        sensor = SyntheticSensor(waveform=SensorWaveform(kind="sequence", values=(5, 6)))
+        assert sensor.next_sample() == 5
+        assert sensor.next_sample() == 6
+        assert sensor.samples_produced == 2
+
+    def test_override_queue_takes_priority(self):
+        sensor = SyntheticSensor(waveform=SensorWaveform(kind="constant", amplitude=1))
+        sensor.push_samples([100, 200])
+        assert sensor.next_sample() == 100
+        assert sensor.next_sample() == 200
+        assert sensor.next_sample() == 1
+
+    def test_peek_does_not_consume(self):
+        sensor = SyntheticSensor()
+        sensor.push_sample(7)
+        assert sensor.peek_next() == 7
+        assert sensor.next_sample() == 7
+
+    def test_push_rejects_out_of_range(self):
+        sensor = SyntheticSensor()
+        with pytest.raises(ValueError):
+            sensor.push_sample(-1)
+        with pytest.raises(ValueError):
+            sensor.push_sample(1 << 32)
+
+    def test_reset(self):
+        sensor = SyntheticSensor(waveform=SensorWaveform(kind="sequence", values=(1, 2, 3)))
+        sensor.next_sample()
+        sensor.push_sample(9)
+        sensor.reset()
+        assert sensor.next_sample() == 1
+        assert sensor.samples_produced == 1

@@ -1,0 +1,127 @@
+"""Tests for the UART and I2C peripheral models."""
+
+import pytest
+
+from repro.peripherals.events import EventFabric
+from repro.peripherals.i2c import I2cController
+from repro.peripherals.uart import Uart
+from repro.sim.simulator import Simulator
+
+
+def attach(peripheral):
+    simulator = Simulator()
+    fabric = EventFabric()
+    peripheral.connect_events(fabric)
+    simulator.add_component(peripheral)
+    return simulator, fabric
+
+
+class TestUart:
+    def test_transmit_byte(self):
+        uart = Uart(cycles_per_byte=3)
+        simulator, fabric = attach(uart)
+        uart.bus_write(uart.regs.offset_of("TXDATA"), 0x41)
+        simulator.step(3)
+        assert uart.transmitted == [0x41]
+        assert fabric.line("uart.tx_done").pulse_count == 1
+
+    def test_tx_queue_preserves_order(self):
+        uart = Uart(cycles_per_byte=2)
+        simulator, _ = attach(uart)
+        for byte in (1, 2, 3):
+            uart.bus_write(uart.regs.offset_of("TXDATA"), byte)
+        simulator.step(6)
+        assert uart.transmitted == [1, 2, 3]
+        assert not uart.tx_busy
+
+    def test_tx_busy_flag(self):
+        uart = Uart(cycles_per_byte=4)
+        simulator, _ = attach(uart)
+        uart.bus_write(uart.regs.offset_of("TXDATA"), 0x55)
+        assert uart.tx_busy
+        simulator.step(4)
+        assert not uart.tx_busy
+
+    def test_rx_injection_and_read(self):
+        uart = Uart()
+        simulator, fabric = attach(uart)
+        uart.inject_rx(0x7F)
+        assert uart.bus_read(uart.regs.offset_of("RXDATA")) == 0x7F
+        assert fabric.line("uart.rx_ready").pulse_count == 1
+
+    def test_only_low_byte_transmitted(self):
+        uart = Uart(cycles_per_byte=1)
+        simulator, _ = attach(uart)
+        uart.bus_write(uart.regs.offset_of("TXDATA"), 0x1FF)
+        simulator.step(1)
+        assert uart.transmitted == [0xFF]
+
+    def test_invalid_baud_rejected(self):
+        with pytest.raises(ValueError):
+            Uart(cycles_per_byte=0)
+
+    def test_reset(self):
+        uart = Uart(cycles_per_byte=1)
+        simulator, _ = attach(uart)
+        uart.bus_write(uart.regs.offset_of("TXDATA"), 0x1)
+        simulator.step(1)
+        uart.reset()
+        assert uart.transmitted == []
+        assert not uart.tx_busy
+
+
+class TestI2c:
+    def test_write_transaction_updates_target(self):
+        i2c = I2cController(cycles_per_byte=2)
+        simulator, fabric = attach(i2c)
+        i2c.bus_write(i2c.regs.offset_of("TARGET_ADDR"), 0x50)
+        i2c.bus_write(i2c.regs.offset_of("DATA"), 0x99)
+        i2c.bus_write(i2c.regs.offset_of("CTRL"), 0x1)
+        simulator.step(6)
+        assert i2c.target_memory[0x50] == 0x99
+        assert fabric.line("i2c.done").pulse_count == 1
+
+    def test_read_transaction_returns_preloaded_value(self):
+        i2c = I2cController(cycles_per_byte=1)
+        simulator, _ = attach(i2c)
+        i2c.preload_target(0x10, 0x42)
+        i2c.bus_write(i2c.regs.offset_of("TARGET_ADDR"), 0x10)
+        i2c.bus_write(i2c.regs.offset_of("CTRL"), 0x3)  # start + read
+        simulator.step(3)
+        assert i2c.bus_read(i2c.regs.offset_of("DATA")) == 0x42
+
+    def test_transaction_duration_scales_with_clock(self):
+        i2c = I2cController(cycles_per_byte=3)
+        simulator, _ = attach(i2c)
+        i2c.bus_write(i2c.regs.offset_of("CTRL"), 0x1)
+        simulator.step(8)
+        assert i2c.busy
+        simulator.step(1)
+        assert not i2c.busy
+
+    def test_start_while_busy_ignored(self):
+        i2c = I2cController(cycles_per_byte=2)
+        simulator, _ = attach(i2c)
+        i2c.bus_write(i2c.regs.offset_of("CTRL"), 0x1)
+        simulator.step(1)
+        i2c.bus_write(i2c.regs.offset_of("CTRL"), 0x1)
+        simulator.step(20)
+        assert i2c.transactions == 1
+
+    def test_event_input_starts_transaction(self):
+        i2c = I2cController(cycles_per_byte=1)
+        simulator, _ = attach(i2c)
+        i2c.on_event_input("start")
+        simulator.step(3)
+        assert i2c.transactions == 1
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            I2cController(cycles_per_byte=0)
+
+    def test_reset(self):
+        i2c = I2cController(cycles_per_byte=1)
+        simulator, _ = attach(i2c)
+        i2c.preload_target(0x1, 0x2)
+        i2c.reset()
+        assert i2c.target_memory == {}

@@ -1,0 +1,115 @@
+"""Property-based tests for core data structures: FIFO, arbiter, register files, events."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bus.arbiter import RoundRobinArbiter
+from repro.core.fifo import TriggerFifo
+from repro.peripherals.events import EventFabric
+from repro.peripherals.regfile import Register
+
+WORD = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestTriggerFifoProperties:
+    @given(st.integers(min_value=1, max_value=16), st.lists(WORD, max_size=64))
+    def test_occupancy_never_exceeds_depth(self, depth, snapshots):
+        fifo = TriggerFifo(depth)
+        for cycle, snapshot in enumerate(snapshots):
+            fifo.push(cycle, snapshot)
+            assert fifo.level <= depth
+        assert fifo.pushed + fifo.dropped == len(snapshots)
+
+    @given(st.lists(WORD, min_size=1, max_size=16))
+    def test_pop_order_matches_push_order(self, snapshots):
+        fifo = TriggerFifo(len(snapshots))
+        for cycle, snapshot in enumerate(snapshots):
+            fifo.push(cycle, snapshot)
+        popped = [fifo.pop().events_snapshot for _ in range(len(snapshots))]
+        assert popped == snapshots
+
+    @given(st.lists(st.booleans(), max_size=64))
+    def test_level_equals_pushes_minus_pops(self, operations):
+        fifo = TriggerFifo(depth=8)
+        pushes = pops = 0
+        for is_push in operations:
+            if is_push:
+                if fifo.push(pushes, 0):
+                    pushes += 1
+            elif fifo.pop() is not None:
+                pops += 1
+        assert fifo.level == pushes - pops
+
+
+class TestArbiterProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.sets(st.integers(min_value=0, max_value=7), min_size=1), min_size=1, max_size=60),
+    )
+    def test_grants_only_go_to_requestors(self, n_requestors, rounds):
+        names = [f"m{i}" for i in range(n_requestors)]
+        arbiter = RoundRobinArbiter(names)
+        for active_indices in rounds:
+            active = [names[i % n_requestors] for i in active_indices]
+            granted = arbiter.grant(active)
+            assert granted in active
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=2, max_value=10))
+    def test_fairness_over_full_rounds(self, n_requestors, n_rounds):
+        """When everyone always requests, grant counts differ by at most one."""
+        names = [f"m{i}" for i in range(n_requestors)]
+        arbiter = RoundRobinArbiter(names)
+        for _ in range(n_requestors * n_rounds):
+            arbiter.grant(names)
+        counts = [arbiter.grant_count(name) for name in names]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestRegisterProperties:
+    @given(WORD, WORD, WORD)
+    def test_write_only_touches_writable_bits(self, reset, mask, value):
+        register = Register("R", 0x0, reset=reset, writable_mask=mask)
+        register.write(value)
+        assert register.value & ~mask == reset & ~mask
+        assert register.value & mask == value & mask
+
+    @given(WORD, WORD)
+    def test_w1c_never_sets_bits(self, reset, value):
+        register = Register("STATUS", 0x0, reset=reset, write_one_to_clear=True)
+        register.write(value)
+        assert register.value & ~reset == 0
+
+    @given(WORD, st.lists(WORD, max_size=8))
+    def test_set_then_clear_roundtrip(self, initial, masks):
+        register = Register("R", 0x0, reset=initial)
+        for mask in masks:
+            register.set_bits(mask)
+            assert register.value & mask == mask
+            register.clear_bits(mask)
+            assert register.value & mask == 0
+
+
+class TestEventFabricProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=64))
+    def test_active_mask_matches_pulsed_lines(self, pulses):
+        fabric = EventFabric(capacity=16)
+        for index in range(16):
+            fabric.add_line(f"line{index}")
+        expected = 0
+        for index in pulses:
+            fabric.pulse(index)
+            expected |= 1 << index
+        assert fabric.active_mask() == expected
+        fabric.end_cycle()
+        assert fabric.active_mask() == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=32))
+    def test_pulse_counts_are_conserved(self, pulses):
+        fabric = EventFabric(capacity=8)
+        for index in range(8):
+            fabric.add_line(f"line{index}")
+        for index in pulses:
+            fabric.pulse(index)
+            fabric.end_cycle()
+        assert fabric.total_pulses == len(pulses)
+        assert sum(line.pulse_count for line in fabric.lines) == len(pulses)

@@ -1,0 +1,106 @@
+"""Tests for the activity counters feeding the power model."""
+
+import pytest
+
+from repro.sim.activity import ActivityCounters, as_nested_dict, merge_all, total_events
+
+
+class TestActivityCounters:
+    def test_add_and_get(self):
+        counters = ActivityCounters()
+        counters.add("sram", "reads")
+        counters.add("sram", "reads", 3)
+        assert counters.get("sram", "reads") == 4
+
+    def test_unseen_counter_reads_zero(self):
+        counters = ActivityCounters()
+        assert counters.get("sram", "writes") == 0
+
+    def test_rejects_negative_amount(self):
+        counters = ActivityCounters()
+        with pytest.raises(ValueError):
+            counters.add("sram", "reads", -1)
+
+    def test_rejects_empty_names(self):
+        counters = ActivityCounters()
+        with pytest.raises(ValueError):
+            counters.add("", "reads")
+        with pytest.raises(ValueError):
+            counters.add("sram", "")
+
+    def test_component_total(self):
+        counters = ActivityCounters()
+        counters.add("apb", "reads", 2)
+        counters.add("apb", "writes", 3)
+        counters.add("sram", "reads", 10)
+        assert counters.component_total("apb") == 5
+        assert counters.component_total("apb", "writes") == 3
+
+    def test_components_sorted(self):
+        counters = ActivityCounters()
+        counters.add("zeta", "x")
+        counters.add("alpha", "y")
+        assert counters.components() == ("alpha", "zeta")
+
+    def test_events_for_component(self):
+        counters = ActivityCounters()
+        counters.add("ibex", "loads", 2)
+        counters.add("ibex", "stores", 1)
+        assert counters.events("ibex") == {"loads": 2, "stores": 1}
+
+    def test_merge_accumulates(self):
+        first = ActivityCounters()
+        second = ActivityCounters()
+        first.add("apb", "grants", 2)
+        second.add("apb", "grants", 3)
+        second.add("sram", "reads", 1)
+        first.merge(second)
+        assert first.get("apb", "grants") == 5
+        assert first.get("sram", "reads") == 1
+
+    def test_scaled(self):
+        counters = ActivityCounters()
+        counters.add("apb", "grants", 4)
+        assert counters.scaled(0.5)[("apb", "grants")] == pytest.approx(2.0)
+
+    def test_scaled_rejects_negative_factor(self):
+        counters = ActivityCounters()
+        with pytest.raises(ValueError):
+            counters.scaled(-1.0)
+
+    def test_clear(self):
+        counters = ActivityCounters()
+        counters.add("apb", "grants", 4)
+        counters.clear()
+        assert len(counters) == 0
+
+    def test_iteration_sorted(self):
+        counters = ActivityCounters()
+        counters.add("b", "y", 1)
+        counters.add("a", "x", 1)
+        keys = [key for key, _ in counters]
+        assert keys == [("a", "x"), ("b", "y")]
+
+
+class TestHelpers:
+    def test_merge_all(self):
+        sets = []
+        for index in range(3):
+            counters = ActivityCounters()
+            counters.add("spi", "words", index + 1)
+            sets.append(counters)
+        merged = merge_all(sets)
+        assert merged.get("spi", "words") == 6
+
+    def test_as_nested_dict(self):
+        counters = ActivityCounters()
+        counters.add("spi", "words", 2)
+        counters.add("spi", "transfers", 1)
+        nested = as_nested_dict(counters)
+        assert nested == {"spi": {"transfers": 1, "words": 2}}
+
+    def test_total_events(self):
+        counters = ActivityCounters()
+        counters.add("a", "x", 2)
+        counters.add("b", "y", 3)
+        assert total_events(counters.as_dict()) == 5

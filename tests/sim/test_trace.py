@@ -1,0 +1,79 @@
+"""Tests for signal tracing."""
+
+import pytest
+
+from repro.sim.trace import SignalTrace, TraceRecorder
+
+
+class TestSignalTrace:
+    def test_records_and_reads_back(self):
+        trace = SignalTrace("irq")
+        trace.record(3, 1)
+        trace.record(7, 0)
+        assert len(trace) == 2
+        assert trace.changes()[0].value == 1
+
+    def test_value_at_returns_latest_change(self):
+        trace = SignalTrace("irq")
+        trace.record(2, "low")
+        trace.record(5, "high")
+        assert trace.value_at(1) is None
+        assert trace.value_at(3) == "low"
+        assert trace.value_at(5) == "high"
+        assert trace.value_at(100) == "high"
+
+    def test_rejects_negative_cycle(self):
+        trace = SignalTrace("irq")
+        with pytest.raises(ValueError):
+            trace.record(-1, 0)
+
+    def test_rejects_out_of_order_records(self):
+        trace = SignalTrace("irq")
+        trace.record(5, 1)
+        with pytest.raises(ValueError):
+            trace.record(4, 0)
+
+    def test_first_cycle_with_value(self):
+        trace = SignalTrace("state")
+        trace.record(1, "idle")
+        trace.record(4, "busy")
+        trace.record(9, "idle")
+        assert trace.first_cycle_with_value("busy") == 4
+        assert trace.first_cycle_with_value("missing") is None
+
+    def test_event_str_is_readable(self):
+        trace = SignalTrace("pin")
+        trace.record(12, True)
+        assert "pin" in str(trace.changes()[0])
+
+
+class TestTraceRecorder:
+    def test_creates_traces_on_demand(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "a", 1)
+        recorder.record(1, "b", 2)
+        assert set(recorder.signals()) == {"a", "b"}
+        assert "a" in recorder
+        assert len(recorder) == 2
+
+    def test_missing_trace_raises(self):
+        recorder = TraceRecorder()
+        with pytest.raises(KeyError):
+            recorder.trace("missing")
+
+    def test_merged_timeline_is_chronological(self):
+        recorder = TraceRecorder()
+        recorder.record(5, "b", "later")
+        recorder.record(1, "a", "early")
+        recorder.record(5, "a", "mid")
+        timeline = recorder.merged_timeline()
+        assert [event.cycle for event in timeline] == [1, 5, 5]
+        assert timeline[1].signal == "a"  # ties broken by signal name
+
+    def test_merged_timeline_subset(self):
+        recorder = TraceRecorder()
+        recorder.record(1, "a", 1)
+        recorder.record(2, "b", 2)
+        timeline = recorder.merged_timeline(["b"])
+        assert len(timeline) == 1
+        assert timeline[0].signal == "b"

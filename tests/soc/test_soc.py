@@ -1,0 +1,155 @@
+"""Tests for the SRAM model, the address map, and the assembled SoC."""
+
+import pytest
+
+from repro.core.config import PelsConfig
+from repro.soc.address_map import DEFAULT_ADDRESS_MAP, AddressMap
+from repro.soc.memory import SramBank
+from repro.soc.pulpissimo import PulpissimoSoc, SocConfig, build_soc
+
+
+class TestSramBank:
+    def test_read_write_roundtrip(self):
+        sram = SramBank(size_bytes=1024)
+        sram.bus_write(0x10, 0xCAFE)
+        assert sram.bus_read(0x10) == 0xCAFE
+        assert sram.reads == 1 and sram.writes == 1
+
+    def test_uninitialised_reads_zero(self):
+        sram = SramBank(size_bytes=1024)
+        assert sram.bus_read(0x20) == 0
+
+    def test_bounds_and_alignment_checks(self):
+        sram = SramBank(size_bytes=64)
+        with pytest.raises(IndexError):
+            sram.bus_read(64)
+        with pytest.raises(ValueError):
+            sram.bus_read(2)
+
+    def test_bulk_load_and_peek(self):
+        sram = SramBank(size_bytes=64)
+        sram.load_words(0x0, [1, 2, 3])
+        assert sram.peek(0x8) == 3
+        assert sram.reads == 0  # peek does not count
+
+    def test_instruction_fetch_accounting(self):
+        sram = SramBank(size_bytes=64)
+        sram.record_fetch()
+        sram.record_fetch()
+        assert sram.instruction_fetches == 2
+        assert sram.total_accesses == 2
+
+    def test_default_size_matches_paper(self):
+        assert SramBank().size_bytes == 192 * 1024
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            SramBank(size_bytes=0)
+        with pytest.raises(ValueError):
+            SramBank(size_bytes=6)
+
+    def test_reset(self):
+        sram = SramBank(size_bytes=64)
+        sram.bus_write(0x0, 1)
+        sram.reset()
+        assert sram.bus_read(0x0) == 0
+        assert sram.writes == 0
+
+
+class TestAddressMap:
+    def test_default_peripheral_bases_are_disjoint_windows(self):
+        address_map = DEFAULT_ADDRESS_MAP
+        bases = sorted(address_map.peripheral_bases.values())
+        for first, second in zip(bases, bases[1:]):
+            assert second - first >= address_map.peripheral_window
+
+    def test_register_address(self):
+        address_map = DEFAULT_ADDRESS_MAP
+        assert address_map.register_address("gpio", 0x4) == 0x1A10_1004
+
+    def test_register_address_bounds(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ADDRESS_MAP.register_address("gpio", 0x2000)
+
+    def test_unknown_peripheral(self):
+        with pytest.raises(KeyError):
+            DEFAULT_ADDRESS_MAP.peripheral_base("missing")
+
+    def test_with_peripheral_returns_extended_copy(self):
+        extended = DEFAULT_ADDRESS_MAP.with_peripheral("accel", 0x1A10_D000)
+        assert extended.peripheral_base("accel") == 0x1A10_D000
+        with pytest.raises(KeyError):
+            DEFAULT_ADDRESS_MAP.peripheral_base("accel")
+
+    def test_sram_region_matches_paper_configuration(self):
+        assert DEFAULT_ADDRESS_MAP.sram_size == 192 * 1024
+
+
+class TestBuildSoc:
+    def test_builds_with_pels_by_default(self):
+        soc = build_soc()
+        assert isinstance(soc, PulpissimoSoc)
+        assert soc.pels is not None
+        assert soc.pels.config.is_paper_soc_default
+
+    def test_builds_without_pels(self):
+        soc = build_soc(SocConfig(with_pels=False))
+        assert soc.pels is None
+
+    def test_custom_pels_configuration(self):
+        soc = build_soc(SocConfig(pels_config=PelsConfig(n_links=1, scm_lines=4)))
+        assert len(soc.pels.links) == 1
+
+    def test_peripherals_reachable_over_the_bus(self):
+        from repro.bus.transaction import write_request
+
+        soc = build_soc()
+        address = soc.register_address("gpio", "OUT")
+        soc.peripheral_bus.submit(write_request("test", address, 0x3))
+        soc.run(4)
+        assert soc.gpio.output_value == 0x3
+
+    def test_pels_configuration_window_reachable(self):
+        from repro.bus.transaction import read_request
+
+        soc = build_soc()
+        address = soc.address_map.peripheral_base("pels") + 0x004  # NUM_LINKS
+        request = soc.peripheral_bus.submit(read_request("test", address))
+        soc.run(4)
+        assert request.rdata == 4
+
+    def test_event_fabric_populated(self):
+        soc = build_soc()
+        names = {line.name for line in soc.fabric.lines}
+        assert "spi.eot" in names
+        assert "timer.overflow" in names
+        assert "adc.eoc" in names
+
+    def test_run_until_and_register_address_helpers(self):
+        soc = build_soc()
+        soc.timer.regs.reg("COMPARE").hw_write(3)
+        soc.timer.start()
+        elapsed = soc.run_until(lambda: soc.timer.overflow_count > 0, max_cycles=100)
+        assert elapsed <= 4
+        assert soc.register_address("spi", "RXDATA") == 0x1A10_2008
+
+    def test_idle_soc_keeps_event_pulses_single_cycle(self):
+        soc = build_soc(SocConfig(with_pels=False))
+        soc.timer.regs.reg("COMPARE").hw_write(2)
+        soc.timer.start()
+        soc.run(3)
+        assert soc.fabric.active_mask() == 0  # pulses cleared every cycle
+
+    def test_reset_restores_clean_state(self):
+        soc = build_soc()
+        soc.timer.start()
+        soc.run(50)
+        soc.reset()
+        assert soc.simulator.current_cycle == 0
+        assert soc.timer.overflow_count == 0
+
+    def test_activity_property_exposes_counters(self):
+        soc = build_soc()
+        soc.run(10)
+        assert soc.activity.get("pels", "idle_cycles") == 10
+        assert soc.frequency_hz == 55e6

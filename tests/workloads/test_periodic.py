@@ -1,0 +1,58 @@
+"""Tests for the periodic multi-sensor monitoring workload."""
+
+import pytest
+
+from repro.soc.pulpissimo import SocConfig, build_soc
+from repro.workloads.periodic import PeriodicMonitorConfig, run_periodic_monitor
+
+
+class TestPeriodicMonitorConfig:
+    def test_defaults_valid(self):
+        config = PeriodicMonitorConfig()
+        assert config.kick_watchdog
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicMonitorConfig(sample_period_cycles=5)
+        with pytest.raises(ValueError):
+            PeriodicMonitorConfig(n_samples=0)
+
+
+class TestPeriodicMonitor:
+    def test_loop_closes_without_cpu(self):
+        result = run_periodic_monitor(PeriodicMonitorConfig(n_samples=6))
+        assert result.loop_closed
+        assert result.samples_taken >= 6
+        assert result.duty_updates >= 6
+        assert result.cpu_interrupts == 0
+
+    def test_duty_follows_sensor_value(self):
+        config = PeriodicMonitorConfig(n_samples=4, sensor_amplitude=96)
+        result = run_periodic_monitor(config)
+        assert result.final_duty == 96
+
+    def test_duty_clamped_to_pwm_period(self):
+        config = PeriodicMonitorConfig(n_samples=4, sensor_amplitude=200, pwm_period=128)
+        result = run_periodic_monitor(config)
+        assert result.final_duty <= 128
+
+    def test_watchdog_kept_quiet_while_loop_runs(self):
+        result = run_periodic_monitor(PeriodicMonitorConfig(n_samples=8))
+        assert result.watchdog_kicks > 0
+        assert result.watchdog_barks == 0
+
+    def test_watchdog_barks_when_supervision_disabled(self):
+        """Removing the kick link makes the supervision fire — the failure case it exists for."""
+        config = PeriodicMonitorConfig(n_samples=8, kick_watchdog=False, watchdog_timeout_cycles=150)
+        result = run_periodic_monitor(config)
+        assert result.watchdog_barks > 0
+
+    def test_requires_soc_with_pels(self):
+        soc = build_soc(SocConfig(with_pels=False))
+        with pytest.raises(ValueError):
+            run_periodic_monitor(soc=soc)
+
+    def test_all_three_links_service_events(self):
+        result = run_periodic_monitor(PeriodicMonitorConfig(n_samples=5))
+        serviced = [link.events_serviced for link in result.soc.pels.links[:3]]
+        assert all(count > 0 for count in serviced)

@@ -1,0 +1,133 @@
+"""Tests for the evaluation workloads (minimal linking + threshold application)."""
+
+import pytest
+
+from repro.workloads.minimal import run_minimal_ibex_linking, run_minimal_pels_linking
+from repro.workloads.threshold import (
+    ThresholdWorkloadConfig,
+    run_ibex_threshold_workload,
+    run_pels_threshold_workload,
+)
+
+
+class TestMinimalLinking:
+    def test_pels_sequenced_latency_matches_paper(self):
+        result = run_minimal_pels_linking(instant=False)
+        assert result.sequenced_latency == 7
+
+    def test_pels_instant_latency_matches_paper(self):
+        result = run_minimal_pels_linking(instant=True)
+        assert result.instant_latency == 2
+
+    def test_ibex_interrupt_latency_matches_paper(self):
+        result = run_minimal_ibex_linking()
+        assert result.sequenced_latency == 16
+
+    def test_pels_is_faster_than_ibex(self):
+        pels = run_minimal_pels_linking(instant=False)
+        ibex = run_minimal_ibex_linking()
+        assert pels.sequenced_latency < ibex.sequenced_latency
+
+    def test_instant_action_has_fixed_latency_and_no_bus_write(self):
+        result = run_minimal_pels_linking(instant=True)
+        assert result.write_landed_cycle is None
+        assert result.instant_latency == 2
+
+    def test_requires_soc_with_pels(self):
+        from repro.soc.pulpissimo import SocConfig, build_soc
+
+        soc = build_soc(SocConfig(with_pels=False))
+        with pytest.raises(ValueError):
+            run_minimal_pels_linking(soc=soc)
+
+
+class TestThresholdWorkloadConfig:
+    def test_expected_alerts_computation(self):
+        config = ThresholdWorkloadConfig(n_events=2, words_per_transfer=4, threshold=50)
+        # transfers end at samples[3] = 90 and samples[7] = 110, both above 50
+        assert config.samples_above_threshold == 2
+
+    def test_no_alerts_when_threshold_is_high(self):
+        config = ThresholdWorkloadConfig(n_events=2, threshold=200)
+        assert config.samples_above_threshold == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdWorkloadConfig(n_events=0)
+        with pytest.raises(ValueError):
+            ThresholdWorkloadConfig(words_per_transfer=0)
+        with pytest.raises(ValueError):
+            ThresholdWorkloadConfig(samples=())
+
+
+class TestThresholdWorkload:
+    def test_pels_services_all_events(self):
+        config = ThresholdWorkloadConfig(n_events=3)
+        result = run_pels_threshold_workload(config)
+        assert result.events_serviced == 3
+        assert result.mode == "pels"
+        assert result.total_cycles > 0
+
+    def test_ibex_services_all_events(self):
+        config = ThresholdWorkloadConfig(n_events=3)
+        result = run_ibex_threshold_workload(config)
+        assert result.events_serviced == 3
+        assert result.mode == "ibex"
+
+    def test_both_modes_raise_the_same_alerts(self):
+        """Functional equivalence: PELS and the interrupt baseline must agree."""
+        config = ThresholdWorkloadConfig(n_events=4)
+        pels = run_pels_threshold_workload(config)
+        ibex = run_ibex_threshold_workload(config)
+        assert pels.alerts_raised == ibex.alerts_raised == config.samples_above_threshold
+
+    def test_no_alerts_below_threshold(self):
+        config = ThresholdWorkloadConfig(n_events=2, threshold=250)
+        result = run_pels_threshold_workload(config)
+        assert result.alerts_raised == 0
+
+    def test_instant_alert_variant(self):
+        config = ThresholdWorkloadConfig(n_events=2, use_instant_alert=True)
+        result = run_pels_threshold_workload(config)
+        assert result.alerts_raised == config.samples_above_threshold
+
+    def test_cpu_stays_asleep_in_pels_mode(self):
+        config = ThresholdWorkloadConfig(n_events=2)
+        result = run_pels_threshold_workload(config)
+        assert result.soc.cpu.interrupts_serviced == 0
+        assert result.soc.cpu.sleeping
+
+    def test_cpu_wakes_once_per_event_in_ibex_mode(self):
+        config = ThresholdWorkloadConfig(n_events=3)
+        result = run_ibex_threshold_workload(config)
+        assert result.soc.cpu.interrupts_serviced == 3
+
+    def test_pels_event_latency_is_bounded(self):
+        """Every Figure 3 sequence fits well inside the 500 ns / 27 MHz budget."""
+        config = ThresholdWorkloadConfig(n_events=3)
+        result = run_pels_threshold_workload(config)
+        assert result.worst_latency <= 30
+        assert result.mean_latency > 0
+
+    def test_pels_linking_uses_fewer_cycles_than_ibex(self):
+        config = ThresholdWorkloadConfig(n_events=3)
+        pels = run_pels_threshold_workload(config)
+        ibex = run_ibex_threshold_workload(config)
+        assert pels.linking_cycles < ibex.linking_cycles
+
+    def test_memory_activity_much_lower_with_pels(self):
+        """The architectural driver of Figure 5: PELS avoids SRAM traffic entirely."""
+        config = ThresholdWorkloadConfig(n_events=3)
+        pels = run_pels_threshold_workload(config)
+        ibex = run_ibex_threshold_workload(config)
+        pels_fetches = pels.soc.activity.get("sram", "instruction_fetches")
+        ibex_fetches = ibex.soc.activity.get("sram", "instruction_fetches")
+        assert pels_fetches == 0
+        assert ibex_fetches > 0
+
+    def test_requires_pels_soc(self):
+        from repro.soc.pulpissimo import SocConfig, build_soc
+
+        soc = build_soc(SocConfig(with_pels=False))
+        with pytest.raises(ValueError):
+            run_pels_threshold_workload(soc=soc)
