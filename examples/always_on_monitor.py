@@ -6,35 +6,78 @@ monitoring services): the timer paces periodic ADC sampling, every sample is
 turned into a PWM duty-cycle update, and a watchdog supervises the loop — all
 three steps handled by PELS links while the CPU sleeps.
 
-The script runs the loop twice: once healthy (the watchdog is kicked on
-every completed iteration and stays quiet) and once with the supervision
-link removed (the watchdog barks, demonstrating the failure-detection path).
+The script runs the loop three ways:
+
+1. healthy, under the event-driven kernel (the default) — via the registered
+   ``always-on-monitor`` scenario, the same entry point
+   ``python -m repro.run always-on-monitor`` uses;
+2. healthy, under the legacy dense kernel — same results, and the wall-clock
+   comparison shows what quiescence skipping buys on an idle-heavy scenario
+   (the loop is idle for ~97 % of its cycles);
+3. with the supervision link removed (the watchdog barks, demonstrating the
+   failure-detection path).
 
 Run with:  python examples/always_on_monitor.py
 """
 
+import time
+
 from repro.workloads.periodic import PeriodicMonitorConfig, run_periodic_monitor
+from repro.workloads.registry import run_scenario
+
+HORIZON_CYCLES = 68_000
 
 
-def report(label: str, result) -> None:
+def timed_scenario(dense: bool):
+    start = time.perf_counter()
+    stats = run_scenario("always-on-monitor", horizon_cycles=HORIZON_CYCLES, dense=dense)
+    return time.perf_counter() - start, stats
+
+
+def report(label: str, stats: dict) -> None:
     print(f"--- {label} ---")
-    print(f"  ADC samples taken        : {result.samples_taken}")
-    print(f"  PWM duty updates         : {result.duty_updates} (final duty {result.final_duty})")
-    print(f"  watchdog kicks / barks   : {result.watchdog_kicks} / {result.watchdog_barks}")
-    print(f"  CPU interrupts           : {result.cpu_interrupts}")
-    print(f"  loop closed autonomously : {result.loop_closed}")
+    print(f"  ADC samples taken        : {stats['samples_taken']}")
+    print(f"  PWM duty updates         : {stats['duty_updates']} (final duty {stats['final_duty']})")
+    print(f"  watchdog kicks / barks   : {stats['watchdog_kicks']} / {stats['watchdog_barks']}")
+    print(f"  CPU interrupts           : {stats['cpu_interrupts']}")
+    print(f"  loop closed autonomously : {stats['samples_taken'] > 0 and stats['duty_updates'] > 0}")
     print()
 
 
 def main() -> None:
     print("Always-on periodic monitoring on the PULPissimo + PELS model\n")
-    healthy = run_periodic_monitor(PeriodicMonitorConfig(n_samples=8))
-    report("healthy loop (supervision link armed)", healthy)
+
+    event_s, healthy = timed_scenario(dense=False)
+    report("healthy loop (supervision link armed, event-driven kernel)", healthy)
+
+    dense_s, dense_stats = timed_scenario(dense=True)
+    assert dense_stats == healthy, "kernels must agree cycle-exactly"
+    print("--- kernel comparison (identical results, see assert) ---")
+    print(f"  dense kernel        : {dense_s * 1e3:8.1f} ms wall-clock")
+    print(f"  event-driven kernel : {event_s * 1e3:8.1f} ms wall-clock")
+    print(f"  speedup             : {dense_s / max(event_s, 1e-9):8.1f}x")
+    print()
 
     unsupervised = run_periodic_monitor(
-        PeriodicMonitorConfig(n_samples=8, kick_watchdog=False, watchdog_timeout_cycles=150)
+        PeriodicMonitorConfig(
+            sample_period_cycles=1_000,
+            n_samples=8,
+            kick_watchdog=False,
+            watchdog_timeout_cycles=2_500,
+            watchdog_grace_cycles=1_000,
+        )
     )
-    report("same loop without watchdog kicks (supervision fires)", unsupervised)
+    report(
+        "same loop without watchdog kicks (supervision fires)",
+        {
+            "samples_taken": unsupervised.samples_taken,
+            "duty_updates": unsupervised.duty_updates,
+            "final_duty": unsupervised.final_duty,
+            "watchdog_kicks": unsupervised.watchdog_kicks,
+            "watchdog_barks": unsupervised.watchdog_barks,
+            "cpu_interrupts": unsupervised.cpu_interrupts,
+        },
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Long-horizon workloads through the scenario registry and batch runner.
+
+Demonstrates the scenarios that were impractical under the cycle-driven
+kernel: duty-cycled multi-sensor logging, burst SPI→DMA streaming, and the
+autonomous watchdog-recovery loop.  Each is run over its default horizon via
+the registry (the same path ``python -m repro.run`` uses), with wall-clock
+timing so the effect of quiescence skipping is visible.
+
+Run with:  python examples/long_horizon_workloads.py
+
+The equivalent command-line invocations:
+
+    python -m repro.run --list
+    python -m repro.run duty-cycled-logging --horizon-ms 10
+    python -m repro.run burst-spi-dma --compare
+"""
+
+import time
+
+from repro.workloads.registry import run_scenario, scenarios
+
+LONG_HORIZON = ("duty-cycled-logging", "burst-spi-dma", "watchdog-recovery")
+
+
+def main() -> None:
+    print("Registered scenarios:")
+    for spec in scenarios():
+        print(f"  {spec.name:<22} {spec.description}")
+    print()
+
+    for name in LONG_HORIZON:
+        start = time.perf_counter()
+        stats = run_scenario(name)
+        elapsed = time.perf_counter() - start
+        cycles = stats.get("horizon_cycles", 0)
+        rate = float(cycles) / max(elapsed, 1e-9)
+        print(f"--- {name}: {cycles} cycles in {elapsed * 1e3:.1f} ms ({rate / 1e6:.1f} Mcycle/s) ---")
+        for key, value in stats.items():
+            print(f"  {key:<22} : {value}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -140,6 +140,20 @@ class ApbBus(Component):
         self.record("grants")
         self.record(f"grants_to_{granted}")
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        if self._active is not None or self.has_pending:
+            return 1
+        return None
+
+    def skip(self, cycles: int) -> None:
+        if self._active is not None or self.has_pending:
+            return
+        # An idle dense tick runs one empty arbitration round per cycle and
+        # records it; the arbiter itself is stateless for an empty round.
+        self.record("idle_cycles", cycles)
+
     def reset(self) -> None:
         self._pending.clear()
         self._active = None

@@ -85,6 +85,13 @@ class SystemInterconnect(Component):
             self.record("memory_writes")
         request.complete(rdata, cycle)
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        # Completions interact with slaves and the peripheral bridge, so any
+        # in-flight transfer keeps the interconnect dense; idle is a no-op.
+        return 1 if self._in_flight else None
+
     def reset(self) -> None:
         self._in_flight.clear()
 

@@ -122,12 +122,33 @@ class Link:
         self.records.append(record)
         self._open_record = None
 
+    def skip_idle(self, cycles: int) -> None:
+        """Replay ``cycles`` idle steps (``events == 0``) in one batch.
+
+        Only valid while :attr:`quiescent`: the execution unit stays idle, no
+        trigger can fire on an empty event vector, and the only per-cycle
+        effects of :meth:`step` are the trigger unit's evaluation counter and
+        its (zero) masked-vector history.
+        """
+        self.trigger.evaluations += cycles
+        self.trigger._previous_masked = 0
+
     # ------------------------------------------------------------------- status
 
     @property
     def busy(self) -> bool:
         """Whether the execution unit is servicing a linking event."""
         return not self.execution.idle
+
+    @property
+    def quiescent(self) -> bool:
+        """Whether idle :meth:`step` calls are batchable by :meth:`skip_idle`.
+
+        Requires an idle execution unit, an empty trigger FIFO, *and* no
+        completed-event record still waiting to be closed (record closing is a
+        per-step side effect the latency analysis depends on).
+        """
+        return self.execution.idle and self.trigger.fifo.empty and self._open_record is None
 
     @property
     def last_record(self) -> Optional[LinkEventRecord]:

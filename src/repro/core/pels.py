@@ -235,6 +235,34 @@ class Pels(Component):
         # 4. Event pulses are single-cycle: clear them after all links sampled.
         self.fabric.end_cycle()
 
+    # ------------------------------------------------------------ wake protocol
+
+    def _quiescent(self) -> bool:
+        # PELS must see the very next cycle whenever anything is in motion: a
+        # registered loopback pulse to apply, an event on the fabric to
+        # broadcast (it also owns the end-of-cycle pulse clearing), a link
+        # executing microcode or holding queued triggers, a completed event
+        # record awaiting closure, or SCM traffic (e.g. host-side microcode
+        # programming) not yet attributed to the activity counters.
+        if self._pending_loopback or self.fabric.active_mask():
+            return False
+        if not all(link.quiescent for link in self.links):
+            return False
+        return (
+            sum(link.scm.read_count for link in self.links) == self._scm_reads_seen
+            and sum(link.scm.write_count for link in self.links) == self._scm_writes_seen
+        )
+
+    def next_event(self):
+        return None if self._quiescent() else 1
+
+    def skip(self, cycles: int) -> None:
+        if not self._quiescent():
+            return
+        self.record("idle_cycles", cycles)
+        for link in self.links:
+            link.skip_idle(cycles)
+
     def reset(self) -> None:
         for link in self.links:
             link.reset()

@@ -259,6 +259,25 @@ class IbexCore(Component):
         self._pc = 0
         self.record("handlers_completed")
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        if self.state is not CpuState.SLEEPING:
+            return 1
+        if self.irq_controller is not None and self.irq_controller.has_pending:
+            irq_number = self.irq_controller.highest_pending()
+            if irq_number in self._isr_table:
+                return 1
+        # WFI with nothing serviceable: the clock still toggles (or is gated),
+        # which skip() accounts for, but only an external interrupt wakes us.
+        return None
+
+    def skip(self, cycles: int) -> None:
+        if self.state is not CpuState.SLEEPING:
+            return
+        self.sleep_cycles += cycles
+        self.record("gated_cycles" if self.clock_gated else "sleep_cycles", cycles)
+
     # ------------------------------------------------------------------- status
 
     @property

@@ -124,6 +124,19 @@ class MicroDma(Component):
     def _retire_writes(self) -> None:
         self._in_flight = [(channel, request) for channel, request in self._in_flight if not request.done]
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        # Quiescent only with no writes in flight and no channel that could
+        # move a word; source FIFOs fill only in dense ticks, so this cannot
+        # change inside a skipped span.
+        if self._in_flight:
+            return 1
+        for channel in self.channels:
+            if channel.enabled and channel.source.rx_level > 0:
+                return 1
+        return None
+
     def reset(self) -> None:
         for channel in self.channels:
             channel.words_moved = 0

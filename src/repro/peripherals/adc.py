@@ -94,6 +94,19 @@ class Adc(Peripheral):
         if self.regs.reg("CTRL").value & CTRL_CONTINUOUS:
             self._start_conversion()
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        if self._remaining <= 0:
+            return None
+        return self._remaining
+
+    def skip(self, cycles: int) -> None:
+        if self._remaining <= 0:
+            return
+        self.record("converting_cycles", cycles)
+        self._remaining -= cycles
+
     @property
     def busy(self) -> bool:
         """Whether a conversion is in progress."""

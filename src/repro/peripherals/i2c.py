@@ -94,6 +94,19 @@ class I2cController(Peripheral):
         if self._fabric is not None:
             self.emit_event("done")
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        if self._remaining <= 0:
+            return None
+        return self._remaining
+
+    def skip(self, cycles: int) -> None:
+        if self._remaining <= 0:
+            return
+        self.record("bus_cycles", cycles)
+        self._remaining -= cycles
+
     @property
     def busy(self) -> bool:
         """Whether a transaction is in progress."""

@@ -97,6 +97,27 @@ class Pwm(Peripheral):
         self.regs.reg("DUTY").hw_write(min(shadow, period))
         self.duty_updates += 1
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        if not self.enabled:
+            return None
+        period = max(self.regs.reg("PERIOD").value, 1)
+        # The period event fires in the tick entered with COUNT == PERIOD - 1
+        # (or immediately if PERIOD was lowered below the running counter).
+        return max(period - self.regs.reg("COUNT").value, 1)
+
+    def skip(self, cycles: int) -> None:
+        if not self.enabled:
+            return
+        self.record("active_cycles", cycles)
+        count_reg = self.regs.reg("COUNT")
+        count = count_reg.value
+        duty = self.regs.reg("DUTY").value
+        if count < duty:
+            self.output_high_cycles += min(duty, count + cycles) - count
+        count_reg.hw_write(count + cycles)
+
     # ----------------------------------------------------------------- queries
 
     @property

@@ -142,6 +142,21 @@ class SpiController(Peripheral):
         if self._fabric is not None:
             self.emit_event("rx_ready")
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        if self._words_remaining <= 0:
+            return None
+        # Receiving a word pulses ``rx_ready`` (and possibly ``eot``), so the
+        # wake is the tick in which the per-word timer expires.
+        return max(self._word_timer, 1)
+
+    def skip(self, cycles: int) -> None:
+        if self._words_remaining <= 0:
+            return
+        self.record("shifting_cycles", cycles)
+        self._word_timer -= cycles
+
     # ----------------------------------------------------------------- queries
 
     @property

@@ -78,6 +78,39 @@ class Timer(Peripheral):
         else:
             count_reg.hw_write(new_count)
 
+    # ------------------------------------------------------------ wake protocol
+
+    def _ticks_to_overflow(self) -> int:
+        """Ticks from now until the tick that pulses ``overflow``."""
+        prescaler = self.regs.reg("PRESCALER").value
+        prescale_counter = self._prescale_counter
+        # The counter increments in the tick where the prescale counter,
+        # post-increment, exceeds PRESCALER (it may already be above if the
+        # register was lowered mid-run).
+        ticks_to_increment = max(prescaler - prescale_counter + 1, 1)
+        compare = max(self.regs.reg("COMPARE").value, 1)
+        increments_needed = max(compare - self.regs.reg("COUNT").value, 1)
+        return ticks_to_increment + (increments_needed - 1) * (prescaler + 1)
+
+    def next_event(self):
+        if not self.enabled:
+            return None
+        return self._ticks_to_overflow()
+
+    def skip(self, cycles: int) -> None:
+        if not self.enabled:
+            return
+        self.record("active_cycles", cycles)
+        prescaler = self.regs.reg("PRESCALER").value
+        ticks_to_increment = max(prescaler - self._prescale_counter + 1, 1)
+        if cycles < ticks_to_increment:
+            self._prescale_counter += cycles
+            return
+        increments = (cycles - ticks_to_increment) // (prescaler + 1) + 1
+        self._prescale_counter = cycles - ticks_to_increment - (increments - 1) * (prescaler + 1)
+        count_reg = self.regs.reg("COUNT")
+        count_reg.hw_write(count_reg.value + increments)
+
     @property
     def enabled(self) -> bool:
         """Whether the counter is currently running."""

@@ -89,6 +89,25 @@ class Uart(Peripheral):
         if self._fabric is not None:
             self.emit_event("rx_ready")
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        if not self._tx_queue:
+            return None
+        # The shift timer reloads lazily in the first busy tick, so a timer of
+        # zero means a full byte time is still ahead.
+        if self._tx_timer > 0:
+            return self._tx_timer
+        return max(self.regs.reg("BAUD_CYCLES").value, 1)
+
+    def skip(self, cycles: int) -> None:
+        if not self._tx_queue:
+            return
+        self.record("tx_cycles", cycles)
+        if self._tx_timer == 0:
+            self._tx_timer = max(self.regs.reg("BAUD_CYCLES").value, 1)
+        self._tx_timer -= cycles
+
     @property
     def tx_busy(self) -> bool:
         """Whether bytes are still waiting to go out."""

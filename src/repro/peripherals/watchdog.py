@@ -109,6 +109,22 @@ class Watchdog(Peripheral):
             if self._fabric is not None:
                 self.emit_event("bite")
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        if not self.enabled:
+            return None
+        # The tick entered with COUNT <= 1 barks (or bites); everything before
+        # it only decrements the down-counter.
+        return max(self.regs.reg("COUNT").value, 1)
+
+    def skip(self, cycles: int) -> None:
+        if not self.enabled:
+            return
+        self.record("active_cycles", cycles)
+        count_reg = self.regs.reg("COUNT")
+        count_reg.hw_write(count_reg.value - cycles)
+
     # ----------------------------------------------------------------- queries
 
     @property

@@ -1,0 +1,143 @@
+"""Batch scenario runner: ``python -m repro.run <scenario> --horizon-ms N``.
+
+Runs any scenario from :mod:`repro.workloads.registry` over a configurable
+simulated horizon and prints its statistics together with wall-clock timing.
+``--compare`` runs the same scenario under both kernels (legacy dense and
+event-driven) and reports the speedup, which is also how the quiescence
+skipping is validated end to end from the command line.
+
+Examples::
+
+    python -m repro.run --list
+    python -m repro.run duty-cycled-logging --horizon-ms 20
+    python -m repro.run always-on-monitor --horizon-cycles 500000 --compare
+    python -m repro.run burst-spi-dma --dense
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.workloads.registry import run_scenario, scenario, scenario_names, scenarios
+
+DEFAULT_FREQUENCY_MHZ = 55.0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run",
+        description="Run a registered PELS workload scenario.",
+    )
+    parser.add_argument("scenario", nargs="?", help="scenario name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list registered scenarios and exit")
+    horizon = parser.add_mutually_exclusive_group()
+    horizon.add_argument(
+        "--horizon-ms", type=float, default=None, help="simulated horizon in milliseconds"
+    )
+    horizon.add_argument(
+        "--horizon-cycles", type=int, default=None, help="simulated horizon in clock cycles"
+    )
+    parser.add_argument(
+        "--frequency-mhz",
+        type=float,
+        default=DEFAULT_FREQUENCY_MHZ,
+        help="clock frequency used to convert --horizon-ms (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dense",
+        action="store_true",
+        help="use the legacy cycle-driven kernel instead of event-driven scheduling",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run under both kernels and report the event-driven speedup",
+    )
+    return parser
+
+
+def _horizon_cycles(args: argparse.Namespace) -> Optional[int]:
+    if args.horizon_cycles is not None:
+        if args.horizon_cycles < 1:
+            raise SystemExit("--horizon-cycles must be at least 1")
+        return args.horizon_cycles
+    if args.horizon_ms is not None:
+        if args.horizon_ms <= 0:
+            raise SystemExit("--horizon-ms must be positive")
+        return max(int(round(args.horizon_ms * 1e-3 * args.frequency_mhz * 1e6)), 1)
+    return None
+
+
+def _print_stats(stats: Dict[str, object]) -> None:
+    width = max(len(key) for key in stats)
+    for key, value in stats.items():
+        if isinstance(value, float):
+            print(f"  {key:<{width}} : {value:.2f}")
+        else:
+            print(f"  {key:<{width}} : {value}")
+
+
+def _timed_run(name: str, horizon: Optional[int], dense: bool) -> tuple:
+    start = time.perf_counter()
+    stats = run_scenario(name, horizon_cycles=horizon, dense=dense)
+    return time.perf_counter() - start, stats
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list:
+        for spec in scenarios():
+            print(f"{spec.name:<22} {spec.description} (default horizon {spec.default_horizon_cycles} cycles)")
+        return 0
+
+    if args.scenario is None:
+        _build_parser().print_usage()
+        return 2
+    try:
+        spec = scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    horizon = _horizon_cycles(args)
+    effective = horizon if horizon is not None else spec.default_horizon_cycles
+
+    try:
+        return _dispatch(args, spec, horizon, effective)
+    except ValueError as exc:
+        # Scenario configs validate their horizons (e.g. "the horizon leaves
+        # no room for the recovery to play out"); surface that as a CLI error
+        # rather than a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace, spec, horizon: Optional[int], effective: int) -> int:
+    if args.compare:
+        dense_s, dense_stats = _timed_run(spec.name, horizon, dense=True)
+        event_s, event_stats = _timed_run(spec.name, horizon, dense=False)
+        print(f"scenario {spec.name}: {effective} cycles simulated")
+        _print_stats(event_stats)
+        print(f"  dense kernel        : {dense_s * 1e3:8.1f} ms wall-clock")
+        print(f"  event-driven kernel : {event_s * 1e3:8.1f} ms wall-clock")
+        print(f"  speedup             : {dense_s / max(event_s, 1e-9):8.2f}x")
+        if dense_stats != event_stats:
+            print("  WARNING: kernels disagree on the statistics above", file=sys.stderr)
+            return 1
+        return 0
+
+    elapsed, stats = _timed_run(spec.name, horizon, dense=args.dense)
+    kernel = "dense" if args.dense else "event-driven"
+    rate = effective / max(elapsed, 1e-9)
+    print(f"scenario {spec.name}: {effective} cycles simulated ({kernel} kernel)")
+    _print_stats(stats)
+    print(f"  wall-clock {elapsed * 1e3:.1f} ms  ({rate / 1e6:.2f} Mcycle/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

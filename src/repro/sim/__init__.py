@@ -1,10 +1,23 @@
-"""Cycle-driven simulation kernel used by every hardware model in the repo.
+"""Simulation kernel used by every hardware model in the repo.
 
 The kernel intentionally stays small: components register themselves with a
-:class:`Simulator`, the simulator advances a global cycle counter, and each
-component's :meth:`Component.tick` is called exactly once per cycle of the
-clock domain it belongs to.  Activity counters and signal traces hang off the
-simulator so the power model can consume them after a run.
+:class:`Simulator` and the simulator advances a global base-tick counter.  It
+offers two cycle-exact scheduling modes:
+
+* **dense** (``Simulator(dense=True)``): each component's
+  :meth:`Component.tick` is called exactly once per cycle of the clock domain
+  it belongs to — the legacy cycle-driven semantics;
+* **event-driven** (the default): components advertise their next wake via
+  :meth:`Component.next_event` and the scheduler jumps over provably
+  quiescent spans, batch-replaying the skipped ticks through
+  :meth:`Component.skip`.  Final state, activity counters, and traces are
+  identical to dense stepping (the property suite in
+  ``tests/property/test_differential.py`` enforces this), but idle-heavy
+  scenarios run orders of magnitude fewer Python-level calls.
+
+Activity counters and signal traces hang off the simulator so the power
+model can consume them after a run.  See ``docs/simulator.md`` for the wake
+protocol.
 """
 
 from repro.sim.clock import ClockDomain

@@ -20,6 +20,31 @@ class Component:
     :class:`~repro.sim.activity.ActivityCounters` once the component has been
     attached; activity recorded before attachment is buffered locally and
     merged at attach time so construction-time initialisation is not lost.
+
+    **Wake protocol (event-driven simulation).**  The simulator may run in an
+    event-driven mode that jumps over spans of cycles in which every component
+    is *quiescent* instead of ticking each one cycle by cycle.  A component
+    takes part by overriding two hooks:
+
+    * :meth:`next_event` returns how many domain-local cycles from now the
+      component next needs a real :meth:`tick` call — because an externally
+      observable effect (an event pulse, a bus transfer, an interrupt, a
+      register value another agent may act on) happens in that tick.  ``None``
+      means the component schedules no wake of its own (it only reacts to
+      external stimulus).  The returned horizon is a *promise*: the
+      ``next_event() - 1`` ticks before the wake must be uniform quiescent
+      ticks that :meth:`skip` can replay in one batch.
+    * :meth:`skip` applies ``cycles`` worth of those quiescent ticks in O(1):
+      batch-recording per-cycle activity (idle/sleep/active counters) and
+      advancing deterministic internal counters, with *exactly* the state and
+      activity a cycle-by-cycle replay would have produced.  It is called for
+      every skipped span, including for components that returned ``None``.
+
+    The defaults are conservative: a component that overrides :meth:`tick`
+    but not :meth:`next_event` reports a wake every cycle (forcing dense
+    stepping, today's behaviour), and a component that never overrides
+    :meth:`tick` is trivially idle.  See ``docs/simulator.md`` for the full
+    contract and a worked example.
     """
 
     def __init__(self, name: str) -> None:
@@ -80,6 +105,32 @@ class Component:
 
         ``cycle`` is the domain-local cycle index.  The default implementation
         does nothing; purely combinational helpers may choose not to override.
+        """
+
+    def next_event(self) -> Optional[int]:
+        """Domain-local cycles until this component next needs a real tick.
+
+        Contract (see the class docstring): returning ``k >= 1`` guarantees
+        the next ``k - 1`` ticks are quiescent and can be replayed by
+        :meth:`skip`; returning ``None`` means the component never wakes on
+        its own.  The default is maximally conservative — ``1`` (tick me every
+        cycle) whenever :meth:`tick` is overridden, ``None`` when it is not
+        (the inherited tick is a pure no-op).  Instance-assigned ``tick``
+        attributes (test doubles, monkey-patches) count as overrides.
+        """
+        if type(self).tick is Component.tick and "tick" not in self.__dict__:
+            return None
+        return 1
+
+    def skip(self, cycles: int) -> None:
+        """Apply ``cycles`` quiescent ticks in one batch.
+
+        Called by the event-driven scheduler instead of ``cycles`` individual
+        :meth:`tick` calls when the whole system is provably quiescent.  The
+        default does nothing, which is correct for components whose quiescent
+        tick is a pure no-op; components that account per-cycle activity while
+        idle (sleep counters, idle-cycle counters) must override this and
+        batch-record it.
         """
 
     def reset(self) -> None:

@@ -1,13 +1,34 @@
-"""The cycle-driven simulator.
+"""The simulation kernel: dense (cycle-driven) and event-driven stepping.
 
 The simulator owns the set of components, their clock domains, the activity
 counters, and the trace recorder.  A simulation advances in *base ticks*: one
 base tick corresponds to one cycle of the fastest clock domain; slower domains
 tick on the cycles where their (integer) divisor divides the base tick index.
 
+Two scheduling modes share that time base:
+
+* **Dense mode** (``dense=True``) is the legacy cycle-driven kernel: every
+  component's :meth:`~repro.sim.component.Component.tick` is called on every
+  cycle of its domain.  It is the reference semantics and the baseline the
+  differential test-suite compares against.
+* **Event-driven mode** (the default) asks every component for its next wake
+  via :meth:`~repro.sim.component.Component.next_event`, computes the earliest
+  pending wake across all clock domains, and jumps the base-tick counter over
+  the provably quiescent span in between.  The skipped ticks are replayed in
+  one batch per component through
+  :meth:`~repro.sim.component.Component.skip`, so final state, activity
+  counters, and traces are cycle-exact — identical to dense stepping — while
+  idle-heavy scenarios (the always-on monitoring workloads the paper is
+  about) run orders of magnitude fewer Python-level tick calls.
+
 For the scenarios in this repository all active components share one domain,
 but the multi-domain support is what lets the iso-latency experiment clock
-PELS at 27 MHz while the reference Ibex system runs at 55 MHz.
+PELS at 27 MHz while the reference Ibex system runs at 55 MHz; wake horizons
+are expressed in domain-local cycles and converted to base ticks by the
+scheduler.
+
+See ``docs/simulator.md`` for the wake protocol and the dense-vs-event
+equivalence guarantee.
 """
 
 from __future__ import annotations
@@ -27,9 +48,14 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Coordinates clock domains and components and advances simulated time."""
 
-    def __init__(self, default_frequency_hz: float = 55e6) -> None:
+    def __init__(self, default_frequency_hz: float = 55e6, dense: bool = False) -> None:
         self.activity = ActivityCounters()
         self.traces = TraceRecorder()
+        #: When True, use the legacy cycle-driven kernel (tick every component
+        #: on every cycle of its domain).  When False (default), skip over
+        #: quiescent spans using the components' wake hints.  May be toggled
+        #: between :meth:`step` calls; both modes produce identical state.
+        self.dense = dense
         self._domains: Dict[str, ClockDomain] = {}
         self._components: List[Tuple[Component, ClockDomain]] = []
         self._component_names: set[str] = set()
@@ -109,23 +135,41 @@ class Simulator:
             )
         return divisor
 
+    def _schedule_plan(self) -> "_SchedulePlan":
+        """Classify components so the stepping loops touch only the objects
+        that can matter.  Rebuilt per :meth:`step`/:meth:`run_until` call —
+        cheap, and it keeps late additions and instance-level ``tick``
+        monkey-patches (test doubles) visible, exactly as dense iteration
+        over the raw component list would."""
+        plan = _SchedulePlan(self)
+        plan.refresh_divisors(self)
+        return plan
+
     # --------------------------------------------------------------------- run
 
     def step(self, cycles: int = 1) -> None:
-        """Advance the simulation by ``cycles`` base ticks."""
+        """Advance the simulation by ``cycles`` base ticks.
+
+        In dense mode every component is ticked on every cycle of its domain.
+        In event-driven mode quiescent spans are skipped; the end state after
+        ``step(n)`` is identical in both modes.
+        """
         if cycles < 0:
             raise SimulationError("cannot step a negative number of cycles")
-        divisors = {clock.name: self._divisor(clock) for _, clock in self._components}
-        for _ in range(cycles):
-            for component, clock in self._components:
-                if self._base_tick % divisors[clock.name] == 0:
-                    component.tick(clock.cycles)
-            ticked: set[str] = set()
-            for _, clock in self._components:
-                if clock.name not in ticked and self._base_tick % divisors[clock.name] == 0:
-                    clock.advance()
-                    ticked.add(clock.name)
-            self._base_tick += 1
+        plan = self._schedule_plan()
+        if self.dense or plan.forces_dense:
+            for _ in range(cycles):
+                plan.dense_tick(self)
+            return
+        remaining = cycles
+        while remaining > 0:
+            span = plan.quiescent_span(self, remaining)
+            if span > 0:
+                plan.skip_span(self, span)
+                remaining -= span
+            if remaining > 0:
+                plan.dense_tick(self)
+                remaining -= 1
 
     def run_until(
         self,
@@ -136,31 +180,55 @@ class Simulator:
         """Step until ``condition()`` is true; return the number of cycles stepped.
 
         Raises :class:`SimulationError` if the condition does not become true
-        within ``max_cycles``.
+        within ``max_cycles``.  In event-driven mode the condition is
+        re-evaluated at every wake boundary (and after every dense tick), so
+        conditions that flip on observable events are detected on the exact
+        cycle; a condition watching a counter that advances *inside* a
+        quiescent span (e.g. a raw COUNT register) is only seen at the span's
+        end — use ``dense=True`` for cycle-level polling of such state.
         """
         start = self._base_tick
+        plan = self._schedule_plan()
+        event_driven = not (self.dense or plan.forces_dense)
         while not condition():
-            if self._base_tick - start >= max_cycles:
+            elapsed = self._base_tick - start
+            if elapsed >= max_cycles:
                 raise SimulationError(
                     f"{label} not reached within {max_cycles} cycles"
                 )
-            self.step()
+            if event_driven:
+                span = plan.quiescent_span(self, max_cycles - elapsed)
+                if span > 0:
+                    plan.skip_span(self, span)
+                    continue
+            plan.dense_tick(self)
         return self._base_tick - start
 
     def run_for_time(self, seconds: float) -> int:
-        """Run for a wall-clock duration measured in the fastest domain."""
-        cycles = int(seconds * self._fastest_frequency())
+        """Run for a wall-clock duration measured in the fastest domain.
+
+        The duration is converted with ``round()`` so a period that is an
+        exact multiple of the clock period never loses a cycle to binary
+        floating-point truncation (e.g. ``3 * (1 / 55e6)`` seconds is exactly
+        3 cycles, not 2).
+        """
+        cycles = int(round(seconds * self._fastest_frequency()))
         self.step(cycles)
         return cycles
 
     def reset(self) -> None:
-        """Reset every component, clock domain, and all bookkeeping."""
+        """Reset every component, clock domain, and all bookkeeping.
+
+        The trace recorder is cleared *in place* so references held by
+        callers (analysis code, open timelines) keep observing the simulator
+        instead of silently going stale.
+        """
         for component, _ in self._components:
             component.reset()
         for domain in self._domains.values():
             domain.reset()
         self.activity.clear()
-        self.traces = TraceRecorder()
+        self.traces.clear()
         self._base_tick = 0
 
     # ------------------------------------------------------------------- trace
@@ -170,15 +238,172 @@ class Simulator:
         self.traces.record(self._base_tick, signal, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "dense" if self.dense else "event-driven"
         return (
             f"Simulator(cycle={self._base_tick}, components={len(self._components)}, "
-            f"domains={[d.name for d in self._domains.values()]})"
+            f"domains={[d.name for d in self._domains.values()]}, mode={mode})"
         )
 
 
-def build_simulator(frequency_hz: float, components: Sequence[Component] = ()) -> Simulator:
+class _SchedulePlan:
+    """Precomputed stepping schedule for one set of registered components.
+
+    Splits the component list by which hooks are actually overridden so the
+    hot loops only visit objects that can have an effect:
+
+    * ``ticking`` — components with a real :meth:`Component.tick` (a default
+      tick is a no-op by definition and is never called);
+    * ``hinted`` — components that advertise wakes via
+      :meth:`Component.next_event` (consulted by the wake sweep);
+    * ``skippers`` — components with a real :meth:`Component.skip` (the only
+      ones a skipped span must be replayed on).
+
+    A component that ticks but gives no wake hint forces dense stepping
+    (``forces_dense``), in which case the event-driven loops are bypassed
+    entirely instead of recomputing a zero-length span every cycle.
+    """
+
+    @staticmethod
+    def _overrides(component: Component, name: str) -> bool:
+        """Whether ``component`` provides its own ``name`` hook — via its
+        class *or* as an instance attribute (test doubles, monkey-patches)."""
+        return (
+            getattr(type(component), name) is not getattr(Component, name)
+            or name in component.__dict__
+        )
+
+    def __init__(self, simulator: Simulator) -> None:
+        pairs = simulator._components
+        self.ticking = [
+            (component, clock) for component, clock in pairs if self._overrides(component, "tick")
+        ]
+        self.hinted = [
+            (component, clock)
+            for component, clock in pairs
+            if self._overrides(component, "next_event")
+        ]
+        self.skippers = [
+            (component, clock) for component, clock in pairs if self._overrides(component, "skip")
+        ]
+        self.forces_dense = any(
+            not self._overrides(component, "next_event") for component, _ in self.ticking
+        )
+        clocks: Dict[str, ClockDomain] = {}
+        for _, clock in pairs:
+            clocks.setdefault(clock.name, clock)
+        self.clocks = list(clocks.values())
+        self.divisors: Dict[str, int] = {}
+        self.single_rate = True
+
+    def refresh_divisors(self, simulator: Simulator) -> None:
+        """Recompute clock ratios (cheap; frequencies can change over time)."""
+        self.divisors = {clock.name: simulator._divisor(clock) for clock in self.clocks}
+        self.single_rate = all(divisor == 1 for divisor in self.divisors.values())
+
+    # ------------------------------------------------------------------ dense
+
+    def dense_tick(self, simulator: Simulator) -> None:
+        """One base tick of the reference cycle-driven semantics."""
+        if self.single_rate:
+            for component, clock in self.ticking:
+                component.tick(clock.cycles)
+            for clock in self.clocks:
+                clock.advance()
+            simulator._base_tick += 1
+            return
+        base_tick = simulator._base_tick
+        divisors = self.divisors
+        for component, clock in self.ticking:
+            if base_tick % divisors[clock.name] == 0:
+                component.tick(clock.cycles)
+        for clock in self.clocks:
+            if base_tick % divisors[clock.name] == 0:
+                clock.advance()
+        simulator._base_tick += 1
+
+    # ------------------------------------------------------------ event-driven
+
+    def quiescent_span(self, simulator: Simulator, limit: int) -> int:
+        """Base ticks until the earliest pending wake, capped at ``limit``.
+
+        Returns 0 when some component needs a dense tick right now.  A wake of
+        ``k`` domain cycles from a component whose domain next ticks at base
+        tick ``first`` pins the wake to base tick ``first + (k - 1) * div``;
+        everything before that is quiescent by the component's promise.
+        """
+        span = limit
+        hinted = self.hinted
+        if self.single_rate:
+            for index, (component, _) in enumerate(hinted):
+                horizon = component.next_event()
+                if horizon is not None and horizon <= span:
+                    if horizon <= 1:
+                        # Move the blocking component to the front: in a busy
+                        # stretch the same component usually blocks for many
+                        # consecutive cycles, and probing it first turns the
+                        # full wake sweep into a single call.
+                        if index:
+                            hinted.insert(0, hinted.pop(index))
+                        return 0
+                    span = horizon - 1
+            return span
+        base_tick = simulator._base_tick
+        divisors = self.divisors
+        for index, (component, clock) in enumerate(hinted):
+            horizon = component.next_event()
+            if horizon is None:
+                continue
+            if horizon < 1:
+                horizon = 1
+            divisor = divisors[clock.name]
+            remainder = base_tick % divisor
+            first = base_tick if remainder == 0 else base_tick + (divisor - remainder)
+            bound = first + (horizon - 1) * divisor - base_tick
+            if bound < span:
+                if bound <= 0:
+                    if index:
+                        hinted.insert(0, hinted.pop(index))
+                    return 0
+                span = bound
+        return span
+
+    def skip_span(self, simulator: Simulator, span: int) -> None:
+        """Jump ``span`` quiescent base ticks, batch-applying skipped ticks."""
+        if self.single_rate:
+            for component, _ in self.skippers:
+                component.skip(span)
+            for clock in self.clocks:
+                clock.advance(span)
+            simulator._base_tick += span
+            return
+        base_tick = simulator._base_tick
+        divisors = self.divisors
+        domain_ticks: Dict[str, int] = {}
+        for clock in self.clocks:
+            divisor = divisors[clock.name]
+            remainder = base_tick % divisor
+            first = base_tick if remainder == 0 else base_tick + (divisor - remainder)
+            if first >= base_tick + span:
+                count = 0
+            else:
+                count = (base_tick + span - 1 - first) // divisor + 1
+            domain_ticks[clock.name] = count
+        for component, clock in self.skippers:
+            count = domain_ticks[clock.name]
+            if count:
+                component.skip(count)
+        for clock in self.clocks:
+            count = domain_ticks[clock.name]
+            if count:
+                clock.advance(count)
+        simulator._base_tick += span
+
+
+def build_simulator(
+    frequency_hz: float, components: Sequence[Component] = (), dense: bool = False
+) -> Simulator:
     """Convenience helper: create a simulator and register ``components``."""
-    simulator = Simulator(default_frequency_hz=frequency_hz)
+    simulator = Simulator(default_frequency_hz=frequency_hz, dense=dense)
     for component in components:
         simulator.add_component(component)
     return simulator

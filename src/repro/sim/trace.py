@@ -93,6 +93,10 @@ class TraceRecorder:
                 events.extend(self._traces[name].changes())
         return sorted(events, key=lambda event: (event.cycle, event.signal))
 
+    def clear(self) -> None:
+        """Drop all traces in place (existing references stay valid)."""
+        self._traces.clear()
+
     def __contains__(self, signal: str) -> bool:
         return signal in self._traces
 

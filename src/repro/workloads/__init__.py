@@ -13,9 +13,34 @@ drive exactly the same stimulus:
 * :mod:`repro.workloads.periodic` — an always-on monitoring scenario
   (timer → ADC → PWM with watchdog supervision) built from the paper's
   motivating applications.
+* :mod:`repro.workloads.longrun` — long-horizon, idle-heavy scenarios
+  (duty-cycled multi-sensor logging, burst SPI→DMA streaming, autonomous
+  watchdog recovery) that are practical to simulate thanks to the
+  event-driven kernel's quiescence skipping.
+* :mod:`repro.workloads.registry` — the scenario registry behind the batch
+  runner (``python -m repro.run``).
 """
 
+from repro.workloads.longrun import (
+    BurstStreamConfig,
+    BurstStreamResult,
+    DutyCycledLoggingConfig,
+    DutyCycledLoggingResult,
+    WatchdogRecoveryConfig,
+    WatchdogRecoveryResult,
+    run_burst_stream,
+    run_duty_cycled_logging,
+    run_watchdog_recovery,
+)
 from repro.workloads.minimal import MinimalLinkingResult, run_minimal_ibex_linking, run_minimal_pels_linking
+from repro.workloads.registry import (
+    ScenarioSpec,
+    register_scenario,
+    run_scenario,
+    scenario,
+    scenario_names,
+    scenarios,
+)
 from repro.workloads.periodic import (
     PeriodicMonitorConfig,
     PeriodicMonitorResult,
@@ -30,15 +55,30 @@ from repro.workloads.threshold import (
 )
 
 __all__ = [
+    "BurstStreamConfig",
+    "BurstStreamResult",
+    "DutyCycledLoggingConfig",
+    "DutyCycledLoggingResult",
     "MinimalLinkingResult",
     "PeriodicMonitorConfig",
     "PeriodicMonitorResult",
+    "ScenarioSpec",
     "ThresholdWorkload",
     "ThresholdWorkloadConfig",
     "ThresholdWorkloadResult",
+    "WatchdogRecoveryConfig",
+    "WatchdogRecoveryResult",
+    "register_scenario",
+    "run_burst_stream",
+    "run_duty_cycled_logging",
     "run_ibex_threshold_workload",
     "run_minimal_ibex_linking",
     "run_minimal_pels_linking",
     "run_pels_threshold_workload",
     "run_periodic_monitor",
+    "run_scenario",
+    "run_watchdog_recovery",
+    "scenario",
+    "scenario_names",
+    "scenarios",
 ]

@@ -1,0 +1,377 @@
+"""Long-horizon, idle-heavy workloads enabled by the event-driven kernel.
+
+The paper's motivating applications — always-on monitoring, duty-cycled
+sensing, supervised autonomous loops — spend almost all of their time idle:
+the interesting activity is a few tens of cycles around each linking event,
+separated by thousands to millions of quiescent cycles.  Under the legacy
+cycle-driven kernel these horizons were impractical to simulate (every
+component ticked on every cycle); with quiescence skipping they cost time
+proportional to the *events*, not the horizon.
+
+Three scenarios, all fully autonomous (the Ibex core sleeps throughout):
+
+* :func:`run_duty_cycled_logging` — a timer paces simultaneous ADC sampling
+  and SPI sensor readouts at a low duty cycle; the µDMA logs the SPI words to
+  L2, each ADC sample closes a sensor→PWM actuator loop, and a watchdog
+  supervises progress.
+* :func:`run_burst_stream` — periodic bursts of SPI words streamed to memory
+  by the µDMA, with long silent gaps in between; the end-of-transfer event
+  kicks the watchdog.
+* :func:`run_watchdog_recovery` — a supervised sampling loop into which the
+  testbench injects a stall; the watchdog's *bark* event is linked back to
+  the timer's ``start`` input, so PELS restarts the loop autonomously before
+  the *bite* (system reset) would fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.assembler import Assembler
+from repro.peripherals.sensor import SensorWaveform
+from repro.soc.pulpissimo import PulpissimoSoc, SocConfig, build_soc
+
+
+def _soc_for(config_dense: bool, waveform: SensorWaveform, spi_cycles_per_word: int = 4) -> PulpissimoSoc:
+    return build_soc(
+        SocConfig(sensor_waveform=waveform, spi_cycles_per_word=spi_cycles_per_word, dense=config_dense)
+    )
+
+
+# --------------------------------------------------------------------- logging
+
+
+@dataclass(frozen=True)
+class DutyCycledLoggingConfig:
+    """Parameters of the duty-cycled multi-sensor logging scenario."""
+
+    sample_period_cycles: int = 5_000
+    horizon_cycles: int = 500_000
+    words_per_readout: int = 4
+    spi_cycles_per_word: int = 4
+    pwm_period: int = 2_048
+    sensor_amplitude: int = 96
+    dense: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sample_period_cycles < 100:
+            raise ValueError("duty-cycled sampling needs a period >= 100 cycles")
+        if self.horizon_cycles < self.sample_period_cycles:
+            raise ValueError("the horizon must cover at least one sampling period")
+        if self.words_per_readout < 1:
+            raise ValueError("each readout needs at least one word")
+
+
+@dataclass
+class DutyCycledLoggingResult:
+    """Outcome of one duty-cycled logging run."""
+
+    samples_taken: int
+    readouts_completed: int
+    words_logged: int
+    duty_updates: int
+    watchdog_kicks: int
+    watchdog_barks: int
+    cpu_interrupts: int
+    horizon_cycles: int
+    soc: Optional[PulpissimoSoc] = None
+
+    def summary(self) -> dict:
+        """Scalar statistics (used by the batch runner)."""
+        return {
+            "samples_taken": self.samples_taken,
+            "readouts_completed": self.readouts_completed,
+            "words_logged": self.words_logged,
+            "duty_updates": self.duty_updates,
+            "watchdog_kicks": self.watchdog_kicks,
+            "watchdog_barks": self.watchdog_barks,
+            "cpu_interrupts": self.cpu_interrupts,
+            "horizon_cycles": self.horizon_cycles,
+        }
+
+
+def run_duty_cycled_logging(
+    config: DutyCycledLoggingConfig = DutyCycledLoggingConfig(),
+) -> DutyCycledLoggingResult:
+    """Run the duty-cycled multi-sensor logging scenario.
+
+    Per sampling period the timer overflow instant-starts *both* an ADC
+    conversion and an SPI readout (one action, two routed lines); the ADC
+    result updates the PWM duty cycle, the SPI words are streamed to L2 by
+    the µDMA, and the SPI end-of-transfer kicks the watchdog.
+    """
+    soc = _soc_for(
+        config.dense,
+        SensorWaveform(kind="sine", amplitude=config.sensor_amplitude, offset=config.sensor_amplitude),
+        config.spi_cycles_per_word,
+    )
+    assert soc.pels is not None
+    pels = soc.pels
+    assembler = Assembler()
+
+    # Link 0: timer overflow -> start ADC conversion + SPI readout.
+    pels.route_action_to_peripheral(group=0, bit=0, peripheral=soc.adc, port="soc")
+    pels.route_action_to_peripheral(group=0, bit=1, peripheral=soc.spi, port="start")
+    timer_bit = 1 << soc.fabric.index_of(soc.timer.event_line_name("overflow"))
+    pels.program_link(0, assembler.assemble("action 0 0x3\nend"), trigger_mask=timer_bit)
+
+    # Link 1: ADC end-of-conversion -> PWM duty update (capture + write + update).
+    adc_base = soc.address_map.peripheral_base("adc")
+    adc_data = (soc.register_address("adc", "DATA") - adc_base) // 4
+    pwm_shadow = (soc.register_address("pwm", "DUTY_SHADOW") - adc_base) // 4
+    pels.route_action_to_peripheral(group=1, bit=0, peripheral=soc.pwm, port="update")
+    duty = min(config.sensor_amplitude, config.pwm_period)
+    adc_bit = 1 << soc.fabric.index_of(soc.adc.event_line_name("eoc"))
+    pels.program_link(
+        1,
+        assembler.assemble(f"capture {adc_data} 0xFFFF\nwrite {pwm_shadow} {duty}\naction 1 0x1\nend"),
+        trigger_mask=adc_bit,
+        base_address=adc_base,
+    )
+
+    # Link 2: SPI end-of-transfer -> watchdog kick (progress supervision).
+    pels.route_action_to_peripheral(group=2, bit=0, peripheral=soc.wdt, port="kick")
+    spi_eot_bit = 1 << soc.fabric.index_of(soc.spi.event_line_name("eot"))
+    pels.program_link(2, assembler.assemble("action 2 0x1\nend"), trigger_mask=spi_eot_bit)
+
+    # µDMA channel: SPI RX FIFO -> L2 log buffer.
+    log_buffer = soc.address_map.sram_base + 0x400
+    soc.udma.add_channel(
+        source=soc.spi, destination_address=log_buffer, length_words=config.words_per_readout
+    )
+
+    soc.spi.regs.reg("LEN").hw_write(config.words_per_readout)
+    soc.pwm.regs.reg("PERIOD").hw_write(config.pwm_period)
+    soc.pwm.start()
+    soc.wdt.regs.reg("TIMEOUT").hw_write(3 * config.sample_period_cycles)
+    soc.wdt.regs.reg("GRACE").hw_write(config.sample_period_cycles)
+    soc.wdt.start()
+    soc.timer.regs.reg("COMPARE").hw_write(config.sample_period_cycles)
+    soc.timer.start()
+
+    soc.run(config.horizon_cycles)
+
+    return DutyCycledLoggingResult(
+        samples_taken=soc.adc.conversions,
+        readouts_completed=soc.spi.transfers_completed,
+        words_logged=soc.udma.total_words_moved,
+        duty_updates=soc.pwm.duty_updates,
+        watchdog_kicks=soc.wdt.kicks,
+        watchdog_barks=soc.wdt.barks,
+        cpu_interrupts=soc.cpu.interrupts_serviced,
+        horizon_cycles=config.horizon_cycles,
+        soc=soc,
+    )
+
+
+# -------------------------------------------------------------------- bursting
+
+
+@dataclass(frozen=True)
+class BurstStreamConfig:
+    """Parameters of the burst SPI→DMA streaming scenario."""
+
+    burst_period_cycles: int = 20_000
+    horizon_cycles: int = 1_000_000
+    words_per_burst: int = 64
+    spi_cycles_per_word: int = 4
+    dense: bool = False
+
+    def __post_init__(self) -> None:
+        if self.words_per_burst < 1:
+            raise ValueError("a burst needs at least one word")
+        burst_cycles = self.words_per_burst * max(self.spi_cycles_per_word, 1)
+        if self.burst_period_cycles <= burst_cycles:
+            raise ValueError("the burst period must exceed the burst itself")
+
+
+@dataclass
+class BurstStreamResult:
+    """Outcome of one burst-streaming run."""
+
+    bursts_completed: int
+    words_streamed: int
+    rx_overflows: int
+    watchdog_kicks: int
+    watchdog_barks: int
+    cpu_interrupts: int
+    horizon_cycles: int
+    soc: Optional[PulpissimoSoc] = None
+
+    def summary(self) -> dict:
+        """Scalar statistics (used by the batch runner)."""
+        return {
+            "bursts_completed": self.bursts_completed,
+            "words_streamed": self.words_streamed,
+            "rx_overflows": self.rx_overflows,
+            "watchdog_kicks": self.watchdog_kicks,
+            "watchdog_barks": self.watchdog_barks,
+            "cpu_interrupts": self.cpu_interrupts,
+            "horizon_cycles": self.horizon_cycles,
+        }
+
+
+def run_burst_stream(config: BurstStreamConfig = BurstStreamConfig()) -> BurstStreamResult:
+    """Run the burst SPI→DMA streaming scenario.
+
+    The timer paces SPI bursts; the µDMA drains each burst to memory while it
+    is still arriving, and the end-of-transfer event kicks the watchdog.  The
+    long inter-burst gaps are exactly the spans the event-driven kernel
+    skips.
+    """
+    soc = _soc_for(
+        config.dense,
+        SensorWaveform(kind="ramp", amplitude=0xFFFF, step=7),
+        config.spi_cycles_per_word,
+    )
+    assert soc.pels is not None
+    pels = soc.pels
+    assembler = Assembler()
+
+    pels.route_action_to_peripheral(group=0, bit=0, peripheral=soc.spi, port="start")
+    timer_bit = 1 << soc.fabric.index_of(soc.timer.event_line_name("overflow"))
+    pels.program_link(0, assembler.assemble("action 0 0x1\nend"), trigger_mask=timer_bit)
+
+    pels.route_action_to_peripheral(group=1, bit=0, peripheral=soc.wdt, port="kick")
+    spi_eot_bit = 1 << soc.fabric.index_of(soc.spi.event_line_name("eot"))
+    pels.program_link(1, assembler.assemble("action 1 0x1\nend"), trigger_mask=spi_eot_bit)
+
+    stream_buffer = soc.address_map.sram_base + 0x800
+    soc.udma.add_channel(
+        source=soc.spi, destination_address=stream_buffer, length_words=config.words_per_burst
+    )
+
+    soc.spi.regs.reg("LEN").hw_write(config.words_per_burst)
+    soc.wdt.regs.reg("TIMEOUT").hw_write(3 * config.burst_period_cycles)
+    soc.wdt.regs.reg("GRACE").hw_write(config.burst_period_cycles)
+    soc.wdt.start()
+    soc.timer.regs.reg("COMPARE").hw_write(config.burst_period_cycles)
+    soc.timer.start()
+
+    soc.run(config.horizon_cycles)
+
+    return BurstStreamResult(
+        bursts_completed=soc.spi.transfers_completed,
+        words_streamed=soc.udma.total_words_moved,
+        rx_overflows=soc.spi.rx_overflows,
+        watchdog_kicks=soc.wdt.kicks,
+        watchdog_barks=soc.wdt.barks,
+        cpu_interrupts=soc.cpu.interrupts_serviced,
+        horizon_cycles=config.horizon_cycles,
+        soc=soc,
+    )
+
+
+# -------------------------------------------------------------------- recovery
+
+
+@dataclass(frozen=True)
+class WatchdogRecoveryConfig:
+    """Parameters of the watchdog-recovery scenario."""
+
+    sample_period_cycles: int = 2_000
+    stall_after_samples: int = 5
+    horizon_cycles: int = 200_000
+    sensor_amplitude: int = 80
+    dense: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sample_period_cycles < 100:
+            raise ValueError("the sampling period must be >= 100 cycles")
+        if self.stall_after_samples < 1:
+            raise ValueError("the stall must happen after at least one sample")
+        if self.horizon_cycles < (self.stall_after_samples + 4) * self.sample_period_cycles:
+            raise ValueError("the horizon leaves no room for the recovery to play out")
+
+
+@dataclass
+class WatchdogRecoveryResult:
+    """Outcome of one watchdog-recovery run."""
+
+    samples_before_stall: int
+    samples_total: int
+    watchdog_barks: int
+    watchdog_bites: int
+    recovered: bool
+    cpu_interrupts: int
+    horizon_cycles: int
+    soc: Optional[PulpissimoSoc] = None
+
+    def summary(self) -> dict:
+        """Scalar statistics (used by the batch runner)."""
+        return {
+            "samples_before_stall": self.samples_before_stall,
+            "samples_total": self.samples_total,
+            "watchdog_barks": self.watchdog_barks,
+            "watchdog_bites": self.watchdog_bites,
+            "recovered": self.recovered,
+            "cpu_interrupts": self.cpu_interrupts,
+            "horizon_cycles": self.horizon_cycles,
+        }
+
+
+def run_watchdog_recovery(
+    config: WatchdogRecoveryConfig = WatchdogRecoveryConfig(),
+) -> WatchdogRecoveryResult:
+    """Run the watchdog-recovery scenario.
+
+    A timer-paced ADC sampling loop kicks the watchdog on every conversion.
+    After ``stall_after_samples`` samples the testbench stops the timer
+    (injecting the fault the supervision exists for).  The watchdog counts
+    down and *barks*; the bark event is linked to the timer's ``start``
+    input, so PELS restarts the loop autonomously — the *bite* (system
+    reset) never fires and the CPU never wakes.
+    """
+    soc = _soc_for(
+        config.dense,
+        SensorWaveform(kind="constant", amplitude=config.sensor_amplitude),
+    )
+    assert soc.pels is not None
+    pels = soc.pels
+    assembler = Assembler()
+
+    # Link 0: timer overflow -> ADC conversion.
+    pels.route_action_to_peripheral(group=0, bit=0, peripheral=soc.adc, port="soc")
+    timer_bit = 1 << soc.fabric.index_of(soc.timer.event_line_name("overflow"))
+    pels.program_link(0, assembler.assemble("action 0 0x1\nend"), trigger_mask=timer_bit)
+
+    # Link 1: ADC end-of-conversion -> watchdog kick.
+    pels.route_action_to_peripheral(group=1, bit=0, peripheral=soc.wdt, port="kick")
+    adc_bit = 1 << soc.fabric.index_of(soc.adc.event_line_name("eoc"))
+    pels.program_link(1, assembler.assemble("action 1 0x1\nend"), trigger_mask=adc_bit)
+
+    # Link 2: watchdog bark -> restart the timer (autonomous recovery).
+    pels.route_action_to_peripheral(group=2, bit=0, peripheral=soc.timer, port="start")
+    bark_bit = 1 << soc.fabric.index_of(soc.wdt.event_line_name("bark"))
+    pels.program_link(2, assembler.assemble("action 2 0x1\nend"), trigger_mask=bark_bit)
+
+    period = config.sample_period_cycles
+    soc.wdt.regs.reg("TIMEOUT").hw_write(3 * period)
+    # The grace period must outlast one full sampling period so the restarted
+    # loop kicks the watchdog before it bites.
+    soc.wdt.regs.reg("GRACE").hw_write(2 * period)
+    soc.wdt.start()
+    soc.timer.regs.reg("COMPARE").hw_write(period)
+    soc.timer.start()
+
+    # Phase 1: healthy loop until the stall point.
+    stall_cycles = config.stall_after_samples * period + period // 2
+    soc.run(stall_cycles)
+    samples_before = soc.adc.conversions
+    soc.timer.stop()  # fault injection: the sampling loop stalls
+
+    # Phase 2: the watchdog detects the stall, PELS restarts the loop.
+    soc.run(config.horizon_cycles - stall_cycles)
+
+    recovered = soc.timer.enabled and soc.adc.conversions > samples_before and soc.wdt.bites == 0
+    return WatchdogRecoveryResult(
+        samples_before_stall=samples_before,
+        samples_total=soc.adc.conversions,
+        watchdog_barks=soc.wdt.barks,
+        watchdog_bites=soc.wdt.bites,
+        recovered=recovered,
+        cpu_interrupts=soc.cpu.interrupts_serviced,
+        horizon_cycles=config.horizon_cycles,
+        soc=soc,
+    )

@@ -1,0 +1,177 @@
+"""Scenario registry for the batch runner.
+
+Every entry maps a stable scenario name to a callable that builds, runs, and
+summarises one workload over a caller-chosen horizon.  The registry is what
+``python -m repro.run`` dispatches on, and it gives tests and benchmarks a
+single place to enumerate "everything the model can do".
+
+Scenario callables take ``(horizon_cycles, dense)`` and return a flat
+``dict`` of scalar statistics; ``horizon_cycles`` is the simulated horizon in
+base-clock cycles and ``dense`` selects the legacy cycle-driven kernel
+(:mod:`repro.sim.simulator`) for A/B comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+ScenarioRunner = Callable[[int, bool], Mapping[str, object]]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered scenario."""
+
+    name: str
+    description: str
+    default_horizon_cycles: int
+    run: ScenarioRunner
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    name: str, description: str, default_horizon_cycles: int
+) -> Callable[[ScenarioRunner], ScenarioRunner]:
+    """Decorator registering ``fn(horizon_cycles, dense) -> stats`` under ``name``."""
+
+    def decorator(fn: ScenarioRunner) -> ScenarioRunner:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        if default_horizon_cycles < 1:
+            raise ValueError("the default horizon must be at least one cycle")
+        _REGISTRY[name] = ScenarioSpec(
+            name=name,
+            description=description,
+            default_horizon_cycles=default_horizon_cycles,
+            run=fn,
+        )
+        return fn
+
+    return decorator
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from exc
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Sorted names of all registered scenarios."""
+    return tuple(sorted(_REGISTRY))
+
+
+def scenarios() -> Tuple[ScenarioSpec, ...]:
+    """All registered scenarios, sorted by name."""
+    return tuple(_REGISTRY[name] for name in scenario_names())
+
+
+def run_scenario(name: str, horizon_cycles: int | None = None, dense: bool = False) -> Dict[str, object]:
+    """Run scenario ``name`` and return its statistics dictionary."""
+    spec = scenario(name)
+    horizon = spec.default_horizon_cycles if horizon_cycles is None else horizon_cycles
+    if horizon < 1:
+        raise ValueError("the horizon must be at least one cycle")
+    return dict(spec.run(horizon, dense))
+
+
+# --------------------------------------------------------------- registrations
+
+
+@register_scenario(
+    "always-on-monitor",
+    "Timer-paced ADC sampling into a PWM actuator loop with watchdog supervision",
+    default_horizon_cycles=200_000,
+)
+def _run_always_on_monitor(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+    from repro.peripherals.sensor import SensorWaveform
+    from repro.soc.pulpissimo import SocConfig, build_soc
+    from repro.workloads.periodic import PeriodicMonitorConfig, run_periodic_monitor
+
+    period = 1_000
+    config = PeriodicMonitorConfig(
+        sample_period_cycles=period,
+        n_samples=max(horizon_cycles // period - 4, 1),
+        watchdog_timeout_cycles=3 * period,
+        watchdog_grace_cycles=period,
+    )
+    soc = build_soc(
+        SocConfig(
+            sensor_waveform=SensorWaveform(kind="constant", amplitude=config.sensor_amplitude),
+            dense=dense,
+        )
+    )
+    result = run_periodic_monitor(config, soc=soc)
+    return {
+        "samples_taken": result.samples_taken,
+        "duty_updates": result.duty_updates,
+        "final_duty": result.final_duty,
+        "watchdog_kicks": result.watchdog_kicks,
+        "watchdog_barks": result.watchdog_barks,
+        "cpu_interrupts": result.cpu_interrupts,
+        "horizon_cycles": result.total_cycles,
+    }
+
+
+@register_scenario(
+    "duty-cycled-logging",
+    "Duty-cycled multi-sensor logging: ADC + SPI readouts, µDMA log, PWM loop",
+    default_horizon_cycles=500_000,
+)
+def _run_duty_cycled_logging(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+    from repro.workloads.longrun import DutyCycledLoggingConfig, run_duty_cycled_logging
+
+    return run_duty_cycled_logging(
+        DutyCycledLoggingConfig(horizon_cycles=horizon_cycles, dense=dense)
+    ).summary()
+
+
+@register_scenario(
+    "burst-spi-dma",
+    "Burst SPI→µDMA streaming to L2 with long silent gaps",
+    default_horizon_cycles=1_000_000,
+)
+def _run_burst_stream(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+    from repro.workloads.longrun import BurstStreamConfig, run_burst_stream
+
+    return run_burst_stream(BurstStreamConfig(horizon_cycles=horizon_cycles, dense=dense)).summary()
+
+
+@register_scenario(
+    "watchdog-recovery",
+    "Stalled sampling loop detected by the watchdog and restarted by PELS",
+    default_horizon_cycles=200_000,
+)
+def _run_watchdog_recovery(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+    from repro.workloads.longrun import WatchdogRecoveryConfig, run_watchdog_recovery
+
+    return run_watchdog_recovery(
+        WatchdogRecoveryConfig(horizon_cycles=horizon_cycles, dense=dense)
+    ).summary()
+
+
+@register_scenario(
+    "threshold-pels",
+    "Paper workload: threshold check after µDMA-managed SPI readout (PELS-linked)",
+    default_horizon_cycles=50_000,
+)
+def _run_threshold_pels(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+    from repro.soc.pulpissimo import SocConfig, build_soc
+    from repro.workloads.threshold import ThresholdWorkloadConfig, run_pels_threshold_workload
+
+    config = ThresholdWorkloadConfig(n_events=max(horizon_cycles // 6_000, 1))
+    soc = build_soc(SocConfig(spi_cycles_per_word=config.spi_cycles_per_word, dense=dense))
+    result = run_pels_threshold_workload(config, soc=soc)
+    return {
+        "events_serviced": result.events_serviced,
+        "alerts_raised": result.alerts_raised,
+        "mean_latency_cycles": result.mean_latency,
+        "worst_latency_cycles": result.worst_latency,
+        "horizon_cycles": result.total_cycles,
+    }

@@ -1,0 +1,159 @@
+"""Golden-figure regression tests.
+
+The benchmark harness regenerates the paper's figures into ``results/``; the
+asserts there are deliberately loose (paper-level tolerances), so a numeric
+drift in the models could rewrite ``results/`` without any test noticing.
+These tests re-derive the key rows of three checked-in result files from the
+library and pin them to the exact golden values, so any drift fails tier-1
+instead of silently corrupting ``results/``.
+
+Golden sources (regenerate with ``pytest benchmarks/ -q`` and re-pin
+deliberately if a model change is intended):
+
+* ``results/figure3_program_latency.txt``
+* ``results/figure5_iso_latency.txt``
+* ``results/figure6b_soc_breakdown.txt``
+"""
+
+import pytest
+
+from repro.area.soc import figure6b_breakdown
+from repro.core.config import PelsConfig
+from repro.power.scenarios import (
+    ISO_LATENCY_IBEX_HZ,
+    ISO_LATENCY_PELS_HZ,
+    measure_idle_power,
+    measure_linking_power,
+)
+from repro.workloads.threshold import ThresholdWorkloadConfig, run_pels_threshold_workload
+
+
+class TestFigure3ProgramLatency:
+    """Golden rows of results/figure3_program_latency.txt."""
+
+    def test_sequenced_alert_latency(self):
+        result = run_pels_threshold_workload(
+            ThresholdWorkloadConfig(n_events=4, use_instant_alert=False)
+        )
+        assert result.events_serviced == 4
+        assert result.alerts_raised == 4
+        assert result.mean_latency == pytest.approx(21.0)
+        assert result.worst_latency == 21
+
+    def test_instant_alert_latency(self):
+        result = run_pels_threshold_workload(
+            ThresholdWorkloadConfig(n_events=4, use_instant_alert=True)
+        )
+        assert result.events_serviced == 4
+        assert result.alerts_raised == 4
+        assert result.mean_latency == pytest.approx(15.0)
+        assert result.worst_latency == 15
+
+
+class TestFigure5IsoLatencyPower:
+    """Golden rows of results/figure5_iso_latency.txt (values in µW)."""
+
+    GOLDEN = {
+        "idle_ibex": {
+            "window_cycles": 1000,
+            "Others": 357.5,
+            "PELS": 0.0,
+            "Processor": 77.0,
+            "RAM": 82.5,
+            "Interconnect": 0.0,
+            "Leakage": 267.0,
+            "Total": 784.0,
+        },
+        "idle_pels": {
+            "window_cycles": 1000,
+            "Others": 175.5,
+            "PELS": 40.6,
+            "Processor": 0.0,
+            "RAM": 40.5,
+            "Interconnect": 0.0,
+            "Leakage": 270.0,
+            "Total": 526.6,
+        },
+        "linking_ibex": {
+            "window_cycles": 174,
+            "Others": 371.7,
+            "PELS": 0.0,
+            "Processor": 312.6,
+            "RAM": 340.4,
+            "Interconnect": 52.2,
+            "Leakage": 267.0,
+            "Total": 1343.9,
+        },
+        "linking_pels": {
+            "window_cycles": 132,
+            "Others": 184.7,
+            "PELS": 34.2,
+            "Processor": 0.0,
+            "RAM": 40.5,
+            "Interconnect": 15.3,
+            "Leakage": 270.0,
+            "Total": 544.8,
+        },
+    }
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return {
+            "idle_ibex": measure_idle_power("ibex", ISO_LATENCY_IBEX_HZ, idle_cycles=1000),
+            "idle_pels": measure_idle_power("pels", ISO_LATENCY_PELS_HZ, idle_cycles=1000),
+            "linking_ibex": measure_linking_power("ibex", ISO_LATENCY_IBEX_HZ, n_events=6),
+            "linking_pels": measure_linking_power("pels", ISO_LATENCY_PELS_HZ, n_events=6),
+        }
+
+    @pytest.mark.parametrize("scenario", sorted(GOLDEN))
+    def test_breakdown_matches_golden(self, measured, scenario):
+        golden = self.GOLDEN[scenario]
+        result = measured[scenario]
+        assert result.breakdown.window_cycles == golden["window_cycles"]
+        for component in ("Others", "PELS", "Processor", "RAM", "Interconnect", "Leakage"):
+            assert result.breakdown.component(component) == pytest.approx(
+                golden[component], abs=0.05
+            ), f"{scenario}/{component} drifted"
+        assert result.total_uw == pytest.approx(golden["Total"], abs=0.1)
+
+    def test_headline_ratios_match_golden(self, measured):
+        linking_ratio = measured["linking_ibex"].total_uw / measured["linking_pels"].total_uw
+        idle_ratio = measured["idle_ibex"].total_uw / measured["idle_pels"].total_uw
+        assert round(linking_ratio, 2) == pytest.approx(2.47)
+        assert round(idle_ratio, 2) == pytest.approx(1.49)
+
+
+class TestFigure6bSocBreakdown:
+    """Golden rows of results/figure6b_soc_breakdown.txt."""
+
+    GOLDEN_KGE = {
+        "Interconnect": 36.0,
+        "PELS": 24.7,
+        "Peripherals": 115.0,
+        "Processing domain": 85.0,
+        "SRAM": 2359.3,
+    }
+    GOLDEN_LOGIC_PERCENT = {
+        "Interconnect": 13.8,
+        "PELS": 9.5,
+        "Peripherals": 44.1,
+        "Processing domain": 32.6,
+    }
+
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return figure6b_breakdown(PelsConfig(n_links=4, scm_lines=6))
+
+    def test_absolute_area_matches_golden(self, breakdown):
+        for block, kge in self.GOLDEN_KGE.items():
+            assert breakdown["absolute_kge"][block] == pytest.approx(kge, abs=0.05), block
+
+    def test_logic_fractions_match_golden(self, breakdown):
+        for block, percent in self.GOLDEN_LOGIC_PERCENT.items():
+            assert breakdown["logic_fractions"][block] * 100 == pytest.approx(
+                percent, abs=0.05
+            ), block
+        assert sum(breakdown["logic_fractions"].values()) == pytest.approx(1.0)
+
+    def test_sram_dominates_total_area(self, breakdown):
+        assert breakdown["with_sram_fractions"]["SRAM"] * 100 == pytest.approx(90.0, abs=0.05)

@@ -1,0 +1,160 @@
+"""Tests for the long-horizon workloads, the scenario registry, and the runner."""
+
+import pytest
+
+from repro.run import main as run_main
+from repro.workloads.longrun import (
+    BurstStreamConfig,
+    DutyCycledLoggingConfig,
+    WatchdogRecoveryConfig,
+    run_burst_stream,
+    run_duty_cycled_logging,
+    run_watchdog_recovery,
+)
+from repro.workloads.registry import (
+    register_scenario,
+    run_scenario,
+    scenario,
+    scenario_names,
+    scenarios,
+)
+
+
+class TestDutyCycledLogging:
+    def test_loop_runs_autonomously(self):
+        config = DutyCycledLoggingConfig(
+            sample_period_cycles=1_000, horizon_cycles=50_000, words_per_readout=4
+        )
+        result = run_duty_cycled_logging(config)
+        expected_samples = config.horizon_cycles // config.sample_period_cycles
+        assert result.samples_taken in (expected_samples - 1, expected_samples)
+        assert result.readouts_completed == result.samples_taken
+        assert result.words_logged == config.words_per_readout * result.readouts_completed
+        assert result.duty_updates == result.samples_taken
+        assert result.watchdog_kicks == result.readouts_completed
+        assert result.watchdog_barks == 0
+        assert result.cpu_interrupts == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DutyCycledLoggingConfig(sample_period_cycles=10)
+        with pytest.raises(ValueError):
+            DutyCycledLoggingConfig(horizon_cycles=100)
+
+
+class TestBurstStream:
+    def test_bursts_stream_to_memory_without_loss(self):
+        config = BurstStreamConfig(
+            burst_period_cycles=5_000, horizon_cycles=60_000, words_per_burst=16
+        )
+        result = run_burst_stream(config)
+        expected_bursts = config.horizon_cycles // config.burst_period_cycles
+        assert result.bursts_completed in (expected_bursts - 1, expected_bursts)
+        assert result.words_streamed == config.words_per_burst * result.bursts_completed
+        assert result.rx_overflows == 0
+        assert result.watchdog_kicks == result.bursts_completed
+        assert result.watchdog_barks == 0
+        assert result.cpu_interrupts == 0
+
+    def test_burst_must_fit_in_period(self):
+        with pytest.raises(ValueError):
+            BurstStreamConfig(burst_period_cycles=100, words_per_burst=64, spi_cycles_per_word=4)
+
+
+class TestWatchdogRecovery:
+    def test_pels_restarts_the_stalled_loop(self):
+        config = WatchdogRecoveryConfig(
+            sample_period_cycles=1_000, stall_after_samples=4, horizon_cycles=60_000
+        )
+        result = run_watchdog_recovery(config)
+        assert result.samples_before_stall == config.stall_after_samples
+        assert result.watchdog_barks == 1
+        assert result.watchdog_bites == 0
+        assert result.recovered
+        assert result.samples_total > result.samples_before_stall
+        assert result.cpu_interrupts == 0
+
+    def test_without_recovery_link_the_watchdog_bites(self):
+        # Differential control: the same stall with the grace period too
+        # short for the restarted loop to kick in time ends in a bite.
+        config = WatchdogRecoveryConfig(
+            sample_period_cycles=1_000, stall_after_samples=4, horizon_cycles=60_000
+        )
+        result = run_watchdog_recovery(config)
+        soc = result.soc
+        assert soc is not None
+        # Sanity: after the horizon the loop is still healthy and kicking.
+        assert soc.timer.enabled
+        assert soc.wdt.enabled
+
+
+class TestRegistry:
+    def test_expected_scenarios_are_registered(self):
+        names = scenario_names()
+        for expected in (
+            "always-on-monitor",
+            "burst-spi-dma",
+            "duty-cycled-logging",
+            "threshold-pels",
+            "watchdog-recovery",
+        ):
+            assert expected in names
+
+    def test_specs_carry_descriptions_and_horizons(self):
+        for spec in scenarios():
+            assert spec.description
+            assert spec.default_horizon_cycles >= 1
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("always-on-monitor", "dup", 100)(lambda horizon, dense: {})
+
+    def test_run_scenario_returns_stats_dict(self):
+        stats = run_scenario("watchdog-recovery", horizon_cycles=30_000)
+        assert stats["recovered"] is True
+        assert stats["horizon_cycles"] == 30_000
+
+    def test_dense_and_event_agree(self):
+        dense = run_scenario("always-on-monitor", horizon_cycles=20_000, dense=True)
+        event = run_scenario("always-on-monitor", horizon_cycles=20_000, dense=False)
+        assert dense == event
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert run_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "duty-cycled-logging" in out
+        assert "watchdog-recovery" in out
+
+    def test_missing_scenario_is_usage_error(self):
+        assert run_main([]) == 2
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert run_main(["no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_single_run_prints_stats(self, capsys):
+        assert run_main(["watchdog-recovery", "--horizon-cycles", "30000"]) == 0
+        out = capsys.readouterr().out
+        assert "30000 cycles simulated" in out
+        assert "recovered" in out
+        assert "wall-clock" in out
+
+    def test_horizon_ms_conversion(self, capsys):
+        # 0.5 ms at 40 MHz = 20000 cycles.
+        code = run_main(
+            ["watchdog-recovery", "--horizon-ms", "0.5", "--frequency-mhz", "40", "--dense"]
+        )
+        assert code == 0
+        assert "20000 cycles simulated" in capsys.readouterr().out
+
+    def test_compare_mode_reports_speedup_and_agreement(self, capsys):
+        assert run_main(["always-on-monitor", "--horizon-cycles", "20000", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "WARNING" not in out
