@@ -12,6 +12,9 @@ reproduces the system and its evaluation in pure Python:
 * :mod:`repro.workloads` — the evaluation workloads.
 * :mod:`repro.power`, :mod:`repro.area`, :mod:`repro.analysis` — the models
   that regenerate the paper's figures and tables.
+* :mod:`repro.sweep` — sweep campaigns: scenario × parameter grid, sharded
+  across processes, aggregated into structured artifacts
+  (``python -m repro.run sweep``).
 
 Quickstart::
 
@@ -47,11 +50,13 @@ from repro.workloads import (
 from repro.power import PowerModel, run_figure5
 from repro.area import PelsAreaModel, figure6a_sweep, figure6b_breakdown
 from repro.analysis import format_table1, measure_latency_comparison
+from repro.sweep import CampaignSpec, execute_campaign, expand_campaign, write_artifacts
 
 __version__ = "0.1.0"
 
 __all__ = [
     "Assembler",
+    "CampaignSpec",
     "Command",
     "JumpCondition",
     "Opcode",
@@ -65,6 +70,8 @@ __all__ = [
     "ThresholdWorkloadConfig",
     "TriggerCondition",
     "build_soc",
+    "execute_campaign",
+    "expand_campaign",
     "figure6a_sweep",
     "figure6b_breakdown",
     "format_table1",
@@ -72,5 +79,6 @@ __all__ = [
     "run_figure5",
     "run_ibex_threshold_workload",
     "run_pels_threshold_workload",
+    "write_artifacts",
     "__version__",
 ]

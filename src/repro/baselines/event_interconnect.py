@@ -158,6 +158,24 @@ class EventInterconnect(Component):
         else:
             self.record("idle_cycles")
 
+    # ------------------------------------------------------------ wake protocol
+
+    def next_event(self):
+        # Channels sample the fabric's single-cycle pulses, which are only
+        # raised inside dense ticks (a producer's wake), so the router needs
+        # a real tick exactly while a pulse is waiting to be observed.  An
+        # unconnected router never ticks usefully at all.
+        if self.fabric is not None and self.fabric.active_mask():
+            return 1
+        return None
+
+    def skip(self, cycles: int) -> None:
+        if self.fabric is None or self.fabric.active_mask():
+            return
+        # A dense tick with no active producer lines fires nothing and
+        # records one idle cycle.
+        self.record("idle_cycles", cycles)
+
     # ------------------------------------------------------------------ queries
 
     def channel_latency_cycles(self) -> int:

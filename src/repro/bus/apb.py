@@ -143,12 +143,25 @@ class ApbBus(Component):
     # ------------------------------------------------------------ wake protocol
 
     def next_event(self):
-        if self._active is not None or self.has_pending:
+        if self._active is not None:
+            # The in-flight transfer completes (slave access, master wake-up)
+            # in the tick entered with one remaining cycle; the access/wait
+            # cycles before it only count down and record busy activity.
+            return max(self._remaining_cycles, 1)
+        if self.has_pending:
+            # The next tick is the grant/setup phase of a queued transfer.
             return 1
         return None
 
     def skip(self, cycles: int) -> None:
-        if self._active is not None or self.has_pending:
+        if self._active is not None:
+            # Replay the wait/access countdown: one busy cycle recorded per
+            # tick, no slave interaction until the completion tick (which the
+            # scheduler always runs densely).
+            self.record("busy_cycles", cycles)
+            self._remaining_cycles -= cycles
+            return
+        if self.has_pending:
             return
         # An idle dense tick runs one empty arbitration round per cycle and
         # records it; the arbiter itself is stateless for an empty round.

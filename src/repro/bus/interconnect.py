@@ -88,9 +88,21 @@ class SystemInterconnect(Component):
     # ------------------------------------------------------------ wake protocol
 
     def next_event(self):
-        # Completions interact with slaves and the peripheral bridge, so any
-        # in-flight transfer keeps the interconnect dense; idle is a no-op.
-        return 1 if self._in_flight else None
+        # The earliest completion (slave access or bridge forward) is the
+        # wake; the countdown ticks before it are uniform busy cycles.  Idle
+        # is a no-op.
+        if not self._in_flight:
+            return None
+        return max(min(entry.remaining for entry in self._in_flight), 1)
+
+    def skip(self, cycles: int) -> None:
+        if not self._in_flight:
+            return
+        # Replay the countdown: every in-flight entry ages, and each tick
+        # with transfers still pending records one busy cycle.
+        for entry in self._in_flight:
+            entry.remaining -= cycles
+        self.record("busy_cycles", cycles)
 
     def reset(self) -> None:
         self._in_flight.clear()

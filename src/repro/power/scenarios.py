@@ -88,8 +88,12 @@ class Figure5Dataset:
 # ----------------------------------------------------------------------- setup
 
 
-def _setup_pels_soc(config: ThresholdWorkloadConfig, frequency_hz: float) -> tuple:
-    soc = build_soc(SocConfig(frequency_hz=frequency_hz, spi_cycles_per_word=config.spi_cycles_per_word))
+def _setup_pels_soc(config: ThresholdWorkloadConfig, frequency_hz: float, dense: bool = False) -> tuple:
+    soc = build_soc(
+        SocConfig(
+            frequency_hz=frequency_hz, spi_cycles_per_word=config.spi_cycles_per_word, dense=dense
+        )
+    )
     assert soc.pels is not None
     soc.cpu.clock_gated = True
     program, base_address = _pels_figure3_program(soc, config)
@@ -105,9 +109,14 @@ def _setup_pels_soc(config: ThresholdWorkloadConfig, frequency_hz: float) -> tup
     return soc, workload, link
 
 
-def _setup_ibex_soc(config: ThresholdWorkloadConfig, frequency_hz: float) -> tuple:
+def _setup_ibex_soc(config: ThresholdWorkloadConfig, frequency_hz: float, dense: bool = False) -> tuple:
     soc = build_soc(
-        SocConfig(frequency_hz=frequency_hz, with_pels=False, spi_cycles_per_word=config.spi_cycles_per_word)
+        SocConfig(
+            frequency_hz=frequency_hz,
+            with_pels=False,
+            spi_cycles_per_word=config.spi_cycles_per_word,
+            dense=dense,
+        )
     )
     workload = ThresholdWorkload(soc, config)
     isr = build_threshold_isr(
@@ -124,6 +133,29 @@ def _setup_ibex_soc(config: ThresholdWorkloadConfig, frequency_hz: float) -> tup
     return soc, workload
 
 
+def build_idle_measurement_soc(
+    mode: str,
+    frequency_hz: float,
+    config: Optional[ThresholdWorkloadConfig] = None,
+    dense: bool = False,
+) -> PulpissimoSoc:
+    """Build a SoC armed for the Figure 5 idle measurement, ready to run.
+
+    ``mode`` is ``"pels"`` (threshold link programmed, core clock-gated) or
+    ``"ibex"`` (interrupt baseline, core in WFI).  The caller owns the run
+    horizon, which is what lets the paper-scale sweep campaigns stretch the
+    idle window to seconds of simulated time.
+    """
+    workload_config = config if config is not None else ThresholdWorkloadConfig()
+    if mode == "pels":
+        soc, _, _ = _setup_pels_soc(workload_config, frequency_hz, dense=dense)
+    elif mode == "ibex":
+        soc, _ = _setup_ibex_soc(workload_config, frequency_hz, dense=dense)
+    else:
+        raise ValueError(f"unknown mode {mode!r}; expected 'pels' or 'ibex'")
+    return soc
+
+
 # -------------------------------------------------------------------- measures
 
 
@@ -136,12 +168,7 @@ def measure_idle_power(
 ) -> ScenarioResult:
     """Average power while waiting for a linking event (no events arrive)."""
     model = model if model is not None else PowerModel()
-    if mode == "pels":
-        soc, _, _ = _setup_pels_soc(config, frequency_hz)
-    elif mode == "ibex":
-        soc, _ = _setup_ibex_soc(config, frequency_hz)
-    else:
-        raise ValueError(f"unknown mode {mode!r}; expected 'pels' or 'ibex'")
+    soc = build_idle_measurement_soc(mode, frequency_hz, config=config)
     before = soc.activity.as_dict()
     start_cycle = soc.simulator.current_cycle
     soc.run(idle_cycles)

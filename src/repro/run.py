@@ -6,12 +6,19 @@ simulated horizon and prints its statistics together with wall-clock timing.
 event-driven) and reports the speedup, which is also how the quiescence
 skipping is validated end to end from the command line.
 
+The ``sweep`` subcommand executes a whole campaign of scenario points
+(:mod:`repro.sweep`), sharded across a process pool, and writes JSON + CSV
+artifacts plus a reproducibility manifest under ``results/sweeps/``.
+
 Examples::
 
     python -m repro.run --list
     python -m repro.run duty-cycled-logging --horizon-ms 20
     python -m repro.run always-on-monitor --horizon-cycles 500000 --compare
     python -m repro.run burst-spi-dma --dense
+    python -m repro.run sweep --list
+    python -m repro.run sweep pipeline-clock-ratio --jobs 4
+    python -m repro.run sweep watchdog-fault-injection --dry-run
 """
 
 from __future__ import annotations
@@ -19,11 +26,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.workloads.registry import run_scenario, scenario, scenario_names, scenarios
 
 DEFAULT_FREQUENCY_MHZ = 55.0
+DEFAULT_SWEEP_OUT = "results/sweeps"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,8 +95,100 @@ def _timed_run(name: str, horizon: Optional[int], dense: bool) -> tuple:
     return time.perf_counter() - start, stats
 
 
+# ------------------------------------------------------------------- sweeps
+
+
+def _build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run sweep",
+        description="Execute a sweep campaign, sharded across processes.",
+    )
+    parser.add_argument("campaign", nargs="?", help="campaign name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list registered campaigns and exit")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; 1 runs serially with identical results (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_SWEEP_OUT,
+        help="artifact root; files land in <out>/<campaign>/ (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="expand and print the run matrix without executing anything",
+    )
+    return parser
+
+
+def _sweep_progress(completed: int, total: int, result) -> None:
+    params = " ".join(f"{key}={value}" for key, value in sorted(result.params.items()))
+    print(
+        f"[{completed}/{total}] point {result.index:>3} "
+        f"{result.scenario} horizon={result.horizon_cycles} {params} "
+        f"({result.wall_seconds * 1e3:.0f} ms)",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _sweep_main(argv: Sequence[str]) -> int:
+    from repro.sweep import campaign, campaigns, execute_campaign, expand_campaign, write_artifacts
+
+    args = _build_sweep_parser().parse_args(argv)
+
+    if args.list:
+        for spec in campaigns():
+            print(f"{spec.name:<26} {spec.n_points:>3} points  {spec.description}")
+        return 0
+
+    if args.campaign is None:
+        _build_sweep_parser().print_usage()
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        spec = campaign(args.campaign)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    try:
+        points = expand_campaign(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        print(f"campaign {spec.name}: {len(points)} points over scenario {spec.scenario}")
+        for point in points:
+            params = " ".join(f"{key}={value}" for key, value in sorted(point.params.items()))
+            print(f"  point {point.index:>3}  horizon={point.horizon_cycles} {params} point-seed={point.seed}")
+        return 0
+
+    result = execute_campaign(spec, jobs=args.jobs, progress=_sweep_progress)
+    paths = write_artifacts(spec, result, Path(args.out))
+    print(
+        f"campaign {spec.name}: {result.n_points} points over scenario {spec.scenario} "
+        f"({args.jobs} job{'s' if args.jobs != 1 else ''}, {result.wall_seconds:.2f} s)"
+    )
+    for label in ("results_json", "results_csv", "manifest_json"):
+        print(f"  {paths[label]}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    # ``sweep`` is a subcommand with its own flags; dispatch before the
+    # single-scenario parser can reject them.
+    if arguments and arguments[0] == "sweep":
+        return _sweep_main(arguments[1:])
+
+    args = _build_parser().parse_args(arguments)
 
     if args.list:
         for spec in scenarios():

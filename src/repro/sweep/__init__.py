@@ -1,0 +1,63 @@
+"""repro.sweep — parameterized scenario sweeps over the event-driven kernel.
+
+A **campaign** (:class:`~repro.sweep.campaign.CampaignSpec`) crosses one
+scenario from :mod:`repro.workloads.registry` with a parameter grid —
+horizons, clock ratios, duty cycles, fault-injection seeds.  The executor
+(:func:`~repro.sweep.execute.execute_campaign`) shards the expanded run
+matrix across a process pool with deterministic per-point seeding, and the
+artifacts layer (:func:`~repro.sweep.artifacts.write_artifacts`) aggregates
+each point's stats, activity counters, and power/area model outputs into
+structured JSON + CSV under ``results/sweeps/``, with a campaign manifest
+for reproducibility.
+
+CLI front end: ``python -m repro.run sweep <campaign> [--jobs N]``.
+Full documentation: ``docs/sweeps.md``.
+"""
+
+from repro.sweep.artifacts import (
+    SCHEMA_VERSION,
+    manifest_payload,
+    point_record,
+    results_payload,
+    write_artifacts,
+)
+from repro.sweep.campaign import (
+    CampaignSpec,
+    SweepPoint,
+    derive_point_seed,
+    expand_campaign,
+    grid_from_lists,
+)
+from repro.sweep.campaigns import (
+    campaign,
+    campaign_names,
+    campaigns,
+    register_campaign,
+)
+from repro.sweep.execute import (
+    CampaignResult,
+    PointResult,
+    execute_campaign,
+    run_point,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "PointResult",
+    "SCHEMA_VERSION",
+    "SweepPoint",
+    "campaign",
+    "campaign_names",
+    "campaigns",
+    "derive_point_seed",
+    "execute_campaign",
+    "expand_campaign",
+    "grid_from_lists",
+    "manifest_payload",
+    "point_record",
+    "register_campaign",
+    "results_payload",
+    "run_point",
+    "write_artifacts",
+]

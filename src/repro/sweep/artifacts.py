@@ -1,0 +1,160 @@
+"""Structured sweep artifacts: results.json, results.csv, manifest.json.
+
+One campaign execution writes three files under ``<out_dir>/<campaign>/``:
+
+* ``results.json`` — the full per-point records (params, seed, stats,
+  flattened activity counters, power and area breakdowns).  Deterministic:
+  sorted keys, no timing, no environment — byte-identical between a serial
+  and a sharded run of the same campaign.
+* ``results.csv`` — the same data flattened to one row per point with
+  namespaced columns (``param.*``, ``stat.*``, ``power_uw.*``,
+  ``area_kge.*``) for spreadsheet/pandas consumption.  Activity counters are
+  deliberately left to the JSON (hundreds of sparse columns help nobody).
+* ``manifest.json`` — everything needed to reproduce and audit the run: the
+  campaign spec (scenario, grid, base seed, kernel), the artifact schema
+  version, the point count, and the execution record (jobs, wall-clock
+  timings, python version).  Timing lives *only* here so the two result
+  files stay comparable across executions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import platform
+from pathlib import Path
+from typing import Dict, List
+
+from repro.sweep.campaign import CampaignSpec
+from repro.sweep.execute import CampaignResult, PointResult
+
+#: Bump when the shape of results.json / results.csv / manifest.json changes.
+SCHEMA_VERSION = 1
+
+RESULTS_JSON = "results.json"
+RESULTS_CSV = "results.csv"
+MANIFEST_JSON = "manifest.json"
+
+
+def point_record(result: PointResult) -> Dict[str, object]:
+    """The deterministic JSON record of one point (no timing)."""
+    return {
+        "index": result.index,
+        "scenario": result.scenario,
+        "horizon_cycles": result.horizon_cycles,
+        "seed": result.seed,
+        "params": dict(result.params),
+        "stats": dict(result.stats),
+        "activity": dict(result.activity),
+        "power_uw": dict(result.power_uw),
+        "area_kge": dict(result.area_kge),
+    }
+
+
+def results_payload(result: CampaignResult) -> Dict[str, object]:
+    """The deterministic results.json payload for one campaign execution."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "campaign": result.campaign,
+        "scenario": result.scenario,
+        "n_points": result.n_points,
+        "points": [point_record(point) for point in result.points],
+    }
+
+
+def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, object]:
+    """The manifest.json payload (reproducibility + execution record)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "campaign": {
+            "name": spec.name,
+            "description": spec.description,
+            "scenario": spec.scenario,
+            "grid": {axis: list(values) for axis, values in spec.grid.items()},
+            "base_seed": spec.base_seed,
+            "dense": spec.dense,
+            "seed_scheme": "sha256(name:base_seed:index)[:4 bytes]",
+        },
+        "n_points": result.n_points,
+        "artifacts": [RESULTS_JSON, RESULTS_CSV],
+        "execution": {
+            "jobs": result.jobs,
+            "wall_seconds": result.wall_seconds,
+            "point_wall_seconds": {
+                str(point.index): point.wall_seconds for point in result.points
+            },
+            "python_version": platform.python_version(),
+        },
+    }
+
+
+def _csv_columns(result: CampaignResult) -> List[str]:
+    param_keys = sorted({key for point in result.points for key in point.params})
+    stat_keys = sorted({key for point in result.points for key in point.stats})
+    power_keys = sorted({key for point in result.points for key in point.power_uw})
+    area_keys = sorted({key for point in result.points for key in point.area_kge})
+    return (
+        ["index", "scenario", "horizon_cycles", "seed"]
+        + [f"param.{key}" for key in param_keys]
+        + [f"stat.{key}" for key in stat_keys]
+        + [f"power_uw.{key}" for key in power_keys]
+        + [f"area_kge.{key}" for key in area_keys]
+    )
+
+
+def _csv_cell(value: object) -> object:
+    # csv renders True/False; normalise to 0/1 so downstream numeric parsing
+    # of stat columns (e.g. ``stat.recovered``) keeps working.
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def write_results_csv(result: CampaignResult, path: Path) -> None:
+    """Write the per-point CSV table."""
+    columns = _csv_columns(result)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for point in result.points:
+            row = []
+            for column in columns:
+                if column == "index":
+                    row.append(point.index)
+                elif column == "scenario":
+                    row.append(point.scenario)
+                elif column == "horizon_cycles":
+                    row.append(point.horizon_cycles)
+                elif column == "seed":
+                    row.append(point.seed)
+                else:
+                    namespace, _, key = column.partition(".")
+                    source = {
+                        "param": point.params,
+                        "stat": point.stats,
+                        "power_uw": point.power_uw,
+                        "area_kge": point.area_kge,
+                    }[namespace]
+                    row.append(_csv_cell(source.get(key, "")))
+            writer.writerow(row)
+
+
+def write_artifacts(
+    spec: CampaignSpec, result: CampaignResult, out_dir: Path
+) -> Dict[str, Path]:
+    """Write all three artifacts under ``out_dir / spec.name``; return paths."""
+    campaign_dir = Path(out_dir) / spec.name
+    campaign_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "results_json": campaign_dir / RESULTS_JSON,
+        "results_csv": campaign_dir / RESULTS_CSV,
+        "manifest_json": campaign_dir / MANIFEST_JSON,
+    }
+    paths["results_json"].write_text(
+        json.dumps(results_payload(result), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    write_results_csv(result, paths["results_csv"])
+    paths["manifest_json"].write_text(
+        json.dumps(manifest_payload(spec, result), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return paths

@@ -1,0 +1,147 @@
+"""Sweep campaigns: a scenario crossed with a parameter grid.
+
+A :class:`CampaignSpec` names one scenario from
+:mod:`repro.workloads.registry` and a grid of parameter axes.
+:func:`expand_campaign` turns the spec into the ordered list of
+:class:`SweepPoint` instances the executor shards across processes:
+
+* the reserved axis ``horizon_cycles`` sweeps the simulated horizon (when
+  absent, the scenario's default horizon is the single value);
+* every other axis must be a parameter the scenario declares in
+  :attr:`~repro.workloads.registry.ScenarioSpec.params`;
+* points are enumerated in row-major order over the axes as written in the
+  grid, so point indices — and therefore artifacts — are stable across
+  executions, process counts, and machines.
+
+Every point carries a **deterministic seed** derived from the campaign name,
+the campaign's base seed, and the point's index (:func:`derive_point_seed`).
+Scenarios that declare a ``seed`` parameter receive it automatically — but
+only when the grid sweeps no other scenario parameter and does not pin
+``seed`` itself, because seed-aware scenarios may treat the seed and
+explicit parameters as mutually exclusive (watchdog-recovery does).  That is
+how the fault-injection campaigns stay reproducible point by point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.workloads.registry import ScenarioSpec, scenario
+
+#: Grid axis that sweeps the simulated horizon rather than a scenario param.
+HORIZON_AXIS = "horizon_cycles"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One sweep campaign: a scenario name plus a parameter grid."""
+
+    name: str
+    description: str
+    scenario: str
+    #: Axis name -> tuple of values.  ``horizon_cycles`` is reserved for the
+    #: simulated horizon; all other axes are scenario parameters.
+    grid: Mapping[str, Tuple[object, ...]]
+    base_seed: int = 0xC0FFEE
+    #: Run every point under the legacy dense kernel (A/B studies only).
+    dense: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a campaign needs a non-empty name")
+        if not self.grid:
+            raise ValueError(f"campaign {self.name!r}: the grid needs at least one axis")
+        frozen: Dict[str, Tuple[object, ...]] = {}
+        for axis, values in self.grid.items():
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"campaign {self.name!r}: axis {axis!r} has no values")
+            frozen[axis] = values
+        object.__setattr__(self, "grid", frozen)
+
+    @property
+    def n_points(self) -> int:
+        """How many points the grid expands to."""
+        total = 1
+        for values in self.grid.values():
+            total *= len(values)
+        return total
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully resolved run of a campaign."""
+
+    index: int
+    campaign: str
+    scenario: str
+    horizon_cycles: int
+    dense: bool
+    params: Mapping[str, object] = field(default_factory=dict)
+    seed: int = 0
+
+
+def derive_point_seed(campaign: str, base_seed: int, index: int) -> int:
+    """Deterministic 32-bit seed for point ``index`` of ``campaign``.
+
+    Hash-based (not ``base_seed + index``) so neighbouring points get
+    uncorrelated streams and renaming a campaign reshuffles every seed.
+    """
+    key = f"{campaign}:{base_seed}:{index}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(key).digest()[:4], "big")
+
+
+def expand_campaign(spec: CampaignSpec) -> List[SweepPoint]:
+    """Expand ``spec`` into its ordered, seeded list of sweep points.
+
+    Raises ``KeyError`` for an unknown scenario and ``ValueError`` for grid
+    axes the scenario does not accept, so ``--dry-run`` catches configuration
+    mistakes before any process is forked.
+    """
+    scenario_spec: ScenarioSpec = scenario(spec.scenario)
+    axes = list(spec.grid.items())
+    param_axes = [axis for axis, _ in axes if axis != HORIZON_AXIS]
+    unknown = sorted(set(param_axes) - set(scenario_spec.params))
+    if unknown:
+        accepted = ", ".join(scenario_spec.params) or "<none>"
+        raise ValueError(
+            f"campaign {spec.name!r}: scenario {spec.scenario!r} does not accept "
+            f"grid axis(es) {unknown}; accepted: {accepted}"
+        )
+    # Auto-inject the point seed only for pure seed/horizon sweeps: scenarios
+    # may treat the seed and explicit parameters as mutually exclusive, and a
+    # conflict must not surface as a mid-campaign worker crash that --dry-run
+    # never saw.
+    inject_seed = "seed" in scenario_spec.params and "seed" not in spec.grid and not param_axes
+
+    points: List[SweepPoint] = []
+    for index, combination in enumerate(itertools.product(*(values for _, values in axes))):
+        values = dict(zip((axis for axis, _ in axes), combination))
+        horizon = values.pop(HORIZON_AXIS, scenario_spec.default_horizon_cycles)
+        if not isinstance(horizon, int) or horizon < 1:
+            raise ValueError(
+                f"campaign {spec.name!r}: horizon_cycles values must be positive ints, got {horizon!r}"
+            )
+        seed = derive_point_seed(spec.name, spec.base_seed, index)
+        if inject_seed:
+            values["seed"] = seed
+        points.append(
+            SweepPoint(
+                index=index,
+                campaign=spec.name,
+                scenario=spec.scenario,
+                horizon_cycles=horizon,
+                dense=spec.dense,
+                params=values,
+                seed=seed,
+            )
+        )
+    return points
+
+
+def grid_from_lists(**axes: Sequence[object]) -> Dict[str, Tuple[object, ...]]:
+    """Convenience: build a grid mapping from keyword sequences."""
+    return {axis: tuple(values) for axis, values in axes.items()}

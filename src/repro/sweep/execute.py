@@ -1,0 +1,162 @@
+"""Sweep execution: run every point of a campaign, serially or sharded.
+
+The unit of work is one :class:`~repro.sweep.campaign.SweepPoint`.
+:func:`run_point` runs the scenario through the registry's instrumented
+entry point and post-processes the SoC into the structured record the
+artifacts layer serialises: scalar stats, flattened activity counters, the
+Figure 5 power breakdown, and the Figure 6a area breakdown.
+
+:func:`execute_campaign` fans the points out:
+
+* ``jobs == 1`` — plain serial loop in this process (the reference path);
+* ``jobs >= 2`` — a ``multiprocessing`` pool with one point per task
+  (``chunksize=1``, unordered collection for load balancing).
+
+Results are keyed and re-sorted by point index, and every per-point output is
+a pure function of the point itself (wall-clock timing is kept out of the
+comparable payload), so the aggregated results of a sharded run are
+**byte-identical** to the serial run — the property
+``tests/sweep/test_execute.py`` pins.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.area.model import PelsAreaModel
+from repro.power.model import PowerModel
+from repro.sweep.campaign import CampaignSpec, SweepPoint, expand_campaign
+from repro.workloads.registry import run_scenario_instrumented
+
+
+@dataclass
+class PointResult:
+    """Everything one sweep point produced (deterministic fields only,
+    except ``wall_seconds`` which the artifacts layer routes to the manifest
+    rather than the comparable results payload)."""
+
+    index: int
+    scenario: str
+    horizon_cycles: int
+    params: Dict[str, object]
+    seed: int
+    stats: Dict[str, object] = field(default_factory=dict)
+    #: Activity counters flattened to ``"component.event" -> count``.
+    activity: Dict[str, int] = field(default_factory=dict)
+    #: Figure 5 component powers in µW (plus ``Total``); empty when the
+    #: scenario exposes no SoC.
+    power_uw: Dict[str, float] = field(default_factory=dict)
+    #: Figure 6a area components in kGE (plus ``Total``); empty without PELS.
+    area_kge: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """All point results of one campaign execution."""
+
+    campaign: str
+    scenario: str
+    points: List[PointResult]
+    jobs: int
+    wall_seconds: float
+
+    @property
+    def n_points(self) -> int:
+        """Number of executed points."""
+        return len(self.points)
+
+
+ProgressCallback = Callable[[int, int, PointResult], None]
+
+
+def run_point(point: SweepPoint) -> PointResult:
+    """Execute one sweep point and derive its power/area records."""
+    start = time.perf_counter()
+    outcome = run_scenario_instrumented(
+        point.scenario,
+        horizon_cycles=point.horizon_cycles,
+        dense=point.dense,
+        params=point.params,
+    )
+    wall = time.perf_counter() - start
+
+    activity: Dict[str, int] = {}
+    power_uw: Dict[str, float] = {}
+    area_kge: Dict[str, float] = {}
+    soc = outcome.soc
+    if soc is not None:
+        snapshot = soc.activity.as_dict()
+        activity = {f"{component}.{event}": count for (component, event), count in sorted(snapshot.items())}
+        # Average over the cycles actually simulated: condition-driven
+        # scenarios (e.g. threshold-pels) may stop well short of the
+        # requested horizon, and normalising over the request would dilute
+        # every dynamic-power column.
+        breakdown = PowerModel().estimate(
+            snapshot,
+            window_cycles=max(soc.simulator.current_cycle, 1),
+            frequency_hz=soc.frequency_hz,
+            scenario=point.scenario,
+            pels_present=soc.pels is not None,
+        )
+        power_uw = breakdown.as_dict()
+        if soc.pels is not None and soc.config.pels_config is not None:
+            area_kge = PelsAreaModel().estimate(soc.config.pels_config).as_dict()
+
+    return PointResult(
+        index=point.index,
+        scenario=point.scenario,
+        horizon_cycles=point.horizon_cycles,
+        params=dict(point.params),
+        seed=point.seed,
+        stats=dict(outcome.stats),
+        activity=activity,
+        power_uw=power_uw,
+        area_kge=area_kge,
+        wall_seconds=wall,
+    )
+
+
+def execute_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Run every point of ``spec`` and return the aggregated result.
+
+    ``jobs`` is the number of worker processes; ``1`` runs everything in this
+    process.  ``progress`` (if given) is called after each completed point
+    with ``(completed, total, result)`` — note that under sharding the
+    completion *order* is nondeterministic even though the aggregated results
+    are not.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    points = expand_campaign(spec)
+    start = time.perf_counter()
+    results: List[PointResult] = []
+    if jobs == 1:
+        for point in points:
+            result = run_point(point)
+            results.append(result)
+            if progress is not None:
+                progress(len(results), len(points), result)
+    else:
+        # One point per task: sweep points vary wildly in cost (horizon axes
+        # span orders of magnitude), so fine-grained dispatch beats chunking.
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for result in pool.imap_unordered(run_point, points, chunksize=1):
+                results.append(result)
+                if progress is not None:
+                    progress(len(results), len(points), result)
+    results.sort(key=lambda result: result.index)
+    return CampaignResult(
+        campaign=spec.name,
+        scenario=spec.scenario,
+        points=results,
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - start,
+    )

@@ -31,12 +31,20 @@ from repro.workloads.longrun import (
     run_burst_stream,
     run_duty_cycled_logging,
     run_watchdog_recovery,
+    seeded_watchdog_recovery_config,
 )
 from repro.workloads.minimal import MinimalLinkingResult, run_minimal_ibex_linking, run_minimal_pels_linking
+from repro.workloads.pipeline import (
+    MultiLinkPipelineConfig,
+    MultiLinkPipelineResult,
+    run_multi_link_pipeline,
+)
 from repro.workloads.registry import (
+    ScenarioOutcome,
     ScenarioSpec,
     register_scenario,
     run_scenario,
+    run_scenario_instrumented,
     scenario,
     scenario_names,
     scenarios,
@@ -60,8 +68,11 @@ __all__ = [
     "DutyCycledLoggingConfig",
     "DutyCycledLoggingResult",
     "MinimalLinkingResult",
+    "MultiLinkPipelineConfig",
+    "MultiLinkPipelineResult",
     "PeriodicMonitorConfig",
     "PeriodicMonitorResult",
+    "ScenarioOutcome",
     "ScenarioSpec",
     "ThresholdWorkload",
     "ThresholdWorkloadConfig",
@@ -74,11 +85,14 @@ __all__ = [
     "run_ibex_threshold_workload",
     "run_minimal_ibex_linking",
     "run_minimal_pels_linking",
+    "run_multi_link_pipeline",
     "run_pels_threshold_workload",
     "run_periodic_monitor",
     "run_scenario",
+    "run_scenario_instrumented",
     "run_watchdog_recovery",
     "scenario",
     "scenario_names",
     "scenarios",
+    "seeded_watchdog_recovery_config",
 ]

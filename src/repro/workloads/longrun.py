@@ -25,6 +25,7 @@ Three scenarios, all fully autonomous (the Ibex core sleeps throughout):
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Optional
 
@@ -283,6 +284,33 @@ class WatchdogRecoveryConfig:
             raise ValueError("the stall must happen after at least one sample")
         if self.horizon_cycles < (self.stall_after_samples + 4) * self.sample_period_cycles:
             raise ValueError("the horizon leaves no room for the recovery to play out")
+
+
+def seeded_watchdog_recovery_config(
+    seed: int, horizon_cycles: int = 200_000, dense: bool = False
+) -> WatchdogRecoveryConfig:
+    """Derive a fault-injection point deterministically from ``seed``.
+
+    The seed picks the sampling period and the stall instant (how many healthy
+    samples before the injected fault), the two knobs that decide how close to
+    the watchdog's bite the recovery cuts.  The same seed always yields the
+    same configuration, which is what makes fault-injection sweep campaigns
+    reproducible point by point.
+    """
+    rng = random.Random(seed)
+    period = rng.randrange(1_600, 2_500, 100)
+    # Clamp the period so even stall_after_samples=1 leaves the (stall + 4)
+    # periods the config validation demands — any horizon >= 500 cycles
+    # yields a valid point for every seed.
+    period = min(period, max(horizon_cycles // 5, 100))
+    max_stall = max(horizon_cycles // period - 4, 1)
+    stall_after = rng.randint(1, min(12, max_stall))
+    return WatchdogRecoveryConfig(
+        sample_period_cycles=period,
+        stall_after_samples=stall_after,
+        horizon_cycles=horizon_cycles,
+        dense=dense,
+    )
 
 
 @dataclass

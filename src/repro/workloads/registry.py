@@ -1,22 +1,44 @@
-"""Scenario registry for the batch runner.
+"""Scenario registry for the batch runner and the sweep subsystem.
 
 Every entry maps a stable scenario name to a callable that builds, runs, and
 summarises one workload over a caller-chosen horizon.  The registry is what
-``python -m repro.run`` dispatches on, and it gives tests and benchmarks a
-single place to enumerate "everything the model can do".
+``python -m repro.run`` dispatches on, what :mod:`repro.sweep` expands its
+campaign grids over, and it gives tests and benchmarks a single place to
+enumerate "everything the model can do".
 
-Scenario callables take ``(horizon_cycles, dense)`` and return a flat
-``dict`` of scalar statistics; ``horizon_cycles`` is the simulated horizon in
-base-clock cycles and ``dense`` selects the legacy cycle-driven kernel
-(:mod:`repro.sim.simulator`) for A/B comparisons.
+Scenario callables take ``(horizon_cycles, dense, **params)`` and return a
+:class:`ScenarioOutcome`; ``horizon_cycles`` is the simulated horizon in
+base-clock cycles, ``dense`` selects the legacy cycle-driven kernel
+(:mod:`repro.sim.simulator`) for A/B comparisons, and ``params`` are the
+scenario's declared sweepable parameters (see :class:`ScenarioSpec.params`).
+The outcome carries the flat scalar statistics plus (where available) the SoC
+itself, so downstream consumers — the power and area models in the sweep
+worker — can read activity counters and configuration without re-running.
+
+:func:`run_scenario` keeps the original "stats dict" contract;
+:func:`run_scenario_instrumented` exposes the full outcome.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
-ScenarioRunner = Callable[[int, bool], Mapping[str, object]]
+ScenarioRunner = Callable[..., "ScenarioOutcome"]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything one scenario run produced.
+
+    ``stats`` is the flat scalar summary the batch runner prints; ``soc`` is
+    the simulated system itself (``None`` for scenarios that do not expose
+    it), from which activity counters, the clock frequency, and the PELS
+    configuration can be read for power/area post-processing.
+    """
+
+    stats: Dict[str, object] = field(default_factory=dict)
+    soc: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -27,15 +49,21 @@ class ScenarioSpec:
     description: str
     default_horizon_cycles: int
     run: ScenarioRunner
+    #: Names of the keyword parameters the runner accepts beyond the horizon
+    #: and kernel selection — the axes a sweep campaign may put in its grid.
+    params: Tuple[str, ...] = ()
 
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 
 
 def register_scenario(
-    name: str, description: str, default_horizon_cycles: int
+    name: str,
+    description: str,
+    default_horizon_cycles: int,
+    params: Tuple[str, ...] = (),
 ) -> Callable[[ScenarioRunner], ScenarioRunner]:
-    """Decorator registering ``fn(horizon_cycles, dense) -> stats`` under ``name``."""
+    """Decorator registering ``fn(horizon_cycles, dense, **params)`` under ``name``."""
 
     def decorator(fn: ScenarioRunner) -> ScenarioRunner:
         if name in _REGISTRY:
@@ -47,6 +75,7 @@ def register_scenario(
             description=description,
             default_horizon_cycles=default_horizon_cycles,
             run=fn,
+            params=tuple(params),
         )
         return fn
 
@@ -72,13 +101,43 @@ def scenarios() -> Tuple[ScenarioSpec, ...]:
     return tuple(_REGISTRY[name] for name in scenario_names())
 
 
-def run_scenario(name: str, horizon_cycles: int | None = None, dense: bool = False) -> Dict[str, object]:
-    """Run scenario ``name`` and return its statistics dictionary."""
+def _validated_params(spec: ScenarioSpec, params: Optional[Mapping[str, object]]) -> Dict[str, object]:
+    if not params:
+        return {}
+    unknown = sorted(set(params) - set(spec.params))
+    if unknown:
+        accepted = ", ".join(spec.params) or "<none>"
+        raise ValueError(
+            f"scenario {spec.name!r} does not accept parameter(s) {unknown}; accepted: {accepted}"
+        )
+    return dict(params)
+
+
+def run_scenario_instrumented(
+    name: str,
+    horizon_cycles: int | None = None,
+    dense: bool = False,
+    params: Optional[Mapping[str, object]] = None,
+) -> ScenarioOutcome:
+    """Run scenario ``name`` and return the full :class:`ScenarioOutcome`."""
     spec = scenario(name)
     horizon = spec.default_horizon_cycles if horizon_cycles is None else horizon_cycles
     if horizon < 1:
         raise ValueError("the horizon must be at least one cycle")
-    return dict(spec.run(horizon, dense))
+    outcome = spec.run(horizon, dense, **_validated_params(spec, params))
+    if not isinstance(outcome, ScenarioOutcome):
+        raise TypeError(f"scenario {name!r} returned {type(outcome).__name__}, not ScenarioOutcome")
+    return outcome
+
+
+def run_scenario(
+    name: str,
+    horizon_cycles: int | None = None,
+    dense: bool = False,
+    params: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Run scenario ``name`` and return its statistics dictionary."""
+    return dict(run_scenario_instrumented(name, horizon_cycles, dense, params).stats)
 
 
 # --------------------------------------------------------------- registrations
@@ -88,13 +147,16 @@ def run_scenario(name: str, horizon_cycles: int | None = None, dense: bool = Fal
     "always-on-monitor",
     "Timer-paced ADC sampling into a PWM actuator loop with watchdog supervision",
     default_horizon_cycles=200_000,
+    params=("sample_period_cycles",),
 )
-def _run_always_on_monitor(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+def _run_always_on_monitor(
+    horizon_cycles: int, dense: bool, sample_period_cycles: int = 1_000
+) -> ScenarioOutcome:
     from repro.peripherals.sensor import SensorWaveform
     from repro.soc.pulpissimo import SocConfig, build_soc
     from repro.workloads.periodic import PeriodicMonitorConfig, run_periodic_monitor
 
-    period = 1_000
+    period = sample_period_cycles
     config = PeriodicMonitorConfig(
         sample_period_cycles=period,
         n_samples=max(horizon_cycles // period - 4, 1),
@@ -108,7 +170,7 @@ def _run_always_on_monitor(horizon_cycles: int, dense: bool) -> Mapping[str, obj
         )
     )
     result = run_periodic_monitor(config, soc=soc)
-    return {
+    stats = {
         "samples_taken": result.samples_taken,
         "duty_updates": result.duty_updates,
         "final_duty": result.final_duty,
@@ -117,61 +179,134 @@ def _run_always_on_monitor(horizon_cycles: int, dense: bool) -> Mapping[str, obj
         "cpu_interrupts": result.cpu_interrupts,
         "horizon_cycles": result.total_cycles,
     }
+    return ScenarioOutcome(stats=stats, soc=soc)
 
 
 @register_scenario(
     "duty-cycled-logging",
     "Duty-cycled multi-sensor logging: ADC + SPI readouts, µDMA log, PWM loop",
     default_horizon_cycles=500_000,
+    params=("sample_period_cycles", "words_per_readout", "spi_cycles_per_word", "pwm_period"),
 )
-def _run_duty_cycled_logging(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+def _run_duty_cycled_logging(horizon_cycles: int, dense: bool, **params: object) -> ScenarioOutcome:
     from repro.workloads.longrun import DutyCycledLoggingConfig, run_duty_cycled_logging
 
-    return run_duty_cycled_logging(
-        DutyCycledLoggingConfig(horizon_cycles=horizon_cycles, dense=dense)
-    ).summary()
+    result = run_duty_cycled_logging(
+        DutyCycledLoggingConfig(horizon_cycles=horizon_cycles, dense=dense, **params)
+    )
+    return ScenarioOutcome(stats=result.summary(), soc=result.soc)
 
 
 @register_scenario(
     "burst-spi-dma",
     "Burst SPI→µDMA streaming to L2 with long silent gaps",
     default_horizon_cycles=1_000_000,
+    params=("burst_period_cycles", "words_per_burst", "spi_cycles_per_word"),
 )
-def _run_burst_stream(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+def _run_burst_stream(horizon_cycles: int, dense: bool, **params: object) -> ScenarioOutcome:
     from repro.workloads.longrun import BurstStreamConfig, run_burst_stream
 
-    return run_burst_stream(BurstStreamConfig(horizon_cycles=horizon_cycles, dense=dense)).summary()
+    result = run_burst_stream(BurstStreamConfig(horizon_cycles=horizon_cycles, dense=dense, **params))
+    return ScenarioOutcome(stats=result.summary(), soc=result.soc)
 
 
 @register_scenario(
     "watchdog-recovery",
     "Stalled sampling loop detected by the watchdog and restarted by PELS",
     default_horizon_cycles=200_000,
+    params=("sample_period_cycles", "stall_after_samples", "seed"),
 )
-def _run_watchdog_recovery(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
-    from repro.workloads.longrun import WatchdogRecoveryConfig, run_watchdog_recovery
+def _run_watchdog_recovery(
+    horizon_cycles: int,
+    dense: bool,
+    seed: Optional[int] = None,
+    **params: object,
+) -> ScenarioOutcome:
+    from repro.workloads.longrun import (
+        WatchdogRecoveryConfig,
+        run_watchdog_recovery,
+        seeded_watchdog_recovery_config,
+    )
 
-    return run_watchdog_recovery(
-        WatchdogRecoveryConfig(horizon_cycles=horizon_cycles, dense=dense)
-    ).summary()
+    if seed is not None:
+        if params:
+            raise ValueError(
+                "watchdog-recovery takes either a fault-injection seed or explicit "
+                f"parameters, not both (got seed={seed} and {sorted(params)})"
+            )
+        config = seeded_watchdog_recovery_config(seed, horizon_cycles=horizon_cycles, dense=dense)
+    else:
+        config = WatchdogRecoveryConfig(horizon_cycles=horizon_cycles, dense=dense, **params)
+    result = run_watchdog_recovery(config)
+    stats = result.summary()
+    stats["sample_period_cycles"] = config.sample_period_cycles
+    stats["stall_after_samples"] = config.stall_after_samples
+    return ScenarioOutcome(stats=stats, soc=result.soc)
 
 
 @register_scenario(
     "threshold-pels",
     "Paper workload: threshold check after µDMA-managed SPI readout (PELS-linked)",
     default_horizon_cycles=50_000,
+    params=("spi_cycles_per_word",),
 )
-def _run_threshold_pels(horizon_cycles: int, dense: bool) -> Mapping[str, object]:
+def _run_threshold_pels(
+    horizon_cycles: int, dense: bool, spi_cycles_per_word: int = 4
+) -> ScenarioOutcome:
     from repro.soc.pulpissimo import SocConfig, build_soc
     from repro.workloads.threshold import ThresholdWorkloadConfig, run_pels_threshold_workload
 
-    config = ThresholdWorkloadConfig(n_events=max(horizon_cycles // 6_000, 1))
+    config = ThresholdWorkloadConfig(
+        n_events=max(horizon_cycles // 6_000, 1), spi_cycles_per_word=spi_cycles_per_word
+    )
     soc = build_soc(SocConfig(spi_cycles_per_word=config.spi_cycles_per_word, dense=dense))
     result = run_pels_threshold_workload(config, soc=soc)
-    return {
+    stats = {
         "events_serviced": result.events_serviced,
         "alerts_raised": result.alerts_raised,
         "mean_latency_cycles": result.mean_latency,
         "worst_latency_cycles": result.worst_latency,
         "horizon_cycles": result.total_cycles,
     }
+    return ScenarioOutcome(stats=stats, soc=soc)
+
+
+@register_scenario(
+    "multi-link-pipeline",
+    "Chained timer→ADC→UART→blinker pipeline across three specialised links",
+    default_horizon_cycles=50_000,
+    params=("timer_period_cycles", "clock_ratio", "blink_count"),
+)
+def _run_multi_link_pipeline(horizon_cycles: int, dense: bool, **params: object) -> ScenarioOutcome:
+    from repro.workloads.pipeline import MultiLinkPipelineConfig, run_multi_link_pipeline
+
+    result = run_multi_link_pipeline(
+        MultiLinkPipelineConfig(horizon_cycles=horizon_cycles, dense=dense, **params)
+    )
+    return ScenarioOutcome(stats=result.summary(), soc=result.soc)
+
+
+@register_scenario(
+    "figure5-idle",
+    "Paper-scale idle power study: armed threshold link waiting for events (Figure 5 idle bars)",
+    default_horizon_cycles=110_000,
+    params=("mode", "frequency_mhz"),
+)
+def _run_figure5_idle(
+    horizon_cycles: int, dense: bool, mode: str = "pels", frequency_mhz: float = 27.0
+) -> ScenarioOutcome:
+    from repro.power.scenarios import build_idle_measurement_soc
+
+    soc = build_idle_measurement_soc(mode, frequency_hz=frequency_mhz * 1e6, dense=dense)
+    soc.run(horizon_cycles)
+    activity = soc.activity
+    stats = {
+        "mode": mode,
+        "frequency_mhz": frequency_mhz,
+        "cpu_sleep_cycles": soc.cpu.sleep_cycles,
+        "cpu_interrupts": soc.cpu.interrupts_serviced,
+        "pels_idle_cycles": activity.get("pels", "idle_cycles"),
+        "sram_reads": activity.get("sram", "reads"),
+        "horizon_cycles": horizon_cycles,
+    }
+    return ScenarioOutcome(stats=stats, soc=soc)

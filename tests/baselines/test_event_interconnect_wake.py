@@ -1,0 +1,107 @@
+"""Wake-hint tests for the event-interconnect baseline.
+
+``repro.baselines.event_interconnect`` had no wake hints at all, so any
+system containing it fell back to dense stepping (the ROADMAP gap).  The
+router now sleeps until a producer pulse is waiting on the fabric and
+batch-records its idle cycles, which is what lets baseline-vs-PELS ablation
+runs benefit from quiescence skipping too.
+"""
+
+from repro.baselines.event_interconnect import EventInterconnect
+from repro.peripherals.events import EventFabric
+from repro.peripherals.gpio import Gpio
+from repro.peripherals.timer import Timer
+from repro.sim.component import Component
+from repro.sim.simulator import Simulator
+
+
+class HintedFabricCloser(Component):
+    """End-of-cycle pulse clearing with a wake hint (mirrors the SoC helper)."""
+
+    def __init__(self, fabric):
+        super().__init__("closer")
+        self._fabric = fabric
+
+    def tick(self, cycle):
+        self._fabric.end_cycle()
+
+    def next_event(self):
+        return 1 if self._fabric.active_mask() else None
+
+
+def make_system(dense=False, timer_compare=50):
+    simulator = Simulator(dense=dense)
+    fabric = EventFabric()
+    timer = Timer("timer", compare=timer_compare)
+    timer.connect_events(fabric)
+    gpio = Gpio("gpio")
+    gpio.connect_events(fabric)
+    interconnect = EventInterconnect("prs", fabric=fabric, n_channels=4)
+    simulator.add_component(timer)
+    simulator.add_component(gpio)
+    simulator.add_component(interconnect)
+    simulator.add_component(HintedFabricCloser(fabric))
+    return simulator, fabric, timer, gpio, interconnect
+
+
+class TestEventInterconnectWakeHints:
+    def test_quiet_fabric_never_wakes_the_router(self):
+        _, fabric, _, _, interconnect = make_system()
+        assert fabric.active_mask() == 0
+        assert interconnect.next_event() is None
+
+    def test_unconnected_router_never_wakes(self):
+        router = EventInterconnect("lonely")
+        assert router.next_event() is None
+        router.skip(25)
+        assert router._local_activity.get("lonely", "idle_cycles") == 0
+
+    def test_pending_pulse_forces_a_dense_tick(self):
+        _, fabric, timer, _, interconnect = make_system()
+        fabric.pulse(timer.event_line_name("overflow"))
+        assert interconnect.next_event() == 1
+
+    def test_skip_batch_records_idle_cycles(self):
+        simulator, _, _, _, interconnect = make_system()
+        interconnect.skip(500)
+        assert simulator.activity.get("prs", "idle_cycles") == 500
+
+    def test_dense_and_event_runs_agree(self):
+        outcomes = {}
+        for dense in (True, False):
+            simulator, _, timer, gpio, interconnect = make_system(dense=dense)
+            interconnect.configure_channel(0, [timer.event_line_name("overflow")])
+            interconnect.route_to_peripheral(0, gpio, "toggle_pad0")
+            timer.start()
+            simulator.step(500)
+            outcomes[dense] = (
+                simulator.current_cycle,
+                timer.overflow_count,
+                interconnect.total_fires,
+                interconnect.last_fire_cycle,
+                gpio.toggle_count,
+                simulator.activity.as_dict(),
+            )
+        assert outcomes[True] == outcomes[False]
+        assert outcomes[False][2] > 0  # the routed channel really fired
+
+    def test_router_no_longer_forces_dense_stepping(self):
+        """The whole point of the satellite: an idle stretch with the router
+        present must be skippable, not stepped cycle by cycle."""
+        simulator, _, timer, gpio, interconnect = make_system(timer_compare=400)
+        interconnect.configure_channel(0, [timer.event_line_name("overflow")])
+        interconnect.route_to_peripheral(0, gpio, "set_pad0")
+        timer.start()
+        ticks = 0
+        original_tick = interconnect.tick
+
+        def counting_tick(cycle):
+            nonlocal ticks
+            ticks += 1
+            original_tick(cycle)
+
+        interconnect.tick = counting_tick
+        simulator.step(399)
+        # Without wake hints this would have been 399 dense ticks.
+        assert ticks == 0
+        assert simulator.activity.get("prs", "idle_cycles") == 399

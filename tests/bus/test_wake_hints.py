@@ -1,0 +1,137 @@
+"""Wake-hint tests for the bus fabrics (the ROADMAP gap closed in this PR).
+
+The APB bus and the SoC interconnect used to report ``next_event() == 1``
+whenever a transfer was in flight, forcing dense stepping through every wait
+state.  They now expose the transfer-completion horizon and replay the busy
+countdown in ``skip()``; these tests pin the horizons and the dense-vs-event
+equivalence that the property suite checks at the SoC level.
+"""
+
+import pytest
+
+import repro.bus.interconnect as interconnect_module
+from repro.bus.apb import ApbBus
+from repro.bus.interconnect import SystemInterconnect
+from repro.bus.transaction import read_request, write_request
+from repro.sim.simulator import Simulator
+from repro.soc.memory import SramBank
+
+
+class WaitStateSlave:
+    """Word store that inserts wait states on every access."""
+
+    def __init__(self, wait_states=0):
+        self.wait_states = wait_states
+        self.words = {}
+
+    def bus_read(self, offset):
+        return self.words.get(offset, 0)
+
+    def bus_write(self, offset, value):
+        self.words[offset] = value
+
+
+def make_bus(wait_states=0, dense=False):
+    simulator = Simulator(dense=dense)
+    bus = ApbBus("apb")
+    slave = WaitStateSlave(wait_states=wait_states)
+    bus.attach_slave(0x1000, 0x100, slave)
+    simulator.add_component(bus)
+    return simulator, bus, slave
+
+
+class TestApbWakeHints:
+    def test_idle_bus_never_wakes(self):
+        _, bus, _ = make_bus()
+        assert bus.next_event() is None
+
+    def test_pending_request_wakes_immediately(self):
+        _, bus, _ = make_bus()
+        bus.submit(write_request("m0", 0x1000, 1))
+        assert bus.next_event() == 1
+
+    def test_active_transfer_exposes_completion_horizon(self):
+        simulator, bus, _ = make_bus(wait_states=5)
+        bus.submit(read_request("m0", 0x1000))
+        simulator.step(1)  # grant/setup tick
+        # Access cycle + 5 wait states remain.
+        assert bus.next_event() == 6
+
+    def test_skip_replays_the_busy_countdown(self):
+        simulator, bus, _ = make_bus(wait_states=5)
+        bus.submit(read_request("m0", 0x1000))
+        simulator.step(1)
+        busy_before = simulator.activity.get("apb", "busy_cycles")
+        bus.skip(4)
+        assert simulator.activity.get("apb", "busy_cycles") == busy_before + 4
+        assert bus.next_event() == 2
+
+    def test_idle_skip_still_records_empty_arbitration_rounds(self):
+        simulator, bus, _ = make_bus()
+        bus.skip(10)
+        assert simulator.activity.get("apb", "idle_cycles") == 10
+
+    @pytest.mark.parametrize("wait_states", [0, 3, 7])
+    def test_dense_and_event_runs_agree(self, wait_states):
+        outcomes = {}
+        for dense in (True, False):
+            simulator, bus, slave = make_bus(wait_states=wait_states, dense=dense)
+            first = bus.submit(write_request("m0", 0x1004, 0xAB))
+            second = bus.submit(read_request("m1", 0x1004))
+            simulator.step(30)
+            outcomes[dense] = (
+                first.response.completed_cycle,
+                second.response.completed_cycle,
+                second.rdata,
+                slave.words,
+                simulator.activity.as_dict(),
+            )
+        assert outcomes[True] == outcomes[False]
+
+
+class TestInterconnectWakeHints:
+    def make_interconnect(self, dense=False):
+        simulator = Simulator(dense=dense)
+        interconnect = SystemInterconnect("soc_interconnect")
+        sram = SramBank("sram", size_bytes=0x1000)
+        interconnect.attach_memory(0x1000_0000, 0x1000, sram)
+        simulator.add_component(interconnect)
+        simulator.add_component(sram)
+        return simulator, interconnect, sram
+
+    def test_idle_interconnect_never_wakes(self):
+        _, interconnect, _ = self.make_interconnect()
+        assert interconnect.next_event() is None
+
+    def test_in_flight_transfer_exposes_completion_horizon(self, monkeypatch):
+        monkeypatch.setattr(interconnect_module, "SRAM_ACCESS_CYCLES", 4)
+        _, interconnect, _ = self.make_interconnect()
+        interconnect.submit(write_request("cpu", 0x1000_0000, 42))
+        assert interconnect.next_event() == 4
+
+    def test_skip_ages_in_flight_transfers(self, monkeypatch):
+        monkeypatch.setattr(interconnect_module, "SRAM_ACCESS_CYCLES", 4)
+        simulator, interconnect, _ = self.make_interconnect()
+        interconnect.submit(write_request("cpu", 0x1000_0000, 42))
+        interconnect.skip(3)
+        assert interconnect.next_event() == 1
+        assert simulator.activity.get("soc_interconnect", "busy_cycles") == 3
+        simulator.step(1)
+        assert simulator.activity.get("soc_interconnect", "memory_writes") == 1
+
+    @pytest.mark.parametrize("access_cycles", [1, 3])
+    def test_dense_and_event_runs_agree(self, access_cycles, monkeypatch):
+        monkeypatch.setattr(interconnect_module, "SRAM_ACCESS_CYCLES", access_cycles)
+        outcomes = {}
+        for dense in (True, False):
+            simulator, interconnect, _ = self.make_interconnect(dense=dense)
+            write = interconnect.submit(write_request("cpu", 0x1000_0004, 0x55))
+            read = interconnect.submit(read_request("udma", 0x1000_0004))
+            simulator.step(12)
+            outcomes[dense] = (
+                write.response.completed_cycle,
+                read.response.completed_cycle,
+                read.rdata,
+                simulator.activity.as_dict(),
+            )
+        assert outcomes[True] == outcomes[False]

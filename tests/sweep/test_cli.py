@@ -1,0 +1,63 @@
+"""CLI tests for ``python -m repro.run sweep``."""
+
+import json
+
+from repro.run import main
+
+
+class TestSweepCli:
+    def test_list_campaigns(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pipeline-clock-ratio", "watchdog-fault-injection", "fig5-long-horizon-power", "smoke"):
+            assert name in out
+
+    def test_missing_campaign_prints_usage(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_campaign_is_an_error(self, capsys):
+        assert main(["sweep", "no-such-campaign"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_invalid_jobs_is_an_error(self, capsys):
+        assert main(["sweep", "smoke", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_dry_run_prints_matrix_without_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "sweeps"
+        assert main(["sweep", "smoke", "--dry-run", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4 points" in out
+        assert "point   0" in out
+        assert not out_dir.exists()
+
+    def test_smoke_campaign_writes_artifacts_with_progress(self, capsys, tmp_path):
+        out_dir = tmp_path / "sweeps"
+        assert main(["sweep", "smoke", "--jobs", "2", "--out", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+        campaign_dir = out_dir / "smoke"
+        assert (campaign_dir / "results.json").exists()
+        assert (campaign_dir / "results.csv").exists()
+        assert (campaign_dir / "manifest.json").exists()
+        assert "[4/4]" in captured.err  # progress reporting on stderr
+        assert "4 points" in captured.out
+        manifest = json.loads((campaign_dir / "manifest.json").read_text())
+        assert manifest["execution"]["jobs"] == 2
+
+    def test_jobs_1_and_jobs_4_artifacts_are_identical(self, tmp_path):
+        """The CLI-level statement of the determinism acceptance criterion."""
+        serial_dir, sharded_dir = tmp_path / "serial", tmp_path / "sharded"
+        assert main(["sweep", "smoke", "--jobs", "1", "--out", str(serial_dir)]) == 0
+        assert main(["sweep", "smoke", "--jobs", "4", "--out", str(sharded_dir)]) == 0
+        for artifact in ("results.json", "results.csv"):
+            serial_bytes = (serial_dir / "smoke" / artifact).read_bytes()
+            sharded_bytes = (sharded_dir / "smoke" / artifact).read_bytes()
+            assert serial_bytes == sharded_bytes
+
+    def test_single_scenario_cli_still_works(self, capsys):
+        assert main(["--list"]) == 0
+        assert "multi-link-pipeline" in capsys.readouterr().out
+        assert main(["multi-link-pipeline", "--horizon-cycles", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "timer_overflows" in out
