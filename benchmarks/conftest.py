@@ -8,11 +8,13 @@ files for inclusion in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+KERNEL_JSON = "BENCH_kernel.json"
 
 
 @pytest.fixture(scope="session")
@@ -30,6 +32,26 @@ def save_result(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n# --- {name} ---\n{text}\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture()
+def save_kernel_json(results_dir):
+    """Callable merging one benchmark section into results/BENCH_kernel.json
+    (the machine-readable artifact the CI perf-regression job consumes)."""
+
+    def _save(section: str, payload: dict) -> Path:
+        path = results_dir / KERNEL_JSON
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            document = {"schema_version": 1}
+        document[section] = payload
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
         return path
 
     return _save

@@ -1,17 +1,24 @@
-"""E11 — Sweep sharding: near-linear speedup from a 2-worker pool.
+"""E11 — Sweep sharding: chunked dispatch must never lose to serial.
 
-Runs a dense-kernel campaign (dense points are compute-heavy, so pool
-overhead is well amortised) serially and sharded across 2 processes, checks
-the aggregated results are identical, and asserts the sharding speedup.  The
-speedup assertion is gated on the host actually having two cores — on a
-single-CPU container sharding degenerates to time-slicing and only the
-determinism claim is checkable.
+Runs a 12-point dense-kernel campaign (dense points are compute-heavy, so
+pool overhead is measurable but amortisable) serially and with a 2-worker
+request, checks the aggregated results are identical, and asserts the
+execution-policy contract:
+
+* on a single-core host the pool is clamped away entirely, so ``--jobs 2``
+  degenerates to the serial path and must be *no slower* than ``--jobs 1``
+  (the pre-chunking dispatcher measured 0.86x here);
+* where two or more cores exist, chunked sharding must deliver near-linear
+  throughput (floor 1.5x).
+
+The measurements are appended to ``results/BENCH_kernel.json`` for the CI
+perf-regression job, next to the human-readable txt artifact.
 """
 
 import os
 import time
 
-from repro.sweep import CampaignSpec, execute_campaign, results_payload
+from repro.sweep import CampaignSpec, auto_chunk, execute_campaign, results_payload
 
 BENCH_SPEC = CampaignSpec(
     name="bench-sharding",
@@ -19,31 +26,47 @@ BENCH_SPEC = CampaignSpec(
     scenario="duty-cycled-logging",
     dense=True,
     grid={
-        "horizon_cycles": (40_000, 60_000),
-        "sample_period_cycles": (1_000, 2_000, 3_000),
+        "horizon_cycles": (20_000, 30_000, 40_000),
+        "sample_period_cycles": (1_000, 2_000),
+        "words_per_readout": (4, 8),
     },
 )
 
 JOBS = 2
 # Linear would be 2.0x; CI runners are shared and noisy, so assert a robust
 # floor the same way the event-kernel benchmark asserts 3x of a measured 50x.
-MIN_SPEEDUP = 1.3
+MIN_MULTICORE_SPEEDUP = 1.5
+# Single-core hosts run both configurations through the identical serial
+# path; the margin only absorbs timing noise between the two passes.
+MIN_SINGLE_CORE_SPEEDUP = 0.9
 
 
-def test_bench_sweep_sharding_speedup(save_result):
+def _timed(jobs):
     start = time.perf_counter()
-    serial = execute_campaign(BENCH_SPEC, jobs=1)
-    serial_seconds = time.perf_counter() - start
+    result = execute_campaign(BENCH_SPEC, jobs=jobs)
+    return time.perf_counter() - start, result
 
-    start = time.perf_counter()
-    sharded = execute_campaign(BENCH_SPEC, jobs=JOBS)
-    sharded_seconds = time.perf_counter() - start
+
+def test_bench_sweep_sharding_speedup(save_result, save_kernel_json):
+    assert BENCH_SPEC.n_points >= 12
+
+    # Two passes per configuration in counterbalanced order (serial, sharded,
+    # sharded, serial), scored by the min: dense campaigns are seconds-long,
+    # and shared hosts drift tens of percent between back-to-back passes —
+    # always measuring one configuration second would bias the ratio.
+    serial_a, serial = _timed(1)
+    sharded_a, sharded = _timed(JOBS)
+    sharded_b, _ = _timed(JOBS)
+    serial_b, _ = _timed(1)
+    serial_seconds = min(serial_a, serial_b)
+    sharded_seconds = min(sharded_a, sharded_b)
 
     speedup = serial_seconds / max(sharded_seconds, 1e-9)
     cores = os.cpu_count() or 1
+    chunk = auto_chunk(BENCH_SPEC.n_points, JOBS)
     lines = [
         f"Sweep sharding on {BENCH_SPEC.n_points} dense duty-cycled-logging points "
-        f"({JOBS}-worker pool, {cores} core(s) available):",
+        f"({JOBS}-worker request, chunk {chunk}, {cores} core(s) available):",
         f"  serial (--jobs 1)   : {serial_seconds * 1e3:8.1f} ms wall-clock",
         f"  sharded (--jobs {JOBS})  : {sharded_seconds * 1e3:8.1f} ms wall-clock",
         f"  speedup             : {speedup:8.2f}x",
@@ -51,8 +74,24 @@ def test_bench_sweep_sharding_speedup(save_result):
     ]
     save_result("sweep_sharding_speedup", "\n".join(lines))
 
+    save_kernel_json(
+        "sweep_sharding",
+        {
+            "n_points": BENCH_SPEC.n_points,
+            "jobs": JOBS,
+            "chunk": chunk,
+            "cores": cores,
+            "serial_seconds": serial_seconds,
+            "sharded_seconds": sharded_seconds,
+            "speedup": speedup,
+            "floor": MIN_MULTICORE_SPEEDUP if cores >= JOBS else MIN_SINGLE_CORE_SPEEDUP,
+        },
+    )
+
     # Sharding must never change the results...
     assert results_payload(serial) == results_payload(sharded)
+    # ...must never lose to serial (the PR-2 dispatcher did, 0.86x on 1 core)...
+    assert speedup >= MIN_SINGLE_CORE_SPEEDUP
     # ...and must deliver near-linear throughput where the cores exist.
     if cores >= JOBS:
-        assert speedup >= MIN_SPEEDUP
+        assert speedup >= MIN_MULTICORE_SPEEDUP

@@ -91,6 +91,9 @@ class EventInterconnect(Component):
         self.total_fires = 0
         self.last_fire_cycle: Optional[int] = None
         self._last_trigger_cycles: dict[int, int] = {}
+        #: Line names currently declared observed per channel (consumer-aware
+        #: wake protocol; see EventFabric.observe).
+        self._observed_by_channel: dict[int, List[str]] = {}
 
     # ------------------------------------------------------------ configuration
 
@@ -122,7 +125,24 @@ class EventInterconnect(Component):
         channel.producer_lines = list(producer_lines)
         channel.function = ChannelFunction(function)
         channel.enabled = enabled
+        self._sync_observed(channel)
         return channel
+
+    def _sync_observed(self, channel: Channel) -> None:
+        """Reconcile the fabric observer table with one channel's config.
+
+        An enabled channel samples its producer lines every pulse cycle, so
+        those lines are consumed; reconfiguring or disabling the channel
+        retracts the old declarations.  Channels must be reconfigured through
+        :meth:`configure_channel`, not by mutating the dataclass directly.
+        """
+        assert self.fabric is not None
+        for line_name in self._observed_by_channel.pop(channel.index, []):
+            self.fabric.unobserve(line_name)
+        if channel.enabled and channel.producer_lines:
+            for line_name in channel.producer_lines:
+                self.fabric.observe(line_name)
+            self._observed_by_channel[channel.index] = list(channel.producer_lines)
 
     def route_to_peripheral(self, index: int, peripheral, port: str) -> None:
         """Attach a peripheral's built-in event input as a channel task."""

@@ -79,7 +79,10 @@ class Pels(Component):
         self.config = config
         self.fabric = fabric
         self.peripheral_bus = peripheral_bus
-        self.enabled = True
+        self._enabled = True
+        #: Union of enabled links' trigger masks currently declared observed
+        #: on the fabric (consumer-aware wake protocol).
+        self._observed_mask = 0
         submit = self._make_bus_submit() if peripheral_bus is not None else None
         self.links: List[Link] = [
             Link(
@@ -200,7 +203,49 @@ class Pels(Component):
         link.load_program(program)
         link.configure_trigger(trigger_mask, condition, enabled=True)
         link.set_base_address(base_address)
+        self._sync_observed_lines()
         return link
+
+    # ------------------------------------------------------- consumer awareness
+
+    @property
+    def enabled(self) -> bool:
+        """Global PELS enable (mirrors REG_GLOBAL_CTRL bit 0)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self._sync_observed_lines()
+
+    def _sync_observed_lines(self) -> None:
+        """Reconcile the fabric's observer table with the trigger config.
+
+        A line is consumed by PELS iff the global enable is set and some
+        enabled link's trigger mask selects it; producers of lines that stop
+        (or start) being consumed are notified through the fabric so their
+        cached wake horizons re-bound on the exact cycle.  Must be called by
+        every trigger-configuration path (``program_link``, the register
+        window, ``reset``); links must not be reconfigured behind PELS's
+        back.
+        """
+        mask = 0
+        if self._enabled:
+            for link in self.links:
+                if link.trigger.enabled:
+                    mask |= link.trigger.mask
+        mask &= (1 << len(self.fabric)) - 1
+        changed = mask ^ self._observed_mask
+        index = 0
+        while changed:
+            if changed & 1:
+                if (mask >> index) & 1:
+                    self.fabric.observe(index)
+                else:
+                    self.fabric.unobserve(index)
+            changed >>= 1
+            index += 1
+        self._observed_mask = mask
 
     # ----------------------------------------------------------------- behaviour
 
@@ -318,8 +363,10 @@ class Pels(Component):
             return
         if local == LINK_REG_ENABLE:
             link.trigger.enabled = bool(value & 0x1)
+            self._sync_observed_lines()
         elif local == LINK_REG_MASK:
             link.trigger.mask = value
+            self._sync_observed_lines()
         elif local == LINK_REG_CONDITION:
             link.trigger.condition = TriggerCondition(value & 0x1)
         elif local == LINK_REG_BASE_ADDR:

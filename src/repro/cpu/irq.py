@@ -19,6 +19,7 @@ class InterruptController(Component):
 
     def __init__(self, name: str = "irq_ctrl", fabric: Optional[EventFabric] = None) -> None:
         super().__init__(name)
+        self._fabric: Optional[EventFabric] = None
         self._enabled_lines: Dict[str, int] = {}
         self._pending: Dict[int, bool] = {}
         self.total_interrupts = 0
@@ -26,19 +27,33 @@ class InterruptController(Component):
             self.connect_fabric(fabric)
 
     def connect_fabric(self, fabric: EventFabric) -> None:
-        """Subscribe to every pulse of the event fabric."""
-        fabric.subscribe(self._on_event)
+        """Subscribe to every pulse of the event fabric.
+
+        The subscription is *selective* for the consumer-aware wake protocol:
+        the controller only acts on lines in its enabled table, so only those
+        are declared observed (``observe_all=False`` plus per-line
+        :meth:`~repro.peripherals.events.EventFabric.observe` calls) and
+        producers of unrouted lines keep their unbounded idle horizons.
+        """
+        self._fabric = fabric
+        fabric.subscribe(self._on_event, observe_all=False)
+        for line_name in self._enabled_lines:
+            fabric.observe(line_name)
 
     def enable_line(self, event_line_name: str, irq_number: int) -> None:
         """Route fabric line ``event_line_name`` to interrupt ``irq_number``."""
         if irq_number < 0:
             raise ValueError("irq number must be non-negative")
+        if event_line_name not in self._enabled_lines and self._fabric is not None:
+            self._fabric.observe(event_line_name)
         self._enabled_lines[event_line_name] = irq_number
         self._pending.setdefault(irq_number, False)
 
     def disable_line(self, event_line_name: str) -> None:
         """Stop routing ``event_line_name`` to the core."""
-        self._enabled_lines.pop(event_line_name, None)
+        removed = self._enabled_lines.pop(event_line_name, None)
+        if removed is not None and self._fabric is not None:
+            self._fabric.unobserve(event_line_name)
 
     def _on_event(self, line: EventLine) -> None:
         irq_number = self._enabled_lines.get(line.name)

@@ -80,7 +80,9 @@ class MicroDma(Component):
         self._progress[channel.channel_id] = 0
         if self.fabric is not None:
             line = self.fabric.add_line(f"{self.name}.ch{channel.channel_id}_eot", producer=self.name)
+            self.fabric.register_producer(line.name, self)
             self._event_lines[channel.channel_id] = line.name
+        self.wake_changed()
         return channel
 
     def channel_event_line(self, channel: DmaChannel) -> str:

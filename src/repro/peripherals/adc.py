@@ -37,6 +37,10 @@ class Adc(Peripheral):
     ========  ============  ==================================================
     """
 
+    #: Conversion starts (register or event input) always touch STATUS, so
+    #: the register-file notify covers every horizon change.
+    wake_cacheable = True
+
     def __init__(
         self,
         name: str = "adc",

@@ -27,6 +27,11 @@ class Peripheral(Component):
         self._fabric: Optional[EventFabric] = None
         self._output_events: Dict[str, str] = {}
         self._input_events: Dict[str, str] = {}
+        # Wake-invalidation wiring: any register mutation may move this
+        # peripheral's next wake, so the whole file notifies the scheduler.
+        # Installed here (not at attach time) so pre-attach writes are also
+        # covered once the component joins a simulator.
+        self.regs.set_notify(self.wake_changed)
 
     # ------------------------------------------------------------ event wiring
 
@@ -50,6 +55,7 @@ class Peripheral(Component):
             raise RuntimeError(f"{self.name}: connect_events() must be called first")
         full_name = f"{self.name}.{local_name}"
         self._fabric.add_line(full_name, producer=self.name)
+        self._fabric.register_producer(full_name, self)
         self._output_events[local_name] = full_name
         return full_name
 
@@ -73,6 +79,39 @@ class Peripheral(Component):
         if full_name is None:
             raise KeyError(f"{self.name}: unknown output event {local_name!r}")
         return full_name
+
+    def event_observed(self, local_name: str) -> bool:
+        """Whether anything would notice a pulse of output ``local_name``.
+
+        Conservatively ``True`` when the peripheral is not connected to a
+        fabric (a bench-level test polling registers *is* a consumer the
+        fabric cannot see) or when the event was never declared.  Producers
+        use this from :meth:`next_event` to report unbounded horizons for
+        wakes whose only effect feeds an unobserved line.
+        """
+        if self._fabric is None:
+            return True
+        full_name = self._output_events.get(local_name)
+        if full_name is None:
+            return True
+        return self._fabric.is_observed(full_name)
+
+    def account_skipped_events(self, local_name: str, count: int) -> None:
+        """Batch-replay ``count`` unobserved pulses of output ``local_name``.
+
+        The cycle-exact counterpart of ``count`` :meth:`emit_event` calls for
+        a span the scheduler skipped: pulse counters and activity match dense
+        stepping, but no consumer runs (there are none — the fabric enforces
+        it).  No-op when the peripheral has no fabric (dense ticks would not
+        have emitted either).
+        """
+        if self._fabric is None or count <= 0:
+            return
+        full_name = self._output_events.get(local_name)
+        if full_name is None:
+            raise KeyError(f"{self.name}: unknown output event {local_name!r}")
+        self._fabric.account_unobserved_pulses(full_name, count)
+        self.record(f"event_{local_name}", count)
 
     @property
     def output_events(self) -> Dict[str, str]:

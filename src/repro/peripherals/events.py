@@ -7,12 +7,31 @@ The event fabric is the glue between peripherals and PELS:
 * PELS instant actions *drive* event lines back towards peripherals, and a
   subset of those outputs can be looped back into the fabric, which is how
   links trigger each other (marker 9 in Figure 2 of the paper).
+
+**Consumer awareness.**  The fabric tracks which lines have a registered
+*observer* — a PELS link trigger mask, an enabled interrupt route, an event-
+interconnect channel, or a blanket subscription.  Producers consult
+:meth:`EventFabric.is_observed` from their wake hints: a pulse on a line
+nothing observes cannot change any other component's behaviour, so the
+producer may report an unbounded wake horizon and let the event-driven
+scheduler skip whole multiples of its period, batch-accounting the pulse
+statistics through :meth:`EventFabric.account_unobserved_pulses`.  Observer
+changes are pushed to the registered producer components via
+:meth:`~repro.sim.component.Component.wake_changed`, so attaching a consumer
+mid-run re-bounds the producer's horizon on the exact cycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+
+class _WakeProducer(Protocol):
+    """What the fabric needs from a producer: a wake invalidation hook."""
+
+    def wake_changed(self) -> None:  # pragma: no cover - protocol stub
+        ...
 
 
 @dataclass
@@ -51,6 +70,13 @@ class EventFabric:
         self._pending: set[int] = set()
         self._subscribers: List[Callable[[EventLine], None]] = []
         self.total_pulses = 0
+        # Consumer-awareness bookkeeping: per-line observer counts (keyed by
+        # name so not-yet-registered lines can be observed), a count of
+        # blanket observers (subscriptions watching *every* line), and the
+        # producer components to notify when observation changes.
+        self._observer_counts: Dict[str, int] = {}
+        self._global_observers = 0
+        self._producers: Dict[str, _WakeProducer] = {}
 
     # --------------------------------------------------------------- registry
 
@@ -121,12 +147,88 @@ class EventFabric:
             self._lines[index].level = False
         self._pending.clear()
 
-    def subscribe(self, callback: Callable[[EventLine], None]) -> None:
-        """Register a callback invoked synchronously on every pulse."""
+    def subscribe(
+        self, callback: Callable[[EventLine], None], observe_all: bool = True
+    ) -> None:
+        """Register a callback invoked synchronously on every pulse.
+
+        By default a subscription counts as an observer of *every* line
+        (conservative: producers stop skipping their pulses).  A consumer
+        that only acts on an explicit subset — like the interrupt controller,
+        which checks its enabled-line table — passes ``observe_all=False``
+        and registers its interest per line with :meth:`observe`.
+        """
         self._subscribers.append(callback)
+        if observe_all:
+            self._global_observers += 1
+            if self._global_observers == 1:
+                for producer in self._producers.values():
+                    producer.wake_changed()
+
+    # ------------------------------------------------------- consumer awareness
+
+    def register_producer(self, name_or_index: str | int, producer: _WakeProducer) -> None:
+        """Bind the component that drives a line, for observation-change pushes."""
+        self._producers[self.line(name_or_index).name] = producer
+
+    def _line_name(self, name_or_index: str | int) -> str:
+        if isinstance(name_or_index, int):
+            return self.line(name_or_index).name
+        return name_or_index
+
+    def observe(self, name_or_index: str | int) -> None:
+        """Declare a consumer of a line (idempotence is the caller's job).
+
+        Accepts names of lines that are not registered yet, so consumers can
+        be configured before the producer declares its events.
+        """
+        name = self._line_name(name_or_index)
+        count = self._observer_counts.get(name, 0) + 1
+        self._observer_counts[name] = count
+        if count == 1:
+            producer = self._producers.get(name)
+            if producer is not None:
+                producer.wake_changed()
+
+    def unobserve(self, name_or_index: str | int) -> None:
+        """Retract one :meth:`observe` declaration for a line."""
+        name = self._line_name(name_or_index)
+        count = self._observer_counts.get(name, 0)
+        if count <= 0:
+            raise ValueError(f"event line {name!r} has no observers to remove")
+        self._observer_counts[name] = count - 1
+        if count == 1:
+            producer = self._producers.get(name)
+            if producer is not None:
+                producer.wake_changed()
+
+    def is_observed(self, name_or_index: str | int) -> bool:
+        """Whether any consumer would notice a pulse on this line."""
+        if self._global_observers > 0:
+            return True
+        return self._observer_counts.get(self._line_name(name_or_index), 0) > 0
+
+    def account_unobserved_pulses(self, name_or_index: str | int, count: int) -> None:
+        """Batch-record ``count`` pulses skipped on an unobserved line.
+
+        Used by producers replaying a skipped span: the pulse statistics stay
+        cycle-exact with dense stepping, but no subscriber runs and no level
+        is latched — which is exactly what an unobserved pulse amounts to
+        (dense pulses are cleared at the end of their own cycle).
+        """
+        if count < 0:
+            raise ValueError("pulse count must be non-negative")
+        line = self.line(name_or_index)
+        if self.is_observed(line.name):
+            raise RuntimeError(
+                f"event line {line.name!r} has observers; its pulses cannot be skipped"
+            )
+        line.pulse_count += count
+        self.total_pulses += count
 
     def reset(self) -> None:
-        """Clear pulse state and statistics (registered lines are kept)."""
+        """Clear pulse state and statistics (registered lines and observers
+        are configuration, not state, and are kept)."""
         for line in self._lines:
             line.level = False
             line.pulse_count = 0

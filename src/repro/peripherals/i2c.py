@@ -37,6 +37,10 @@ class I2cController(Peripheral):
     ========  ============  ==================================================
     """
 
+    #: Transaction starts (register or event input) always touch STATUS, so
+    #: the register-file notify covers every horizon change.
+    wake_cacheable = True
+
     def __init__(self, name: str = "i2c", cycles_per_byte: int = DEFAULT_CYCLES_PER_BYTE) -> None:
         super().__init__(name)
         if cycles_per_byte < 1:

@@ -36,6 +36,10 @@ class Pwm(Peripheral):
     ========  =============  =================================================
     """
 
+    #: Horizon depends only on this peripheral's registers; every mutation
+    #: path notifies wake_changed, so the scheduler may cache the deadline.
+    wake_cacheable = True
+
     def __init__(self, name: str = "pwm", period: int = 100, duty: int = 0) -> None:
         super().__init__(name)
         if period < 1:
@@ -102,21 +106,59 @@ class Pwm(Peripheral):
     def next_event(self):
         if not self.enabled:
             return None
+        if not self.event_observed("period"):
+            # Consumer-aware fabric: the only wake this counter schedules is
+            # the ``period`` pulse, and nothing consumes it — the counter can
+            # free-run through any number of periods, with :meth:`skip`
+            # replaying wraps, latches, and pulse statistics exactly.
+            return None
         period = max(self.regs.reg("PERIOD").value, 1)
         # The period event fires in the tick entered with COUNT == PERIOD - 1
         # (or immediately if PERIOD was lowered below the running counter).
         return max(period - self.regs.reg("COUNT").value, 1)
 
     def skip(self, cycles: int) -> None:
-        if not self.enabled:
+        if not self.enabled or cycles <= 0:
             return
         self.record("active_cycles", cycles)
         count_reg = self.regs.reg("COUNT")
         count = count_reg.value
         duty = self.regs.reg("DUTY").value
+        period = max(self.regs.reg("PERIOD").value, 1)
+        # A counter already at/above PERIOD (the register was lowered inside
+        # the span's setup tick) wraps on its very first tick, like tick().
+        to_wrap = max(period - count, 1)
+        if cycles < to_wrap:
+            # Stays inside the current period: pure counter advance.
+            if count < duty:
+                self.output_high_cycles += min(duty, count + cycles) - count
+            count_reg.hw_write(count + cycles)
+            return
+        # One or more period boundaries fall inside the span (only possible
+        # while the ``period`` line is unobserved — otherwise the scheduler
+        # bounds spans to stop short of the wrap tick).  Replay exactly what
+        # dense ticking would have done, one period at a time in O(1):
+        # segment up to the first wrap, then whole periods, then a remainder.
+        update_on_period = bool(self.regs.reg("CTRL").value & CTRL_UPDATE_ON_PERIOD)
         if count < duty:
-            self.output_high_cycles += min(duty, count + cycles) - count
-        count_reg.hw_write(count + cycles)
+            # Dense checks COUNT < DUTY on each of the to_wrap ticks before
+            # the first wrap; the min covers a COUNT already at/above PERIOD
+            # (to_wrap clamped to 1), where the single wrap tick still counts
+            # as high when DUTY exceeds the stale COUNT.
+            self.output_high_cycles += min(duty - count, to_wrap)
+        wraps = 1 + (cycles - to_wrap) // period
+        remainder = (cycles - to_wrap) % period
+        if update_on_period:
+            # The shadow value is constant inside a quiescent span, so every
+            # latch after the first writes the same duty.
+            self._latch_duty()
+            self.duty_updates += wraps - 1
+        duty = self.regs.reg("DUTY").value
+        self.output_high_cycles += (wraps - 1) * min(duty, period) + min(duty, remainder)
+        self.periods_elapsed += wraps
+        self.regs.reg("STATUS").set_bits(STATUS_PERIOD)
+        self.account_skipped_events("period", wraps)
+        count_reg.hw_write(remainder)
 
     # ----------------------------------------------------------------- queries
 

@@ -42,6 +42,14 @@ class Register:
     on_read:
         Optional callback invoked before the value is returned; may be used to
         model volatile registers (e.g. a FIFO data register).
+
+    In addition to the per-register callbacks, every *mutation* (software
+    write, hardware ``set_bits``/``clear_bits``/``hw_write``, reset) fires the
+    file-level :attr:`notify` hook when one is installed.  The event-driven
+    scheduler uses it to invalidate cached wake horizons: any register change
+    can move a peripheral's next wake, so the owning component's
+    :meth:`~repro.sim.component.Component.wake_changed` is wired in by
+    :meth:`~repro.peripherals.base.Peripheral.attach`.
     """
 
     name: str
@@ -51,6 +59,9 @@ class Register:
     write_one_to_clear: bool = False
     on_write: Optional[Callable[[int], None]] = None
     on_read: Optional[Callable[[], None]] = None
+    #: File-level mutation hook (see class docstring); installed by
+    #: :meth:`RegisterFile.set_notify`, not per register.
+    notify: Optional[Callable[[], None]] = field(default=None, repr=False, compare=False)
     value: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -76,22 +87,32 @@ class Register:
             self.value = preserved | (value & self.writable_mask)
         if self.on_write is not None:
             self.on_write(value)
+        if self.notify is not None:
+            self.notify()
 
     def set_bits(self, mask: int) -> None:
         """Hardware-side helper: set bits regardless of the writable mask."""
         self.value = (self.value | mask) & WORD_MASK
+        if self.notify is not None:
+            self.notify()
 
     def clear_bits(self, mask: int) -> None:
         """Hardware-side helper: clear bits regardless of the writable mask."""
         self.value &= ~mask & WORD_MASK
+        if self.notify is not None:
+            self.notify()
 
     def hw_write(self, value: int) -> None:
-        """Hardware-side helper: overwrite the stored value without callbacks."""
+        """Hardware-side helper: overwrite the stored value without on_write."""
         self.value = value & WORD_MASK
+        if self.notify is not None:
+            self.notify()
 
     def reset_value(self) -> None:
         """Restore the reset value."""
         self.value = self.reset
+        if self.notify is not None:
+            self.notify()
 
 
 class RegisterFile:
@@ -101,6 +122,7 @@ class RegisterFile:
         self.name = name
         self._by_offset: Dict[int, Register] = {}
         self._by_name: Dict[str, Register] = {}
+        self._notify: Optional[Callable[[], None]] = None
 
     def add(self, register: Register) -> Register:
         """Add a register; offsets and names must be unique."""
@@ -111,9 +133,17 @@ class RegisterFile:
             )
         if register.name in self._by_name:
             raise RegisterError(f"{self.name}: register name {register.name!r} already used")
+        register.notify = self._notify
         self._by_offset[register.offset] = register
         self._by_name[register.name] = register
         return register
+
+    def set_notify(self, callback: Optional[Callable[[], None]]) -> None:
+        """Install (or clear) the mutation hook on every register, current and
+        future.  Used by the wake-invalidation protocol (see :class:`Register`)."""
+        self._notify = callback
+        for register in self._by_offset.values():
+            register.notify = callback
 
     def define(self, name: str, offset: int, **kwargs: object) -> Register:
         """Create and add a register in one call."""

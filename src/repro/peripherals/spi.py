@@ -43,6 +43,11 @@ class SpiController(Peripheral):
     ========  =============  =================================================
     """
 
+    #: Transfer starts (register or event input) always touch STATUS, so the
+    #: register-file notify covers every horizon change; FIFO drains by the
+    #: µDMA do not move the wake (it tracks the shift timer, not the FIFO).
+    wake_cacheable = True
+
     def __init__(
         self,
         name: str = "spi",

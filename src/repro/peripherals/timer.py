@@ -32,6 +32,10 @@ class Timer(Peripheral):
     ========  =========  ====================================================
     """
 
+    #: Horizon depends only on this peripheral's registers and prescale
+    #: counter; every mutation path notifies wake_changed.
+    wake_cacheable = True
+
     def __init__(self, name: str = "timer", compare: int = 100) -> None:
         super().__init__(name)
         self.regs.define("CTRL", 0x00)
@@ -95,10 +99,19 @@ class Timer(Peripheral):
     def next_event(self):
         if not self.enabled:
             return None
+        if not (
+            self.regs.reg("CTRL").value & CTRL_ONE_SHOT
+        ) and not self.event_observed("overflow"):
+            # Consumer-aware fabric: a free-running timer whose overflow line
+            # nothing consumes can run through any number of overflows;
+            # :meth:`skip` replays wraps and pulse statistics exactly.  (A
+            # one-shot timer disables itself at the overflow — a non-uniform
+            # transition that must stay a real wake.)
+            return None
         return self._ticks_to_overflow()
 
     def skip(self, cycles: int) -> None:
-        if not self.enabled:
+        if not self.enabled or cycles <= 0:
             return
         self.record("active_cycles", cycles)
         prescaler = self.regs.reg("PRESCALER").value
@@ -109,7 +122,19 @@ class Timer(Peripheral):
         increments = (cycles - ticks_to_increment) // (prescaler + 1) + 1
         self._prescale_counter = cycles - ticks_to_increment - (increments - 1) * (prescaler + 1)
         count_reg = self.regs.reg("COUNT")
-        count_reg.hw_write(count_reg.value + increments)
+        count = count_reg.value
+        compare = max(self.regs.reg("COMPARE").value, 1)
+        to_first_overflow = max(compare - count, 1)
+        if increments < to_first_overflow:
+            # No overflow inside the span (the only case when the line is
+            # observed: the scheduler stops spans short of the overflow tick).
+            count_reg.hw_write(count + increments)
+            return
+        overflows = 1 + (increments - to_first_overflow) // compare
+        count_reg.hw_write((increments - to_first_overflow) % compare)
+        self.regs.reg("STATUS").set_bits(STATUS_OVERFLOW)
+        self.overflow_count += overflows
+        self.account_skipped_events("overflow", overflows)
 
     @property
     def enabled(self) -> bool:

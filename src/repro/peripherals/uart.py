@@ -35,6 +35,10 @@ class Uart(Peripheral):
     ========  ===========  ===================================================
     """
 
+    #: TX submissions go through TXDATA (STATUS set_bits), so the register
+    #: notify covers every horizon change.
+    wake_cacheable = True
+
     def __init__(self, name: str = "uart", cycles_per_byte: int = DEFAULT_CYCLES_PER_BYTE) -> None:
         super().__init__(name)
         if cycles_per_byte < 1:

@@ -40,6 +40,10 @@ class Watchdog(Peripheral):
     ========  ============  ==================================================
     """
 
+    #: Horizon is the down-counter value; kicks and control writes all go
+    #: through the register file, which notifies wake_changed.
+    wake_cacheable = True
+
     def __init__(self, name: str = "wdt", timeout: int = 1000, grace: int = 100) -> None:
         super().__init__(name)
         if timeout < 1 or grace < 1:

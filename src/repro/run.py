@@ -112,6 +112,19 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         help="worker processes; 1 runs serially with identical results (default: %(default)s)",
     )
     parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="points dispatched per worker task; default auto-sizes to about "
+        "four chunks per worker so small campaigns amortise pool overhead",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse points already present in <out>/<campaign>/results.json "
+        "when its manifest hash matches the campaign definition",
+    )
+    parser.add_argument(
         "--out",
         default=DEFAULT_SWEEP_OUT,
         help="artifact root; files land in <out>/<campaign>/ (default: %(default)s)",
@@ -126,10 +139,11 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
 
 def _sweep_progress(completed: int, total: int, result) -> None:
     params = " ".join(f"{key}={value}" for key, value in sorted(result.params.items()))
+    timing = "reused" if result.reused else f"{result.wall_seconds * 1e3:.0f} ms"
     print(
         f"[{completed}/{total}] point {result.index:>3} "
         f"{result.scenario} horizon={result.horizon_cycles} {params} "
-        f"({result.wall_seconds * 1e3:.0f} ms)",
+        f"({timing})",
         file=sys.stderr,
         flush=True,
     )
@@ -151,6 +165,9 @@ def _sweep_main(argv: Sequence[str]) -> int:
     if args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
         return 2
+    if args.chunk is not None and args.chunk < 1:
+        print("error: --chunk must be at least 1", file=sys.stderr)
+        return 2
     try:
         spec = campaign(args.campaign)
     except KeyError as exc:
@@ -170,11 +187,33 @@ def _sweep_main(argv: Sequence[str]) -> int:
             print(f"  point {point.index:>3}  horizon={point.horizon_cycles} {params} point-seed={point.seed}")
         return 0
 
-    result = execute_campaign(spec, jobs=args.jobs, progress=_sweep_progress)
+    reuse = None
+    if args.resume:
+        from repro.sweep import load_reusable_results
+
+        reuse = load_reusable_results(spec, Path(args.out))
+        if reuse:
+            print(
+                f"resume: reusing {len(reuse)}/{len(points)} points from "
+                f"{Path(args.out) / spec.name}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "resume: no reusable results (missing artifacts or manifest mismatch); "
+                "running the full campaign",
+                file=sys.stderr,
+            )
+
+    result = execute_campaign(
+        spec, jobs=args.jobs, progress=_sweep_progress, chunk=args.chunk, reuse=reuse
+    )
     paths = write_artifacts(spec, result, Path(args.out))
+    reused = f", {result.n_reused} reused" if result.n_reused else ""
     print(
         f"campaign {spec.name}: {result.n_points} points over scenario {spec.scenario} "
-        f"({args.jobs} job{'s' if args.jobs != 1 else ''}, {result.wall_seconds:.2f} s)"
+        f"({args.jobs} job{'s' if args.jobs != 1 else ''}, chunk {result.chunk}, "
+        f"{result.wall_seconds:.2f} s{reused})"
     )
     for label in ("results_json", "results_csv", "manifest_json"):
         print(f"  {paths[label]}")

@@ -45,7 +45,25 @@ class Component:
     stepping, today's behaviour), and a component that never overrides
     :meth:`tick` is trivially idle.  See ``docs/simulator.md`` for the full
     contract and a worked example.
+
+    **Cached wake horizons.**  By default the scheduler re-polls
+    :meth:`next_event` at every wake boundary.  A component may set the class
+    attribute :attr:`wake_cacheable` to ``True`` to promise something
+    stronger: its horizon only moves through (a) its own wake tick firing or
+    (b) a state change that calls :meth:`wake_changed`.  The scheduler then
+    caches the horizon as an absolute deadline and stops polling the
+    component while it is idle — a quiescent-span computation costs
+    O(active components) instead of O(all components).  Peripherals get the
+    :meth:`wake_changed` calls for free: every register mutation notifies it
+    (see :class:`~repro.peripherals.regfile.Register`).  Components with
+    *reactive* wakes — horizons that can flip because of what another
+    component did (a bus request landing, a FIFO filling, an interrupt
+    pending) — must leave :attr:`wake_cacheable` at ``False``.
     """
+
+    #: Opt-in flag for the cached wake-horizon scheduler (see class
+    #: docstring).  ``False`` keeps the re-poll-every-boundary behaviour.
+    wake_cacheable: bool = False
 
     def __init__(self, name: str) -> None:
         if not name:
@@ -121,6 +139,19 @@ class Component:
         if type(self).tick is Component.tick and "tick" not in self.__dict__:
             return None
         return 1
+
+    def wake_changed(self) -> None:
+        """Tell the scheduler this component's cached wake horizon is stale.
+
+        Must be called from every state transition that can move the wake of
+        a :attr:`wake_cacheable` component — register writes, bus grants, DMA
+        completions, event-line pulses.  Cheap (a set insertion) and safe to
+        call redundantly or from components that are not cached at all; a
+        no-op before the component is attached.
+        """
+        simulator = self._simulator
+        if simulator is not None:
+            simulator._notify_wake_changed(self)
 
     def skip(self, cycles: int) -> None:
         """Apply ``cycles`` quiescent ticks in one batch.

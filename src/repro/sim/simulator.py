@@ -11,15 +11,33 @@ Two scheduling modes share that time base:
   component's :meth:`~repro.sim.component.Component.tick` is called on every
   cycle of its domain.  It is the reference semantics and the baseline the
   differential test-suite compares against.
-* **Event-driven mode** (the default) asks every component for its next wake
-  via :meth:`~repro.sim.component.Component.next_event`, computes the earliest
-  pending wake across all clock domains, and jumps the base-tick counter over
-  the provably quiescent span in between.  The skipped ticks are replayed in
-  one batch per component through
-  :meth:`~repro.sim.component.Component.skip`, so final state, activity
-  counters, and traces are cycle-exact — identical to dense stepping — while
-  idle-heavy scenarios (the always-on monitoring workloads the paper is
-  about) run orders of magnitude fewer Python-level tick calls.
+* **Event-driven mode** (the default) computes the earliest pending wake
+  across all clock domains and jumps the base-tick counter over the provably
+  quiescent span in between.  The skipped ticks are replayed in one batch per
+  component through :meth:`~repro.sim.component.Component.skip`, so final
+  state, activity counters, and traces are cycle-exact — identical to dense
+  stepping — while idle-heavy scenarios (the always-on monitoring workloads
+  the paper is about) run orders of magnitude fewer Python-level tick calls.
+
+The event-driven mode resolves wakes in two tiers:
+
+* components flagged :attr:`~repro.sim.component.Component.wake_cacheable`
+  have their :meth:`~repro.sim.component.Component.next_event` horizon cached
+  as an **absolute base-tick deadline** in a lazy min-heap.  The cache entry
+  is only recomputed when the component itself invalidates it through
+  :meth:`~repro.sim.component.Component.wake_changed` (register writes, event
+  inputs) or when its deadline fires — so a quiescent span costs O(active
+  components), not O(all components);
+* all other hinted components are *volatile* and re-polled at every wake
+  boundary, which is exactly the pre-cache behaviour and the safe default
+  for reactive wakes (buses, DMA, CPU, PELS).
+
+The per-run :class:`_SchedulePlan` is persistent: it is rebuilt only when the
+component set, the hook overrides, or the clock ratios change — not per
+:meth:`Simulator.step`/:meth:`Simulator.run_until` call.  ``cached_wakes=
+False`` disables the deadline cache (every hinted component becomes
+volatile), which is how the benchmarks A/B the cached scheduler against the
+legacy poll-everything kernel.
 
 For the scenarios in this repository all active components share one domain,
 but the multi-domain support is what lets the iso-latency experiment clock
@@ -27,12 +45,13 @@ PELS at 27 MHz while the reference Ibex system runs at 55 MHz; wake horizons
 are expressed in domain-local cycles and converted to base ticks by the
 scheduler.
 
-See ``docs/simulator.md`` for the wake protocol and the dense-vs-event
-equivalence guarantee.
+See ``docs/simulator.md`` for the wake protocol, the invalidation contract,
+and the dense-vs-event equivalence guarantee.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.activity import ActivityCounters
@@ -48,7 +67,12 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Coordinates clock domains and components and advances simulated time."""
 
-    def __init__(self, default_frequency_hz: float = 55e6, dense: bool = False) -> None:
+    def __init__(
+        self,
+        default_frequency_hz: float = 55e6,
+        dense: bool = False,
+        cached_wakes: bool = True,
+    ) -> None:
         self.activity = ActivityCounters()
         self.traces = TraceRecorder()
         #: When True, use the legacy cycle-driven kernel (tick every component
@@ -56,10 +80,26 @@ class Simulator:
         #: quiescent spans using the components' wake hints.  May be toggled
         #: between :meth:`step` calls; both modes produce identical state.
         self.dense = dense
+        #: When False, disable the cached wake-horizon scheduler and re-poll
+        #: every hinted component at every wake boundary (the pre-cache
+        #: kernel).  Exists for A/B benchmarking and as an escape hatch.
+        self.cached_wakes = cached_wakes
+        #: Scheduler instrumentation: ``next_event_calls`` (wake polls),
+        #: ``dense_ticks``, ``spans_skipped``, ``cycles_skipped``,
+        #: ``plan_builds``.  Monotonic; cleared by :meth:`reset`.
+        self.kernel_stats: Dict[str, int] = {
+            "next_event_calls": 0,
+            "dense_ticks": 0,
+            "spans_skipped": 0,
+            "cycles_skipped": 0,
+            "plan_builds": 0,
+        }
         self._domains: Dict[str, ClockDomain] = {}
         self._components: List[Tuple[Component, ClockDomain]] = []
-        self._component_names: set[str] = set()
+        self._components_by_name: Dict[str, Component] = {}
         self._base_tick = 0
+        self._plan: Optional["_SchedulePlan"] = None
+        self._fastest_hz: float = 0.0
         self._default_domain = self.add_clock_domain("default", default_frequency_hz)
 
     # ----------------------------------------------------------------- domains
@@ -70,6 +110,9 @@ class Simulator:
             raise SimulationError(f"clock domain {name!r} already exists")
         domain = ClockDomain(name, frequency_hz)
         self._domains[name] = domain
+        if frequency_hz > self._fastest_hz:
+            self._fastest_hz = frequency_hz
+        self._plan = None
         return domain
 
     def clock_domain(self, name: str) -> ClockDomain:
@@ -93,22 +136,23 @@ class Simulator:
 
     def add_component(self, component: Component, domain: Optional[ClockDomain] = None) -> Component:
         """Register a component with the simulator and a clock domain."""
-        if component.name in self._component_names:
+        if component.name in self._components_by_name:
             raise SimulationError(f"a component named {component.name!r} is already registered")
         clock = domain if domain is not None else self._default_domain
         if clock.name not in self._domains:
             raise SimulationError(f"clock domain {clock.name!r} is not registered with this simulator")
         component.attach(self, clock)
         self._components.append((component, clock))
-        self._component_names.add(component.name)
+        self._components_by_name[component.name] = component
+        self._plan = None
         return component
 
     def component(self, name: str) -> Component:
-        """Look up a registered component by name."""
-        for component, _ in self._components:
-            if component.name == name:
-                return component
-        raise SimulationError(f"unknown component {name!r}")
+        """Look up a registered component by name (O(1))."""
+        try:
+            return self._components_by_name[name]
+        except KeyError as exc:
+            raise SimulationError(f"unknown component {name!r}") from exc
 
     @property
     def components(self) -> Tuple[Component, ...]:
@@ -123,11 +167,18 @@ class Simulator:
         return self._base_tick
 
     def _fastest_frequency(self) -> float:
-        return max(domain.frequency_hz for domain in self._domains.values())
+        # Domains are dataclasses whose frequency is mutable, and this is
+        # only called from run_for_time (once per call) — recompute live so
+        # a frequency change before the next step cannot go stale.  The hot
+        # paths use the plan's divisors, refreshed on snapshot change.
+        fastest = max(domain.frequency_hz for domain in self._domains.values())
+        self._fastest_hz = fastest
+        return fastest
 
-    def _divisor(self, domain: ClockDomain) -> int:
+    def _divisor(self, domain: ClockDomain, fastest_hz: Optional[float] = None) -> int:
         """Integer ratio between the fastest clock and ``domain``."""
-        ratio = self._fastest_frequency() / domain.frequency_hz
+        fastest = self._fastest_hz if fastest_hz is None else fastest_hz
+        ratio = fastest / domain.frequency_hz
         divisor = round(ratio)
         if divisor < 1 or abs(ratio - divisor) > 1e-6:
             raise SimulationError(
@@ -136,14 +187,29 @@ class Simulator:
         return divisor
 
     def _schedule_plan(self) -> "_SchedulePlan":
-        """Classify components so the stepping loops touch only the objects
-        that can matter.  Rebuilt per :meth:`step`/:meth:`run_until` call —
-        cheap, and it keeps late additions and instance-level ``tick``
-        monkey-patches (test doubles) visible, exactly as dense iteration
-        over the raw component list would."""
-        plan = _SchedulePlan(self)
+        """The persistent stepping schedule, rebuilt only when stale.
+
+        A plan goes stale when the component set changes (tracked eagerly by
+        :meth:`add_component`/:meth:`add_clock_domain`) or when a component's
+        hook overrides change — e.g. a test double assigning ``tick`` on the
+        instance after registration — which the cheap fingerprint check
+        detects at the next :meth:`step`/:meth:`run_until` entry.  Clock
+        ratios are re-validated on every call (frequencies are mutable), but
+        recomputed only when they actually changed.
+        """
+        plan = self._plan
+        if plan is None or plan.fingerprint != _SchedulePlan.compute_fingerprint(self):
+            plan = _SchedulePlan(self)
+            self._plan = plan
+            self.kernel_stats["plan_builds"] += 1
         plan.refresh_divisors(self)
         return plan
+
+    def _notify_wake_changed(self, component: Component) -> None:
+        """Invalidate ``component``'s cached wake deadline (if it has one)."""
+        plan = self._plan
+        if plan is not None:
+            plan.invalidate_wake(component)
 
     # --------------------------------------------------------------------- run
 
@@ -184,8 +250,9 @@ class Simulator:
         re-evaluated at every wake boundary (and after every dense tick), so
         conditions that flip on observable events are detected on the exact
         cycle; a condition watching a counter that advances *inside* a
-        quiescent span (e.g. a raw COUNT register) is only seen at the span's
-        end — use ``dense=True`` for cycle-level polling of such state.
+        quiescent span (e.g. a raw COUNT register, or the side effects of an
+        event line nothing observes) is only seen at the span's end — use
+        ``dense=True`` for cycle-level polling of such state.
         """
         start = self._base_tick
         plan = self._schedule_plan()
@@ -230,6 +297,11 @@ class Simulator:
         self.activity.clear()
         self.traces.clear()
         self._base_tick = 0
+        for key in self.kernel_stats:
+            self.kernel_stats[key] = 0
+        # Cached deadlines are absolute base ticks; rewinding time voids them.
+        if self._plan is not None:
+            self._plan.clear_wake_cache()
 
     # ------------------------------------------------------------------- trace
 
@@ -246,21 +318,33 @@ class Simulator:
 
 
 class _SchedulePlan:
-    """Precomputed stepping schedule for one set of registered components.
+    """Persistent stepping schedule for one set of registered components.
 
     Splits the component list by which hooks are actually overridden so the
     hot loops only visit objects that can have an effect:
 
     * ``ticking`` — components with a real :meth:`Component.tick` (a default
       tick is a no-op by definition and is never called);
-    * ``hinted`` — components that advertise wakes via
-      :meth:`Component.next_event` (consulted by the wake sweep);
+    * ``volatile`` — hinted components re-polled at every wake boundary
+      (reactive wakes, plus everything when ``cached_wakes`` is off);
+    * ``cached`` — hinted components flagged ``wake_cacheable``, whose
+      horizons live in the deadline heap and are recomputed only on
+      invalidation or deadline expiry;
     * ``skippers`` — components with a real :meth:`Component.skip` (the only
       ones a skipped span must be replayed on).
 
     A component that ticks but gives no wake hint forces dense stepping
     (``forces_dense``), in which case the event-driven loops are bypassed
     entirely instead of recomputing a zero-length span every cycle.
+
+    **Deadline cache.**  ``_deadlines[i]`` is the authoritative absolute base
+    tick at which cached component ``i`` next needs a dense tick (``None`` =
+    no self-scheduled wake).  ``_heap`` holds ``(deadline, i)`` entries and is
+    lazy: stale entries (whose deadline no longer matches the authoritative
+    array) are discarded on peek.  ``_dirty`` indexes are re-polled at the
+    next boundary.  Absolute deadlines survive skips unchanged — only firing
+    (deadline expiry, detected in :meth:`dense_tick`) or an explicit
+    :meth:`invalidate_wake` moves them.
     """
 
     @staticmethod
@@ -272,15 +356,47 @@ class _SchedulePlan:
             or name in component.__dict__
         )
 
+    @staticmethod
+    def compute_fingerprint(simulator: Simulator) -> Tuple:
+        """Cheap staleness signature: the volatile/cached classification
+        inputs — component identities, hook overrides, and the cache toggle
+        (so flipping ``cached_wakes`` between steps takes effect, like the
+        ``dense`` flag does)."""
+        overrides = _SchedulePlan._overrides
+        return (
+            simulator.cached_wakes,
+            tuple(
+                (
+                    id(component),
+                    overrides(component, "tick"),
+                    overrides(component, "next_event"),
+                    overrides(component, "skip"),
+                )
+                for component, _ in simulator._components
+            ),
+        )
+
     def __init__(self, simulator: Simulator) -> None:
         pairs = simulator._components
+        self.fingerprint = self.compute_fingerprint(simulator)
         self.ticking = [
             (component, clock) for component, clock in pairs if self._overrides(component, "tick")
         ]
-        self.hinted = [
+        hinted = [
             (component, clock)
             for component, clock in pairs
             if self._overrides(component, "next_event")
+        ]
+        use_cache = simulator.cached_wakes
+        self.volatile = [
+            (component, clock)
+            for component, clock in hinted
+            if not (use_cache and component.wake_cacheable)
+        ]
+        self.cached = [
+            (component, clock)
+            for component, clock in hinted
+            if use_cache and component.wake_cacheable
         ]
         self.skippers = [
             (component, clock) for component, clock in pairs if self._overrides(component, "skip")
@@ -294,11 +410,94 @@ class _SchedulePlan:
         self.clocks = list(clocks.values())
         self.divisors: Dict[str, int] = {}
         self.single_rate = True
+        self._freq_snapshot: Optional[Tuple[float, ...]] = None
+        # Deadline cache (see class docstring).
+        self._cache_index: Dict[Component, int] = {
+            component: index for index, (component, _) in enumerate(self.cached)
+        }
+        self._deadlines: List[Optional[int]] = [None] * len(self.cached)
+        self._dirty = set(range(len(self.cached)))
+        self._heap: List[Tuple[int, int]] = []
+        #: Component whose tick()/skip() is currently executing; its *self*
+        #: invalidations are suppressed (see invalidate_wake).
+        self._active_component: Optional[Component] = None
 
     def refresh_divisors(self, simulator: Simulator) -> None:
-        """Recompute clock ratios (cheap; frequencies can change over time)."""
-        self.divisors = {clock.name: simulator._divisor(clock) for clock in self.clocks}
+        """Recompute clock ratios only when a frequency actually changed.
+
+        The snapshot covers *all* simulator domains, not just those with
+        components: the base tick is defined by the fastest domain overall,
+        so a frequency change on a component-less domain still moves every
+        divisor.
+        """
+        snapshot = tuple(domain.frequency_hz for domain in simulator._domains.values())
+        if snapshot == self._freq_snapshot:
+            return
+        fastest = max(snapshot, default=simulator._fastest_hz)
+        simulator._fastest_hz = fastest
+        self.divisors = {
+            clock.name: simulator._divisor(clock, fastest) for clock in self.clocks
+        }
         self.single_rate = all(divisor == 1 for divisor in self.divisors.values())
+        self._freq_snapshot = snapshot
+        # Deadlines were computed with the old ratios; recompute lazily.
+        self.clear_wake_cache()
+
+    # ------------------------------------------------------------- invalidation
+
+    def invalidate_wake(self, component: Component) -> None:
+        """Mark one cached component's deadline stale (O(1)).
+
+        Invalidations a component raises about *itself* while its own
+        ``tick``/``skip`` runs are ignored: the wake contract guarantees the
+        ticks before its deadline evolve state uniformly (the absolute
+        deadline stays valid — e.g. a watchdog decrementing its COUNT
+        register), and the deadline tick itself is re-polled through the
+        expiry sweep in :meth:`dense_tick`.  Cross-component invalidations
+        (PELS delivering an event input, a CPU store hitting a peripheral
+        register) are always honoured.
+        """
+        if component is self._active_component:
+            return
+        index = self._cache_index.get(component)
+        if index is not None:
+            self._dirty.add(index)
+
+    def clear_wake_cache(self) -> None:
+        """Drop every cached deadline (component set unchanged)."""
+        if not self.cached:
+            return
+        self._deadlines = [None] * len(self.cached)
+        self._dirty = set(range(len(self.cached)))
+        self._heap = []
+
+    def _repoll(self, simulator: Simulator, index: int) -> None:
+        """Recompute one cached component's absolute deadline."""
+        component, clock = self.cached[index]
+        horizon = component.next_event()
+        if horizon is None:
+            self._deadlines[index] = None
+            return
+        if horizon < 1:
+            horizon = 1
+        base_tick = simulator._base_tick
+        if self.single_rate:
+            deadline = base_tick + horizon - 1
+        else:
+            divisor = self.divisors[clock.name]
+            remainder = base_tick % divisor
+            first = base_tick if remainder == 0 else base_tick + (divisor - remainder)
+            deadline = first + (horizon - 1) * divisor
+        self._deadlines[index] = deadline
+        heappush(self._heap, (deadline, index))
+        # Lazy heaps accumulate stale entries; compact when they dominate.
+        if len(self._heap) > 4 * len(self.cached) + 16:
+            self._heap = [
+                (deadline, i)
+                for i, deadline in enumerate(self._deadlines)
+                if deadline is not None
+            ]
+            self._heap.sort()
 
     # ------------------------------------------------------------------ dense
 
@@ -306,20 +505,44 @@ class _SchedulePlan:
         """One base tick of the reference cycle-driven semantics."""
         if self.single_rate:
             for component, clock in self.ticking:
+                self._active_component = component
                 component.tick(clock.cycles)
+            self._active_component = None
             for clock in self.clocks:
                 clock.advance()
             simulator._base_tick += 1
-            return
-        base_tick = simulator._base_tick
-        divisors = self.divisors
-        for component, clock in self.ticking:
-            if base_tick % divisors[clock.name] == 0:
-                component.tick(clock.cycles)
-        for clock in self.clocks:
-            if base_tick % divisors[clock.name] == 0:
-                clock.advance()
-        simulator._base_tick += 1
+        else:
+            base_tick = simulator._base_tick
+            divisors = self.divisors
+            for component, clock in self.ticking:
+                if base_tick % divisors[clock.name] == 0:
+                    self._active_component = component
+                    component.tick(clock.cycles)
+            self._active_component = None
+            for clock in self.clocks:
+                if base_tick % divisors[clock.name] == 0:
+                    clock.advance()
+            simulator._base_tick += 1
+        simulator.kernel_stats["dense_ticks"] += 1
+        # Expire cached deadlines the tick just serviced: the component fired
+        # (or was due), so its old promise is used up and it must be
+        # re-polled at the next boundary.  Register-notify usually marks it
+        # dirty already; this sweep is the guaranteed path.
+        heap = self._heap
+        if heap:
+            base_tick = simulator._base_tick
+            deadlines = self._deadlines
+            dirty = self._dirty
+            while heap:
+                deadline, index = heap[0]
+                if deadlines[index] != deadline:
+                    heappop(heap)  # stale entry
+                    continue
+                if deadline >= base_tick:
+                    break
+                heappop(heap)
+                deadlines[index] = None
+                dirty.add(index)
 
     # ------------------------------------------------------------ event-driven
 
@@ -331,10 +554,19 @@ class _SchedulePlan:
         tick ``first`` pins the wake to base tick ``first + (k - 1) * div``;
         everything before that is quiescent by the component's promise.
         """
+        stats = simulator.kernel_stats
+        base_tick = simulator._base_tick
+        # Re-poll invalidated cached components first (O(active)).
+        dirty = self._dirty
+        if dirty:
+            stats["next_event_calls"] += len(dirty)
+            for index in tuple(dirty):
+                self._repoll(simulator, index)
+            dirty.clear()
         span = limit
-        hinted = self.hinted
+        volatile = self.volatile
         if self.single_rate:
-            for index, (component, _) in enumerate(hinted):
+            for index, (component, _) in enumerate(volatile):
                 horizon = component.next_event()
                 if horizon is not None and horizon <= span:
                     if horizon <= 1:
@@ -343,35 +575,56 @@ class _SchedulePlan:
                         # consecutive cycles, and probing it first turns the
                         # full wake sweep into a single call.
                         if index:
-                            hinted.insert(0, hinted.pop(index))
+                            volatile.insert(0, volatile.pop(index))
+                        stats["next_event_calls"] += index + 1
                         return 0
                     span = horizon - 1
-            return span
-        base_tick = simulator._base_tick
-        divisors = self.divisors
-        for index, (component, clock) in enumerate(hinted):
-            horizon = component.next_event()
-            if horizon is None:
+        else:
+            divisors = self.divisors
+            for index, (component, clock) in enumerate(volatile):
+                horizon = component.next_event()
+                if horizon is None:
+                    continue
+                if horizon < 1:
+                    horizon = 1
+                divisor = divisors[clock.name]
+                remainder = base_tick % divisor
+                first = base_tick if remainder == 0 else base_tick + (divisor - remainder)
+                bound = first + (horizon - 1) * divisor - base_tick
+                if bound < span:
+                    if bound <= 0:
+                        if index:
+                            volatile.insert(0, volatile.pop(index))
+                        stats["next_event_calls"] += index + 1
+                        return 0
+                    span = bound
+        stats["next_event_calls"] += len(volatile)
+        # Earliest cached deadline (lazy heap peek).
+        heap = self._heap
+        deadlines = self._deadlines
+        while heap:
+            deadline, index = heap[0]
+            if deadlines[index] != deadline:
+                heappop(heap)
                 continue
-            if horizon < 1:
-                horizon = 1
-            divisor = divisors[clock.name]
-            remainder = base_tick % divisor
-            first = base_tick if remainder == 0 else base_tick + (divisor - remainder)
-            bound = first + (horizon - 1) * divisor - base_tick
-            if bound < span:
-                if bound <= 0:
-                    if index:
-                        hinted.insert(0, hinted.pop(index))
-                    return 0
-                span = bound
+            gap = deadline - base_tick
+            if gap <= 0:
+                return 0
+            if gap < span:
+                span = gap
+            break
         return span
 
     def skip_span(self, simulator: Simulator, span: int) -> None:
         """Jump ``span`` quiescent base ticks, batch-applying skipped ticks."""
+        stats = simulator.kernel_stats
+        stats["spans_skipped"] += 1
+        stats["cycles_skipped"] += span
         if self.single_rate:
             for component, _ in self.skippers:
+                self._active_component = component
                 component.skip(span)
+            self._active_component = None
             for clock in self.clocks:
                 clock.advance(span)
             simulator._base_tick += span
@@ -391,7 +644,9 @@ class _SchedulePlan:
         for component, clock in self.skippers:
             count = domain_ticks[clock.name]
             if count:
+                self._active_component = component
                 component.skip(count)
+        self._active_component = None
         for clock in self.clocks:
             count = domain_ticks[clock.name]
             if count:

@@ -10,7 +10,10 @@ each point's stats, activity counters, and power/area model outputs into
 structured JSON + CSV under ``results/sweeps/``, with a campaign manifest
 for reproducibility.
 
-CLI front end: ``python -m repro.run sweep <campaign> [--jobs N]``.
+CLI front end: ``python -m repro.run sweep <campaign> [--jobs N] [--chunk K]
+[--resume]``.  ``--chunk`` batches points into per-worker chunks (auto-sized
+by default), ``--resume`` reuses points already present in ``results.json``
+under an identical campaign manifest (:mod:`repro.sweep.resume`).
 Full documentation: ``docs/sweeps.md``.
 """
 
@@ -37,9 +40,11 @@ from repro.sweep.campaigns import (
 from repro.sweep.execute import (
     CampaignResult,
     PointResult,
+    auto_chunk,
     execute_campaign,
     run_point,
 )
+from repro.sweep.resume import load_reusable_results, spec_hash
 
 __all__ = [
     "CampaignResult",
@@ -47,6 +52,7 @@ __all__ = [
     "PointResult",
     "SCHEMA_VERSION",
     "SweepPoint",
+    "auto_chunk",
     "campaign",
     "campaign_names",
     "campaigns",
@@ -54,10 +60,12 @@ __all__ = [
     "execute_campaign",
     "expand_campaign",
     "grid_from_lists",
+    "load_reusable_results",
     "manifest_payload",
     "point_record",
     "register_campaign",
     "results_payload",
     "run_point",
+    "spec_hash",
     "write_artifacts",
 ]

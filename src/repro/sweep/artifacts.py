@@ -63,9 +63,16 @@ def results_payload(result: CampaignResult) -> Dict[str, object]:
 
 
 def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, object]:
-    """The manifest.json payload (reproducibility + execution record)."""
+    """The manifest.json payload (reproducibility + execution record).
+
+    ``spec_hash`` is the campaign-identity digest ``--resume`` validates
+    before reusing any stored point (see :mod:`repro.sweep.resume`).
+    """
+    from repro.sweep.resume import spec_hash
+
     return {
         "schema_version": SCHEMA_VERSION,
+        "spec_hash": spec_hash(spec),
         "campaign": {
             "name": spec.name,
             "description": spec.description,
@@ -79,6 +86,8 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
         "artifacts": [RESULTS_JSON, RESULTS_CSV],
         "execution": {
             "jobs": result.jobs,
+            "chunk": result.chunk,
+            "reused_points": result.n_reused,
             "wall_seconds": result.wall_seconds,
             "point_wall_seconds": {
                 str(point.index): point.wall_seconds for point in result.points

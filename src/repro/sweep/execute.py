@@ -8,23 +8,35 @@ Figure 5 power breakdown, and the Figure 6a area breakdown.
 
 :func:`execute_campaign` fans the points out:
 
-* ``jobs == 1`` — plain serial loop in this process (the reference path);
-* ``jobs >= 2`` — a ``multiprocessing`` pool with one point per task
-  (``chunksize=1``, unordered collection for load balancing).
+* ``jobs == 1`` (or one usable core, or a single chunk) — plain serial loop
+  in this process (the reference path);
+* otherwise — a ``multiprocessing`` pool over **chunks** of points.  Points
+  are batched into per-worker chunks (auto-sized to a few chunks per worker,
+  overridable via ``chunk=``/``--chunk``) so small campaigns amortise the
+  pickling/dispatch overhead that used to make ``--jobs 2`` *slower* than
+  serial; worker processes are additionally capped at the machine's core
+  count, because oversubscribing a small host only adds context-switching.
 
 Results are keyed and re-sorted by point index, and every per-point output is
 a pure function of the point itself (wall-clock timing is kept out of the
 comparable payload), so the aggregated results of a sharded run are
-**byte-identical** to the serial run — the property
-``tests/sweep/test_execute.py`` pins.
+**byte-identical** to the serial run — for any ``jobs`` and any ``chunk`` —
+the property ``tests/sweep/test_execute.py`` pins.
+
+**Incremental re-execution** (:func:`execute_campaign` with ``reuse=``):
+records recovered from a previous run's ``results.json`` (see
+:mod:`repro.sweep.resume`) are dropped into place without re-running their
+points, which is how ``python -m repro.run sweep <campaign> --resume`` skips
+work that already exists under an identical campaign manifest.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.area.model import PelsAreaModel
 from repro.power.model import PowerModel
@@ -52,6 +64,9 @@ class PointResult:
     #: Figure 6a area components in kGE (plus ``Total``); empty without PELS.
     area_kge: Dict[str, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: True when the record was recovered from a previous run's artifacts
+    #: (``--resume``) instead of being executed in this process.
+    reused: bool = False
 
 
 @dataclass
@@ -63,11 +78,18 @@ class CampaignResult:
     points: List[PointResult]
     jobs: int
     wall_seconds: float
+    #: Chunk size the pool dispatch used (1 when serial).
+    chunk: int = 1
 
     @property
     def n_points(self) -> int:
         """Number of executed points."""
         return len(self.points)
+
+    @property
+    def n_reused(self) -> int:
+        """How many points were recovered from a previous run (``--resume``)."""
+        return sum(1 for point in self.points if point.reused)
 
 
 ProgressCallback = Callable[[int, int, PointResult], None]
@@ -120,38 +142,79 @@ def run_point(point: SweepPoint) -> PointResult:
     )
 
 
+def run_points(points: Sequence[SweepPoint]) -> List[PointResult]:
+    """Pool task: execute one chunk of points in order."""
+    return [run_point(point) for point in points]
+
+
+def auto_chunk(n_points: int, jobs: int) -> int:
+    """Default chunk size: about four chunks per worker.
+
+    Large enough to amortise dispatch/pickling on small campaigns, small
+    enough that the unordered collection still load-balances points whose
+    cost varies (horizon axes span orders of magnitude).
+    """
+    if jobs <= 1:
+        return max(n_points, 1)
+    return max(1, n_points // (jobs * 4))
+
+
+def _chunked(points: Sequence[SweepPoint], chunk: int) -> List[List[SweepPoint]]:
+    return [list(points[start : start + chunk]) for start in range(0, len(points), chunk)]
+
+
 def execute_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    chunk: Optional[int] = None,
+    reuse: Optional[Mapping[int, PointResult]] = None,
 ) -> CampaignResult:
     """Run every point of ``spec`` and return the aggregated result.
 
-    ``jobs`` is the number of worker processes; ``1`` runs everything in this
-    process.  ``progress`` (if given) is called after each completed point
-    with ``(completed, total, result)`` — note that under sharding the
-    completion *order* is nondeterministic even though the aggregated results
-    are not.
+    ``jobs`` is the requested number of worker processes (``1`` runs
+    everything in this process; the effective pool is additionally capped at
+    the core count and the chunk count).  ``chunk`` overrides the auto-sized
+    per-worker batch.  ``reuse`` maps point indices to previously computed
+    results (see :mod:`repro.sweep.resume`); those points are not re-run.
+    ``progress`` (if given) is called after each completed point with
+    ``(completed, total, result)`` — note that under sharding the completion
+    *order* is nondeterministic even though the aggregated results are not.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    if chunk is not None and chunk < 1:
+        raise ValueError("chunk must be at least 1")
     points = expand_campaign(spec)
+    total = len(points)
     start = time.perf_counter()
     results: List[PointResult] = []
-    if jobs == 1:
+    if reuse:
+        results.extend(reuse[point.index] for point in points if point.index in reuse)
+        points = [point for point in points if point.index not in reuse]
+        for completed, result in enumerate(results, start=1):
+            result.reused = True
+            if progress is not None:
+                progress(completed, total, result)
+
+    chunk_size = chunk if chunk is not None else auto_chunk(len(points), jobs)
+    chunks = _chunked(points, chunk_size)
+    # Workers beyond the core count (or the chunk count) only add overhead;
+    # the aggregated artifacts are independent of the pool geometry anyway.
+    workers = min(jobs, os.cpu_count() or 1, len(chunks))
+    if workers <= 1:
         for point in points:
             result = run_point(point)
             results.append(result)
             if progress is not None:
-                progress(len(results), len(points), result)
+                progress(len(results), total, result)
     else:
-        # One point per task: sweep points vary wildly in cost (horizon axes
-        # span orders of magnitude), so fine-grained dispatch beats chunking.
-        with multiprocessing.Pool(processes=jobs) as pool:
-            for result in pool.imap_unordered(run_point, points, chunksize=1):
-                results.append(result)
-                if progress is not None:
-                    progress(len(results), len(points), result)
+        with multiprocessing.Pool(processes=workers) as pool:
+            for batch in pool.imap_unordered(run_points, chunks):
+                for result in batch:
+                    results.append(result)
+                    if progress is not None:
+                        progress(len(results), total, result)
     results.sort(key=lambda result: result.index)
     return CampaignResult(
         campaign=spec.name,
@@ -159,4 +222,5 @@ def execute_campaign(
         points=results,
         jobs=jobs,
         wall_seconds=time.perf_counter() - start,
+        chunk=chunk_size,
     )

@@ -1,0 +1,127 @@
+"""Incremental re-execution: recover finished points from prior artifacts.
+
+A sweep campaign's ``results.json`` is deterministic and keyed by point
+index, and its ``manifest.json`` records the full campaign spec.  That makes
+resumption trivial to do safely:
+
+* :func:`spec_hash` canonicalises the campaign portion of the manifest
+  (name, scenario, grid, seeds, kernel, schema version) into a sha256 — the
+  identity of "the same campaign";
+* :func:`load_reusable_results` reads a previous run's artifacts from the
+  campaign's output directory and returns its per-point records **only** if
+  the stored spec hash matches the current spec.  A renamed grid axis, a new
+  value, a different base seed, or a schema bump all change the hash and
+  force a clean re-run — a stale cache can never masquerade as fresh data.
+
+Recovered records re-enter :func:`repro.sweep.execute.execute_campaign`
+through its ``reuse`` parameter; because every record is a pure function of
+its point, a resumed run's ``results.json``/``results.csv`` are byte-identical
+to a from-scratch run (pinned by ``tests/sweep/test_resume.py``).  Wall-clock
+timings of reused points are carried over from the previous manifest so the
+new manifest stays fully populated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict
+
+from repro.sweep.campaign import CampaignSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sweep.execute import PointResult
+
+
+def campaign_identity(spec: CampaignSpec) -> Dict[str, object]:
+    """The canonical campaign-identity payload hashed by :func:`spec_hash`."""
+    from repro.sweep.artifacts import SCHEMA_VERSION
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": spec.name,
+        "scenario": spec.scenario,
+        "grid": {axis: list(values) for axis, values in spec.grid.items()},
+        "base_seed": spec.base_seed,
+        "dense": spec.dense,
+    }
+
+
+def spec_hash(spec: CampaignSpec) -> str:
+    """Stable sha256 of the campaign identity (axis order included: it fixes
+    the point enumeration, so reordering axes renumbers every point)."""
+    canonical = json.dumps(campaign_identity(spec), sort_keys=False, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def load_reusable_results(spec: CampaignSpec, out_dir: Path) -> Dict[int, "PointResult"]:
+    """Per-point results of a previous run of ``spec``, keyed by index.
+
+    Returns an empty mapping when there is nothing to resume from: missing or
+    unreadable artifacts, a manifest without a spec hash (pre-resume schema),
+    or — most importantly — a spec hash that does not match the current
+    campaign definition.  Each stored record is additionally validated
+    against the *current* expansion of the campaign: the spec hash covers
+    the `CampaignSpec` fields, but expansion also depends on registry state
+    (the scenario's default horizon, the seed-injection rule), so a record
+    whose scenario, horizon, params, or seed disagree with today's
+    `SweepPoint` invalidates the whole cache rather than smuggling stale
+    data next to fresh points.
+    """
+    from repro.sweep.campaign import expand_campaign
+    from repro.sweep.execute import PointResult
+
+    campaign_dir = Path(out_dir) / spec.name
+    results_path = campaign_dir / "results.json"
+    manifest_path = campaign_dir / "manifest.json"
+    try:
+        results = json.loads(results_path.read_text(encoding="utf-8"))
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if manifest.get("spec_hash") != spec_hash(spec):
+        return {}
+    if results.get("campaign") != spec.name or results.get("scenario") != spec.scenario:
+        return {}
+    points_by_index = {point.index: point for point in expand_campaign(spec)}
+    point_walls = _point_walls(manifest)
+    reusable: Dict[int, PointResult] = {}
+    for record in results.get("points", ()):
+        try:
+            index = int(record["index"])
+            point = points_by_index.get(index)
+            if (
+                point is None
+                or record["scenario"] != point.scenario
+                or int(record["horizon_cycles"]) != point.horizon_cycles
+                or dict(record["params"]) != dict(point.params)
+                or int(record["seed"]) != point.seed
+            ):
+                return {}
+            reusable[index] = PointResult(
+                index=index,
+                scenario=record["scenario"],
+                horizon_cycles=int(record["horizon_cycles"]),
+                params=dict(record["params"]),
+                seed=int(record["seed"]),
+                stats=dict(record["stats"]),
+                activity=dict(record["activity"]),
+                power_uw=dict(record["power_uw"]),
+                area_kge=dict(record["area_kge"]),
+                wall_seconds=point_walls.get(str(index), 0.0),
+                reused=True,
+            )
+        except (KeyError, TypeError, ValueError):
+            # One malformed record invalidates the cache: a partially written
+            # results.json must not silently contribute half its points.
+            return {}
+    return reusable
+
+
+def _point_walls(manifest: Dict[str, object]) -> Dict[str, float]:
+    execution = manifest.get("execution")
+    if not isinstance(execution, dict):
+        return {}
+    walls = execution.get("point_wall_seconds")
+    return dict(walls) if isinstance(walls, dict) else {}

@@ -290,14 +290,25 @@ def _run_multi_link_pipeline(horizon_cycles: int, dense: bool, **params: object)
     "figure5-idle",
     "Paper-scale idle power study: armed threshold link waiting for events (Figure 5 idle bars)",
     default_horizon_cycles=110_000,
-    params=("mode", "frequency_mhz"),
+    params=("mode", "frequency_mhz", "pwm_period"),
 )
 def _run_figure5_idle(
-    horizon_cycles: int, dense: bool, mode: str = "pels", frequency_mhz: float = 27.0
+    horizon_cycles: int,
+    dense: bool,
+    mode: str = "pels",
+    frequency_mhz: float = 27.0,
+    pwm_period: int = 0,
 ) -> ScenarioOutcome:
     from repro.power.scenarios import build_idle_measurement_soc
 
     soc = build_idle_measurement_soc(mode, frequency_hz=frequency_mhz * 1e6, dense=dense)
+    if pwm_period:
+        # Arm the PWM actuator (as the always-on monitor keeps it running
+        # while idle).  Nothing consumes its ``period`` event line here, so
+        # this is the workload the consumer-aware fabric exists for: the
+        # legacy kernel wakes every period, the cached kernel free-runs.
+        soc.pwm.regs.reg("PERIOD").write(int(pwm_period))
+        soc.pwm.start()
     soc.run(horizon_cycles)
     activity = soc.activity
     stats = {
@@ -309,4 +320,6 @@ def _run_figure5_idle(
         "sram_reads": activity.get("sram", "reads"),
         "horizon_cycles": horizon_cycles,
     }
+    if pwm_period:
+        stats["pwm_periods_elapsed"] = soc.pwm.periods_elapsed
     return ScenarioOutcome(stats=stats, soc=soc)

@@ -81,6 +81,20 @@ class TestShardingDeterminism:
         sharded = execute_campaign(SMALL_SPEC, jobs=2)
         assert results_payload(serial) == results_payload(sharded)
 
+    def test_chunk_size_never_changes_results(self):
+        serial = execute_campaign(SMALL_SPEC, jobs=1)
+        for chunk in (1, 2, 3, 100):
+            chunked = execute_campaign(SMALL_SPEC, jobs=2, chunk=chunk)
+            assert results_payload(chunked) == results_payload(serial)
+            assert chunked.chunk == chunk
+
+    def test_auto_chunk_batches_small_campaigns(self):
+        from repro.sweep.execute import auto_chunk
+
+        assert auto_chunk(4, 1) == 4  # serial: one batch, no pool
+        assert auto_chunk(32, 2) == 4  # ~4 chunks per worker
+        assert auto_chunk(3, 8) == 1  # never zero
+
     def test_progress_reports_every_point(self):
         seen = []
         execute_campaign(SMALL_SPEC, jobs=1, progress=lambda done, total, result: seen.append((done, total)))
@@ -89,6 +103,10 @@ class TestShardingDeterminism:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ValueError, match="jobs"):
             execute_campaign(SMALL_SPEC, jobs=0)
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ValueError, match="chunk"):
+            execute_campaign(SMALL_SPEC, jobs=2, chunk=0)
 
 
 class TestAcceptanceCampaign:

@@ -1,0 +1,139 @@
+"""Incremental re-execution (--resume): reuse, validation, byte-identity."""
+
+import json
+from dataclasses import replace
+
+from repro.sweep.artifacts import write_artifacts
+from repro.sweep.campaign import CampaignSpec
+from repro.sweep.execute import execute_campaign
+from repro.sweep.resume import load_reusable_results, spec_hash
+
+SPEC = CampaignSpec(
+    name="resume-test",
+    description="small resume-test campaign",
+    scenario="duty-cycled-logging",
+    grid={
+        "horizon_cycles": (40_000, 60_000),
+        "sample_period_cycles": (2_000, 4_000),
+    },
+)
+
+
+def _fresh_artifacts(out_dir):
+    result = execute_campaign(SPEC, jobs=1)
+    paths = write_artifacts(SPEC, result, out_dir)
+    return result, paths
+
+
+class TestSpecHash:
+    def test_hash_is_stable(self):
+        assert spec_hash(SPEC) == spec_hash(SPEC)
+
+    def test_hash_tracks_every_identity_field(self):
+        baseline = spec_hash(SPEC)
+        assert spec_hash(replace(SPEC, base_seed=1)) != baseline
+        assert spec_hash(replace(SPEC, dense=True)) != baseline
+        assert spec_hash(replace(SPEC, grid={"horizon_cycles": (40_000,)})) != baseline
+        assert (
+            spec_hash(replace(SPEC, scenario="burst-spi-dma", grid={"horizon_cycles": (40_000,)}))
+            != spec_hash(replace(SPEC, grid={"horizon_cycles": (40_000,)}))
+        )
+
+    def test_hash_ignores_description(self):
+        # The description is documentation, not identity: editing it must not
+        # invalidate a finished campaign.
+        assert spec_hash(replace(SPEC, description="reworded")) == spec_hash(SPEC)
+
+    def test_axis_order_is_identity(self):
+        # Row-major expansion means axis order fixes the point numbering.
+        reordered = replace(
+            SPEC,
+            grid={
+                "sample_period_cycles": (2_000, 4_000),
+                "horizon_cycles": (40_000, 60_000),
+            },
+        )
+        assert spec_hash(reordered) != spec_hash(SPEC)
+
+
+class TestLoadReusableResults:
+    def test_round_trip_recovers_every_point(self, tmp_path):
+        result, _ = _fresh_artifacts(tmp_path)
+        reusable = load_reusable_results(SPEC, tmp_path)
+        assert sorted(reusable) == [0, 1, 2, 3]
+        for point in result.points:
+            recovered = reusable[point.index]
+            assert recovered.stats == point.stats
+            assert recovered.activity == point.activity
+            assert recovered.power_uw == point.power_uw
+            assert recovered.seed == point.seed
+            assert recovered.reused is True
+            assert recovered.wall_seconds == point.wall_seconds
+
+    def test_missing_artifacts_mean_no_reuse(self, tmp_path):
+        assert load_reusable_results(SPEC, tmp_path) == {}
+
+    def test_manifest_mismatch_invalidates_cache(self, tmp_path):
+        _fresh_artifacts(tmp_path)
+        changed = replace(SPEC, base_seed=SPEC.base_seed + 1)
+        assert load_reusable_results(changed, tmp_path) == {}
+
+    def test_corrupt_results_invalidate_cache(self, tmp_path):
+        _, paths = _fresh_artifacts(tmp_path)
+        payload = json.loads(paths["results_json"].read_text())
+        del payload["points"][0]["seed"]
+        paths["results_json"].write_text(json.dumps(payload))
+        assert load_reusable_results(SPEC, tmp_path) == {}
+
+    def test_record_disagreeing_with_expansion_invalidates_cache(self, tmp_path):
+        # The spec hash only covers the CampaignSpec; expansion also depends
+        # on registry state (default horizons, seed injection).  A stored
+        # record whose seed/horizon/params no longer match today's expanded
+        # SweepPoint must poison the whole cache.
+        _, paths = _fresh_artifacts(tmp_path)
+        payload = json.loads(paths["results_json"].read_text())
+        payload["points"][2]["seed"] += 1
+        paths["results_json"].write_text(json.dumps(payload))
+        assert load_reusable_results(SPEC, tmp_path) == {}
+
+
+class TestResumedExecution:
+    def test_resumed_run_is_byte_identical_to_fresh(self, tmp_path):
+        """The --resume acceptance property: reusing every stored point must
+        reproduce results.json and results.csv byte for byte."""
+        _, fresh_paths = _fresh_artifacts(tmp_path / "fresh")
+        reuse = load_reusable_results(SPEC, tmp_path / "fresh")
+        resumed = execute_campaign(SPEC, jobs=1, reuse=reuse)
+        assert resumed.n_reused == 4
+        resumed_paths = write_artifacts(SPEC, resumed, tmp_path / "resumed")
+        for key in ("results_json", "results_csv"):
+            assert resumed_paths[key].read_bytes() == fresh_paths[key].read_bytes()
+
+    def test_partial_resume_runs_only_missing_points(self, tmp_path):
+        """An interrupted run (subset of points in results.json) completes the
+        rest and still lands on the fresh artifacts byte for byte."""
+        fresh, fresh_paths = _fresh_artifacts(tmp_path / "fresh")
+        # Simulate an interrupted campaign: keep only half the points.
+        partial = execute_campaign(SPEC, jobs=1)
+        partial.points = [point for point in partial.points if point.index in (0, 2)]
+        write_artifacts(SPEC, partial, tmp_path / "partial")
+        reuse = load_reusable_results(SPEC, tmp_path / "partial")
+        assert sorted(reuse) == [0, 2]
+
+        resumed = execute_campaign(SPEC, jobs=1, reuse=reuse)
+        assert resumed.n_reused == 2
+        assert resumed.n_points == 4
+        assert [point.index for point in resumed.points] == [0, 1, 2, 3]
+        resumed_paths = write_artifacts(SPEC, resumed, tmp_path / "resumed")
+        for key in ("results_json", "results_csv"):
+            assert resumed_paths[key].read_bytes() == fresh_paths[key].read_bytes()
+
+    def test_manifest_records_reuse(self, tmp_path):
+        from repro.sweep.artifacts import manifest_payload
+
+        _fresh_artifacts(tmp_path)
+        reuse = load_reusable_results(SPEC, tmp_path)
+        resumed = execute_campaign(SPEC, jobs=1, reuse=reuse)
+        manifest = manifest_payload(SPEC, resumed)
+        assert manifest["spec_hash"] == spec_hash(SPEC)
+        assert manifest["execution"]["reused_points"] == 4
