@@ -9,7 +9,7 @@ numbers — the machine-generated counterpart of EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.analysis.latency import (
     PAPER_IBEX_CYCLES,

@@ -82,7 +82,9 @@ class EventInterconnect(Component):
     event latency" property of the surveyed systems.
     """
 
-    def __init__(self, name: str = "event_interconnect", fabric: Optional[EventFabric] = None, n_channels: int = 8) -> None:
+    def __init__(
+        self, name: str = "event_interconnect", fabric: Optional[EventFabric] = None, n_channels: int = 8
+    ) -> None:
         super().__init__(name)
         if n_channels < 1:
             raise ValueError("the event interconnect needs at least one channel")

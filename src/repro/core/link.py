@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.bus.transaction import BusRequest
 from repro.core.assembler import Program
 from repro.core.config import LinkConfig
 from repro.core.execution import ActionSink, BusSubmit, ExecutionState, ExecutionUnit

@@ -9,7 +9,7 @@ would dominate [Teman et al.].
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 from repro.core.isa import COMMAND_BITS, Command, decode_command, encode_command
 

@@ -24,7 +24,7 @@ mid-run re-bounds the producer's horizon on the exact cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Protocol, Tuple
 
 
 class _WakeProducer(Protocol):

@@ -17,7 +17,10 @@ _BAR_ORDER = (
 
 def format_breakdown(breakdown: PowerBreakdown) -> str:
     """Render one power breakdown as an aligned text block."""
-    lines = [f"{breakdown.scenario}  (f = {breakdown.frequency_hz / 1e6:.0f} MHz, window = {breakdown.window_cycles} cycles)"]
+    lines = [
+        f"{breakdown.scenario}  "
+        f"(f = {breakdown.frequency_hz / 1e6:.0f} MHz, window = {breakdown.window_cycles} cycles)"
+    ]
     for component in COMPONENTS:
         lines.append(f"  {component:<13s} {breakdown.component(component):10.1f} uW")
     lines.append(f"  {'Total':<13s} {breakdown.total_uw:10.1f} uW")

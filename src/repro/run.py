@@ -9,6 +9,9 @@ skipping is validated end to end from the command line.
 The ``sweep`` subcommand executes a whole campaign of scenario points
 (:mod:`repro.sweep`), sharded across a process pool, and writes JSON + CSV
 artifacts plus a reproducibility manifest under ``results/sweeps/``.
+``--shard I/N`` restricts a run to one slice of the grid for multi-host
+distribution, and ``sweep merge`` stitches the per-host artifact
+directories back into the single-host artifacts.
 
 Examples::
 
@@ -19,6 +22,9 @@ Examples::
     python -m repro.run sweep --list
     python -m repro.run sweep pipeline-clock-ratio --jobs 4
     python -m repro.run sweep watchdog-fault-injection --dry-run
+    python -m repro.run sweep smoke --shard 0/3 --out /tmp/shards
+    python -m repro.run sweep merge /tmp/shards/smoke/shard-0-of-3 \\
+        /tmp/shards/smoke/shard-1-of-3 /tmp/shards/smoke/shard-2-of-3
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
-from repro.workloads.registry import run_scenario, scenario, scenario_names, scenarios
+from repro.workloads.registry import run_scenario, scenario, scenarios
 
 DEFAULT_FREQUENCY_MHZ = 55.0
 DEFAULT_SWEEP_OUT = "results/sweeps"
@@ -125,6 +131,14 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         "when its manifest hash matches the campaign definition",
     )
     parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="execute only shard I of N (contiguous index ranges of the "
+        "expanded grid, zero-based) for multi-host distribution; merge the "
+        "per-host artifacts with 'sweep merge'",
+    )
+    parser.add_argument(
         "--out",
         default=DEFAULT_SWEEP_OUT,
         help="artifact root; files land in <out>/<campaign>/ (default: %(default)s)",
@@ -149,8 +163,61 @@ def _sweep_progress(completed: int, total: int, result) -> None:
     )
 
 
+def _build_merge_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run sweep merge",
+        description="Merge sharded campaign artifacts back into single-host artifacts.",
+    )
+    parser.add_argument(
+        "shard_dirs",
+        nargs="+",
+        metavar="SHARD_DIR",
+        help="one shard's campaign directory (directly containing results.json "
+        "and manifest.json); pass every shard of the campaign",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_SWEEP_OUT,
+        help="artifact root; merged files land in <out>/<campaign>/ (default: %(default)s)",
+    )
+    return parser
+
+
+def _merge_main(argv: Sequence[str]) -> int:
+    from repro.sweep import MergeError, merge_shards, write_merged_artifacts
+
+    args = _build_merge_parser().parse_args(argv)
+    try:
+        merged = merge_shards([Path(directory) for directory in args.shard_dirs])
+    except MergeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    paths = write_merged_artifacts(merged, Path(args.out))
+    result = merged.result
+    print(
+        f"merged campaign {result.campaign}: {result.n_points} points over scenario "
+        f"{result.scenario} from {len(merged.sources)} artifact dir(s)"
+    )
+    for source in merged.sources:
+        print(f"  <- {source.shard_label}")
+    for label in ("results_json", "results_csv", "manifest_json"):
+        print(f"  {paths[label]}")
+    return 0
+
+
 def _sweep_main(argv: Sequence[str]) -> int:
-    from repro.sweep import campaign, campaigns, execute_campaign, expand_campaign, write_artifacts
+    from repro.sweep import (
+        ShardSpec,
+        campaign,
+        campaigns,
+        execute_campaign,
+        expand_campaign,
+        shard_dirname,
+        write_artifacts,
+    )
+
+    if argv and argv[0] == "merge":
+        return _merge_main(argv[1:])
 
     args = _build_sweep_parser().parse_args(argv)
 
@@ -168,6 +235,13 @@ def _sweep_main(argv: Sequence[str]) -> int:
     if args.chunk is not None and args.chunk < 1:
         print("error: --chunk must be at least 1", file=sys.stderr)
         return 2
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = ShardSpec.parse(args.shard)
+        except ValueError as exc:
+            print(f"error: --shard: {exc}", file=sys.stderr)
+            return 2
     try:
         spec = campaign(args.campaign)
     except KeyError as exc:
@@ -180,21 +254,44 @@ def _sweep_main(argv: Sequence[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    shard_points = shard.select(points) if shard is not None else points
+    if shard is not None:
+        start, stop = shard.bounds(len(points))
+        print(
+            f"shard {shard}: points [{start}, {stop}) of {len(points)}",
+            file=sys.stderr,
+        )
+
     if args.dry_run:
-        print(f"campaign {spec.name}: {len(points)} points over scenario {spec.scenario}")
-        for point in points:
+        scope = f"shard {shard} = {len(shard_points)} of " if shard is not None else ""
+        print(f"campaign {spec.name}: {scope}{len(points)} points over scenario {spec.scenario}")
+        for point in shard_points:
             params = " ".join(f"{key}={value}" for key, value in sorted(point.params.items()))
             print(f"  point {point.index:>3}  horizon={point.horizon_cycles} {params} point-seed={point.seed}")
         return 0
+
+    # A shard's artifacts nest under the campaign directory so slices never
+    # clobber campaign-level (full or merged) artifacts — in-place re-cutting
+    # a fleet from a merged directory must not destroy its resume source.
+    shard_subdir = shard_dirname(shard) if shard is not None else None
 
     reuse = None
     if args.resume:
         from repro.sweep import load_reusable_results
 
+        # Campaign-level artifacts (a full or merged run) win over the
+        # shard's own previous slice; both are spec_hash-validated.
         reuse = load_reusable_results(spec, Path(args.out))
+        if shard_subdir is not None:
+            for index, record in load_reusable_results(
+                spec, Path(args.out), subdir=shard_subdir
+            ).items():
+                reuse.setdefault(index, record)
+        shard_indices = {point.index for point in shard_points}
+        reuse = {index: record for index, record in reuse.items() if index in shard_indices}
         if reuse:
             print(
-                f"resume: reusing {len(reuse)}/{len(points)} points from "
+                f"resume: reusing {len(reuse)}/{len(shard_points)} points from "
                 f"{Path(args.out) / spec.name}",
                 file=sys.stderr,
             )
@@ -206,13 +303,14 @@ def _sweep_main(argv: Sequence[str]) -> int:
             )
 
     result = execute_campaign(
-        spec, jobs=args.jobs, progress=_sweep_progress, chunk=args.chunk, reuse=reuse
+        spec, jobs=args.jobs, progress=_sweep_progress, chunk=args.chunk, reuse=reuse, shard=shard
     )
-    paths = write_artifacts(spec, result, Path(args.out))
+    paths = write_artifacts(spec, result, Path(args.out), subdir=shard_subdir)
+    sharded = f"shard {shard}, " if shard is not None else ""
     reused = f", {result.n_reused} reused" if result.n_reused else ""
     print(
         f"campaign {spec.name}: {result.n_points} points over scenario {spec.scenario} "
-        f"({args.jobs} job{'s' if args.jobs != 1 else ''}, chunk {result.chunk}, "
+        f"({sharded}{args.jobs} job{'s' if args.jobs != 1 else ''}, chunk {result.chunk}, "
         f"{result.wall_seconds:.2f} s{reused})"
     )
     for label in ("results_json", "results_csv", "manifest_json"):

@@ -12,7 +12,7 @@ until the transfer completes (polling semantics).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.bus.transaction import BusRequest, TransferKind
 from repro.core.assembler import Program

@@ -11,9 +11,13 @@ structured JSON + CSV under ``results/sweeps/``, with a campaign manifest
 for reproducibility.
 
 CLI front end: ``python -m repro.run sweep <campaign> [--jobs N] [--chunk K]
-[--resume]``.  ``--chunk`` batches points into per-worker chunks (auto-sized
-by default), ``--resume`` reuses points already present in ``results.json``
-under an identical campaign manifest (:mod:`repro.sweep.resume`).
+[--resume] [--shard I/N]``.  ``--chunk`` batches points into per-worker
+chunks (auto-sized by default), ``--resume`` reuses points already present
+in ``results.json`` under an identical campaign manifest
+(:mod:`repro.sweep.resume`), and ``--shard I/N`` executes one contiguous
+index range of the grid for multi-host distribution — the per-host artifact
+directories merge back into the single-host artifacts with
+``python -m repro.run sweep merge <dir>...`` (:mod:`repro.sweep.merge`).
 Full documentation: ``docs/sweeps.md``.
 """
 
@@ -22,10 +26,12 @@ from repro.sweep.artifacts import (
     manifest_payload,
     point_record,
     results_payload,
+    shard_dirname,
     write_artifacts,
 )
 from repro.sweep.campaign import (
     CampaignSpec,
+    ShardSpec,
     SweepPoint,
     derive_point_seed,
     expand_campaign,
@@ -44,13 +50,22 @@ from repro.sweep.execute import (
     execute_campaign,
     run_point,
 )
-from repro.sweep.resume import load_reusable_results, spec_hash
+from repro.sweep.merge import (
+    MergedCampaign,
+    MergeError,
+    merge_shards,
+    write_merged_artifacts,
+)
+from repro.sweep.resume import load_reusable_results, spec_from_manifest, spec_hash
 
 __all__ = [
     "CampaignResult",
     "CampaignSpec",
+    "MergeError",
+    "MergedCampaign",
     "PointResult",
     "SCHEMA_VERSION",
+    "ShardSpec",
     "SweepPoint",
     "auto_chunk",
     "campaign",
@@ -62,10 +77,14 @@ __all__ = [
     "grid_from_lists",
     "load_reusable_results",
     "manifest_payload",
+    "merge_shards",
     "point_record",
     "register_campaign",
     "results_payload",
     "run_point",
+    "shard_dirname",
+    "spec_from_manifest",
     "spec_hash",
     "write_artifacts",
+    "write_merged_artifacts",
 ]

@@ -13,8 +13,14 @@ One campaign execution writes three files under ``<out_dir>/<campaign>/``:
 * ``manifest.json`` — everything needed to reproduce and audit the run: the
   campaign spec (scenario, grid, base seed, kernel), the artifact schema
   version, the point count, and the execution record (jobs, wall-clock
-  timings, python version).  Timing lives *only* here so the two result
-  files stay comparable across executions.
+  timings, reused/computed point counts, python version).  Timing lives
+  *only* here so the two result files stay comparable across executions.
+
+**Sharded runs** (``--shard I/N``) additionally stamp both ``results.json``
+and ``manifest.json`` with a ``shard`` block (index, count, covered index
+range, full-grid point count); ``n_points`` counts the shard's own points.
+An unsharded run's artifacts carry no ``shard`` block, which is exactly the
+shape :mod:`repro.sweep.merge` reconstructs when stitching shards together.
 """
 
 from __future__ import annotations
@@ -23,9 +29,9 @@ import csv
 import json
 import platform
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.sweep.campaign import CampaignSpec
+from repro.sweep.campaign import CampaignSpec, ShardSpec
 from repro.sweep.execute import CampaignResult, PointResult
 
 #: Bump when the shape of results.json / results.csv / manifest.json changes.
@@ -51,15 +57,38 @@ def point_record(result: PointResult) -> Dict[str, object]:
     }
 
 
-def results_payload(result: CampaignResult) -> Dict[str, object]:
-    """The deterministic results.json payload for one campaign execution."""
+def shard_record(result: CampaignResult) -> Optional[Dict[str, object]]:
+    """The ``shard`` block stamped into sharded artifacts (None when the
+    execution covered the whole grid)."""
+    if result.shard is None:
+        return None
+    start, stop = result.shard.bounds(result.points_total)
     return {
+        "index": result.shard.index,
+        "count": result.shard.count,
+        "start": start,
+        "stop": stop,
+        "points_total": result.points_total,
+    }
+
+
+def results_payload(result: CampaignResult) -> Dict[str, object]:
+    """The deterministic results.json payload for one campaign execution.
+
+    A sharded execution adds a ``shard`` block; an unsharded one emits
+    exactly the pre-shard schema, byte for byte.
+    """
+    payload = {
         "schema_version": SCHEMA_VERSION,
         "campaign": result.campaign,
         "scenario": result.scenario,
         "n_points": result.n_points,
         "points": [point_record(point) for point in result.points],
     }
+    shard = shard_record(result)
+    if shard is not None:
+        payload["shard"] = shard
+    return payload
 
 
 def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, object]:
@@ -70,7 +99,7 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
     """
     from repro.sweep.resume import spec_hash
 
-    return {
+    payload = {
         "schema_version": SCHEMA_VERSION,
         "spec_hash": spec_hash(spec),
         "campaign": {
@@ -78,6 +107,12 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
             "description": spec.description,
             "scenario": spec.scenario,
             "grid": {axis: list(values) for axis, values in spec.grid.items()},
+            # The manifest is dumped with sorted keys, which would scramble
+            # the grid's axis order — but axis order *is* campaign identity
+            # (row-major expansion numbers the points with it).  Record it
+            # explicitly so the spec can be reconstructed exactly
+            # (resume.spec_from_manifest, sweep merge).
+            "axis_order": list(spec.grid),
             "base_seed": spec.base_seed,
             "dense": spec.dense,
             "seed_scheme": "sha256(name:base_seed:index)[:4 bytes]",
@@ -88,6 +123,7 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
             "jobs": result.jobs,
             "chunk": result.chunk,
             "reused_points": result.n_reused,
+            "computed_points": result.n_computed,
             "wall_seconds": result.wall_seconds,
             "point_wall_seconds": {
                 str(point.index): point.wall_seconds for point in result.points
@@ -95,6 +131,10 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
             "python_version": platform.python_version(),
         },
     }
+    shard = shard_record(result)
+    if shard is not None:
+        payload["shard"] = shard
+    return payload
 
 
 def _csv_columns(result: CampaignResult) -> List[str]:
@@ -148,11 +188,22 @@ def write_results_csv(result: CampaignResult, path: Path) -> None:
             writer.writerow(row)
 
 
+def shard_dirname(shard: "ShardSpec") -> str:
+    """The shard-qualified artifact subdirectory name (``shard-I-of-N``) a
+    sharded CLI run nests under the campaign directory, so shard slices never
+    overwrite the campaign-level (full or merged) artifacts."""
+    return f"shard-{shard.index}-of-{shard.count}"
+
+
 def write_artifacts(
-    spec: CampaignSpec, result: CampaignResult, out_dir: Path
+    spec: CampaignSpec, result: CampaignResult, out_dir: Path, subdir: Optional[str] = None
 ) -> Dict[str, Path]:
-    """Write all three artifacts under ``out_dir / spec.name``; return paths."""
+    """Write all three artifacts under ``out_dir / spec.name [/ subdir]``;
+    return paths.  ``subdir`` is how the CLI keeps a shard's artifacts
+    (``shard-I-of-N``) from clobbering campaign-level ones."""
     campaign_dir = Path(out_dir) / spec.name
+    if subdir is not None:
+        campaign_dir = campaign_dir / subdir
     campaign_dir.mkdir(parents=True, exist_ok=True)
     paths = {
         "results_json": campaign_dir / RESULTS_JSON,

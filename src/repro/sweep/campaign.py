@@ -13,6 +13,12 @@ A :class:`CampaignSpec` names one scenario from
   grid, so point indices — and therefore artifacts — are stable across
   executions, process counts, and machines.
 
+For multi-host distribution, a :class:`ShardSpec` (``--shard I/N`` on the
+CLI) deterministically partitions the expanded point list into ``N``
+contiguous index ranges; because points are keyed by index, the shards'
+artifacts merge back (:mod:`repro.sweep.merge`) into exactly the single-host
+run.
+
 Every point carries a **deterministic seed** derived from the campaign name,
 the campaign's base seed, and the point's index (:func:`derive_point_seed`).
 Scenarios that declare a ``seed`` parameter receive it automatically — but
@@ -82,6 +88,68 @@ class SweepPoint:
     dense: bool
     params: Mapping[str, object] = field(default_factory=dict)
     seed: int = 0
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a campaign for multi-host distribution: shard ``index``
+    of ``count`` equal-as-possible **contiguous index ranges** of the
+    expanded point list.
+
+    Contiguous ranges (rather than striding) keep each shard's artifacts in
+    row-major order, so merging is a concatenation and every validation rule
+    in :mod:`repro.sweep.merge` is a statement about index intervals.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be at least 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index must be in [0, {self.count}), got {self.index} "
+                f"(shards are zero-based: the last of {self.count} is "
+                f"{self.count - 1}/{self.count})"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``I/N`` (e.g. ``0/3``, ``2/3``)."""
+        index_text, sep, count_text = text.partition("/")
+        try:
+            if not sep:
+                raise ValueError
+            index, count = int(index_text), int(count_text)
+        except ValueError:
+            raise ValueError(
+                f"shard must look like I/N (e.g. 1/4), got {text!r}"
+            ) from None
+        return cls(index=index, count=count)
+
+    def bounds(self, n_points: int) -> Tuple[int, int]:
+        """Half-open index range ``[start, stop)`` this shard covers.
+
+        Balanced partition: every shard gets ``n_points // count`` points and
+        the first ``n_points % count`` shards one extra, with the union of
+        all shards exactly ``range(n_points)`` and no overlap.  A shard may
+        be empty when there are fewer points than shards.
+        """
+        if n_points < 0:
+            raise ValueError(f"n_points must be non-negative, got {n_points}")
+        return (
+            self.index * n_points // self.count,
+            (self.index + 1) * n_points // self.count,
+        )
+
+    def select(self, points: Sequence[SweepPoint]) -> List[SweepPoint]:
+        """The sub-list of ``points`` this shard executes."""
+        start, stop = self.bounds(len(points))
+        return list(points[start:stop])
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
 
 
 def derive_point_seed(campaign: str, base_seed: int, index: int) -> int:

@@ -28,6 +28,15 @@ records recovered from a previous run's ``results.json`` (see
 :mod:`repro.sweep.resume`) are dropped into place without re-running their
 points, which is how ``python -m repro.run sweep <campaign> --resume`` skips
 work that already exists under an identical campaign manifest.
+
+**Multi-host distribution** (:func:`execute_campaign` with ``shard=``): a
+:class:`~repro.sweep.campaign.ShardSpec` restricts execution to one
+contiguous index range of the expanded grid.  Sharding composes with
+``jobs``/``chunk`` (the shard's points still fan out over the local pool)
+and with ``reuse`` (reusable indices outside the shard are simply never
+consulted), and the shard's artifacts record the slice so
+:mod:`repro.sweep.merge` can validate coverage when stitching shards back
+together.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.area.model import PelsAreaModel
 from repro.power.model import PowerModel
-from repro.sweep.campaign import CampaignSpec, SweepPoint, expand_campaign
+from repro.sweep.campaign import CampaignSpec, ShardSpec, SweepPoint, expand_campaign
 from repro.workloads.registry import run_scenario_instrumented
 
 
@@ -80,6 +89,11 @@ class CampaignResult:
     wall_seconds: float
     #: Chunk size the pool dispatch used (1 when serial).
     chunk: int = 1
+    #: The slice of the campaign this execution covered (None = the whole
+    #: grid); see :class:`~repro.sweep.campaign.ShardSpec`.
+    shard: Optional[ShardSpec] = None
+    #: Size of the *full* expanded grid (equals ``n_points`` when unsharded).
+    points_total: int = 0
 
     @property
     def n_points(self) -> int:
@@ -90,6 +104,11 @@ class CampaignResult:
     def n_reused(self) -> int:
         """How many points were recovered from a previous run (``--resume``)."""
         return sum(1 for point in self.points if point.reused)
+
+    @property
+    def n_computed(self) -> int:
+        """How many points were actually executed (not recovered)."""
+        return self.n_points - self.n_reused
 
 
 ProgressCallback = Callable[[int, int, PointResult], None]
@@ -169,6 +188,7 @@ def execute_campaign(
     progress: Optional[ProgressCallback] = None,
     chunk: Optional[int] = None,
     reuse: Optional[Mapping[int, PointResult]] = None,
+    shard: Optional[ShardSpec] = None,
 ) -> CampaignResult:
     """Run every point of ``spec`` and return the aggregated result.
 
@@ -177,15 +197,20 @@ def execute_campaign(
     the core count and the chunk count).  ``chunk`` overrides the auto-sized
     per-worker batch.  ``reuse`` maps point indices to previously computed
     results (see :mod:`repro.sweep.resume`); those points are not re-run.
-    ``progress`` (if given) is called after each completed point with
-    ``(completed, total, result)`` — note that under sharding the completion
+    ``shard`` restricts execution to one contiguous index range of the grid
+    (see :class:`~repro.sweep.campaign.ShardSpec`); ``reuse`` entries outside
+    the shard are ignored.  ``progress`` (if given) is called after each
+    completed point with ``(completed, total, result)`` where ``total`` is
+    the shard-local point count — note that under sharding the completion
     *order* is nondeterministic even though the aggregated results are not.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     if chunk is not None and chunk < 1:
         raise ValueError("chunk must be at least 1")
-    points = expand_campaign(spec)
+    all_points = expand_campaign(spec)
+    points_total = len(all_points)
+    points = shard.select(all_points) if shard is not None else all_points
     total = len(points)
     start = time.perf_counter()
     results: List[PointResult] = []
@@ -223,4 +248,6 @@ def execute_campaign(
         jobs=jobs,
         wall_seconds=time.perf_counter() - start,
         chunk=chunk_size,
+        shard=shard,
+        points_total=points_total,
     )

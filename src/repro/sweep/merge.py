@@ -1,0 +1,408 @@
+"""Resume-aware merging of sharded campaign artifacts.
+
+A campaign distributed with ``--shard I/N`` leaves one artifact directory
+per host, each holding the shard's ``results.json``/``results.csv``/
+``manifest.json`` slice.  :func:`merge_shards` stitches those slices back
+into the single-host artifacts:
+
+* every shard directory must be readable and carry the **same**
+  ``spec_hash`` — the campaign-identity digest ``--resume`` validates — and
+  the same campaign/scenario/schema; the manifest's campaign block is
+  additionally reconstructed into a :class:`~repro.sweep.campaign.CampaignSpec`
+  and re-hashed, so a hand-edited manifest whose hash and grid disagree is
+  rejected rather than trusted;
+* the shards' declared index ranges must be **pairwise disjoint** and their
+  records must cover the full grid **exactly once** — overlaps, duplicate
+  records, out-of-range indices, and missing points are each diagnosed with
+  the offending indices and directories named;
+* records are re-sorted into row-major point order and written through the
+  same serialisers as a local run, so the merged
+  ``results.json``/``results.csv`` are **byte-identical** to a single-host
+  ``--jobs 1`` execution of the campaign (``tests/sweep/test_merge.py`` and
+  the ``sweep-distributed`` CI job both ``cmp`` this).
+
+The merged ``manifest.json`` carries the campaign block, the ``spec_hash``,
+and the per-point wall timings aggregated from the shards — which makes the
+merged directory a first-class ``--resume`` source: any later run of the
+same campaign, *including a re-cut to a different shard count*, reuses every
+merged point instead of recomputing it.
+
+CLI front end::
+
+    python -m repro.run sweep merge <shard-dir>... [--out results/sweeps]
+
+where each ``<shard-dir>`` is one shard's campaign directory (the directory
+that directly contains ``results.json`` and ``manifest.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sweep.artifacts import (
+    MANIFEST_JSON,
+    RESULTS_CSV,
+    RESULTS_JSON,
+    SCHEMA_VERSION,
+    results_payload,
+    write_results_csv,
+)
+from repro.sweep.campaign import CampaignSpec
+from repro.sweep.execute import CampaignResult, PointResult
+from repro.sweep.resume import _point_walls, spec_from_manifest, spec_hash
+
+
+class MergeError(ValueError):
+    """A shard set that must not be merged (mismatched campaigns, overlapping
+    or incomplete coverage, unreadable artifacts).  The message always names
+    the offending directories and indices."""
+
+
+@dataclass
+class ShardArtifacts:
+    """One shard directory's parsed artifacts."""
+
+    directory: Path
+    manifest: Dict[str, object]
+    results: Dict[str, object]
+
+    @property
+    def spec_hash(self) -> str:
+        return str(self.manifest.get("spec_hash", ""))
+
+    @property
+    def campaign_name(self) -> str:
+        return str(self.results.get("campaign", ""))
+
+    @property
+    def shard_label(self) -> str:
+        """Human label for diagnostics: ``dir (shard I/N)`` or just ``dir``."""
+        shard = self.manifest.get("shard")
+        if isinstance(shard, dict):
+            return f"{self.directory} (shard {shard.get('index')}/{shard.get('count')})"
+        return str(self.directory)
+
+    def declared_range(self) -> Optional[Tuple[int, int]]:
+        """The ``[start, stop)`` index range the manifest declares, when the
+        artifacts came from a sharded run (None for unsharded artifacts)."""
+        shard = self.manifest.get("shard")
+        if not isinstance(shard, dict):
+            return None
+        try:
+            return int(shard["start"]), int(shard["stop"])
+        except (KeyError, TypeError, ValueError):
+            raise MergeError(
+                f"{self.directory}: manifest shard block is malformed: {shard!r}"
+            ) from None
+
+    def points_total(self) -> int:
+        """Size of the full campaign grid these artifacts are a slice of."""
+        shard = self.manifest.get("shard")
+        if isinstance(shard, dict):
+            try:
+                return int(shard["points_total"])
+            except (KeyError, TypeError, ValueError):
+                raise MergeError(
+                    f"{self.directory}: manifest shard block is malformed: {shard!r}"
+                ) from None
+        try:
+            return int(self.manifest["n_points"])
+        except (KeyError, TypeError, ValueError):
+            raise MergeError(f"{self.directory}: manifest has no usable n_points") from None
+
+
+@dataclass
+class MergedCampaign:
+    """The validated, re-assembled single-host view of a shard set."""
+
+    spec: CampaignSpec
+    result: CampaignResult
+    sources: List[ShardArtifacts]
+
+
+def load_shard_dir(directory: Path) -> ShardArtifacts:
+    """Read one shard directory's ``results.json`` + ``manifest.json``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise MergeError(f"{directory}: not a directory")
+    payloads: Dict[str, Dict[str, object]] = {}
+    for filename in (RESULTS_JSON, MANIFEST_JSON):
+        path = directory / filename
+        try:
+            payloads[filename] = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            raise MergeError(
+                f"{directory}: missing or unreadable {filename} — pass each shard's "
+                f"campaign directory (the one that directly contains {RESULTS_JSON})"
+            ) from None
+        except ValueError as exc:
+            raise MergeError(f"{path}: invalid JSON: {exc}") from None
+        if not isinstance(payloads[filename], dict):
+            raise MergeError(f"{path}: expected a JSON object at the top level")
+    return ShardArtifacts(
+        directory=directory, manifest=payloads[MANIFEST_JSON], results=payloads[RESULTS_JSON]
+    )
+
+
+def _summarise(indices: Sequence[int], limit: int = 12) -> str:
+    shown = ", ".join(str(index) for index in sorted(indices)[:limit])
+    extra = len(indices) - limit
+    return shown + (f", … ({extra} more)" if extra > 0 else "")
+
+
+def _validate_identity(shards: Sequence[ShardArtifacts]) -> CampaignSpec:
+    """All shards must describe the same campaign; return its spec."""
+    reference = shards[0]
+    for shard in shards:
+        if shard.manifest.get("schema_version") != SCHEMA_VERSION:
+            raise MergeError(
+                f"{shard.directory}: artifact schema version "
+                f"{shard.manifest.get('schema_version')!r} != {SCHEMA_VERSION} — "
+                f"re-run the shard with this version of the code"
+            )
+        if not shard.spec_hash:
+            raise MergeError(
+                f"{shard.directory}: manifest has no spec_hash (pre-distribution "
+                f"schema?) — re-run the shard to get mergeable artifacts"
+            )
+        if shard.spec_hash != reference.spec_hash:
+            raise MergeError(
+                "shards disagree on the campaign identity (spec_hash):\n"
+                + "\n".join(
+                    f"  {other.shard_label}: {other.spec_hash or '<missing>'}" for other in shards
+                )
+                + "\nall shards must come from the same campaign definition"
+            )
+        if shard.campaign_name != reference.campaign_name:
+            raise MergeError(
+                f"{shard.directory}: results are for campaign "
+                f"{shard.campaign_name!r}, expected {reference.campaign_name!r}"
+            )
+    try:
+        spec = spec_from_manifest(reference.manifest)
+    except ValueError as exc:
+        raise MergeError(f"{reference.directory}: {exc}") from None
+    if spec_hash(spec) != reference.spec_hash:
+        raise MergeError(
+            f"{reference.directory}: manifest spec_hash {reference.spec_hash} does not "
+            f"match its own campaign block (recomputed {spec_hash(spec)}) — the "
+            f"manifest was edited or corrupted"
+        )
+    return spec
+
+
+def _validate_ranges(shards: Sequence[ShardArtifacts], points_total: int) -> None:
+    """Declared shard ranges must be in-bounds and pairwise disjoint."""
+    declared: List[Tuple[ShardArtifacts, Tuple[int, int]]] = []
+    for shard in shards:
+        bounds = shard.declared_range()
+        if bounds is None:
+            continue
+        start, stop = bounds
+        if not 0 <= start <= stop <= points_total:
+            raise MergeError(
+                f"{shard.shard_label}: declared index range [{start}, {stop}) is "
+                f"outside the campaign's {points_total} points"
+            )
+        declared.append((shard, bounds))
+    declared.sort(key=lambda entry: entry[1])
+    for (first, (_, first_stop)), (second, (second_start, second_stop)) in zip(
+        declared, declared[1:]
+    ):
+        if second_start < first_stop:
+            overlap = range(second_start, min(first_stop, second_stop))
+            raise MergeError(
+                f"overlapping shards: {first.shard_label} and {second.shard_label} "
+                f"both cover point index(es) {_summarise(list(overlap))} — "
+                f"each point must be executed by exactly one shard"
+            )
+
+
+def _collect_records(
+    shards: Sequence[ShardArtifacts], points_total: int
+) -> Dict[int, Tuple[Dict[str, object], ShardArtifacts]]:
+    """Index every point record, diagnosing duplicates and bad indices."""
+    records: Dict[int, Tuple[Dict[str, object], ShardArtifacts]] = {}
+    for shard in shards:
+        points = shard.results.get("points")
+        if not isinstance(points, list):
+            raise MergeError(f"{shard.directory}: {RESULTS_JSON} has no points list")
+        duplicates: List[int] = []
+        for record in points:
+            try:
+                index = int(record["index"])
+            except (KeyError, TypeError, ValueError):
+                raise MergeError(
+                    f"{shard.directory}: {RESULTS_JSON} contains a record without a "
+                    f"valid index: {str(record)[:80]}"
+                ) from None
+            if not 0 <= index < points_total:
+                raise MergeError(
+                    f"{shard.shard_label}: record index {index} is outside the "
+                    f"campaign's {points_total} points"
+                )
+            if index in records:
+                duplicates.append(index)
+                continue
+            records[index] = (record, shard)
+        if duplicates:
+            others = sorted({records[index][1].shard_label for index in duplicates})
+            raise MergeError(
+                f"duplicate point record(s) {_summarise(duplicates)}: present in "
+                f"{shard.shard_label} and in {', '.join(others)} — shards overlap "
+                f"or the same shard directory was passed twice"
+            )
+    return records
+
+
+def _point_from_record(record: Dict[str, object], wall_seconds: float) -> PointResult:
+    try:
+        return PointResult(
+            index=int(record["index"]),
+            scenario=str(record["scenario"]),
+            horizon_cycles=int(record["horizon_cycles"]),
+            params=dict(record["params"]),
+            seed=int(record["seed"]),
+            stats=dict(record["stats"]),
+            activity=dict(record["activity"]),
+            power_uw=dict(record["power_uw"]),
+            area_kge=dict(record["area_kge"]),
+            wall_seconds=wall_seconds,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MergeError(
+            f"point record {record.get('index')!r} is malformed ({exc!r}) — "
+            f"the shard's results.json was truncated or hand-edited"
+        ) from None
+
+
+def merge_shards(directories: Sequence[Path]) -> MergedCampaign:
+    """Validate and merge the shard directories into one campaign result.
+
+    Raises :class:`MergeError` (with the offending directories and point
+    indices named) instead of ever writing artifacts from an inconsistent
+    shard set.
+    """
+    if not directories:
+        raise MergeError("nothing to merge: pass at least one shard directory")
+    shards = [load_shard_dir(directory) for directory in directories]
+    spec = _validate_identity(shards)
+    totals = {shard.points_total() for shard in shards}
+    if len(totals) != 1:
+        raise MergeError(
+            "shards disagree on the campaign's total point count: "
+            + ", ".join(f"{shard.directory}: {shard.points_total()}" for shard in shards)
+        )
+    points_total = totals.pop()
+    _validate_ranges(shards, points_total)
+    records = _collect_records(shards, points_total)
+
+    missing = sorted(set(range(points_total)) - set(records))
+    if missing:
+        covered = []
+        for shard in shards:
+            bounds = shard.declared_range()
+            covered.append(
+                f"  {shard.shard_label}: "
+                + (f"indices [{bounds[0]}, {bounds[1]})" if bounds else "unsharded")
+            )
+        raise MergeError(
+            f"incomplete coverage: {len(missing)} of {points_total} point(s) missing "
+            f"({_summarise(missing)}); shards present:\n" + "\n".join(covered) + "\n"
+            "run the missing shard(s) or --resume the campaign to fill the gap"
+        )
+
+    walls = {id(shard): _point_walls(shard.manifest) for shard in shards}
+    points: List[PointResult] = []
+    for index in range(points_total):
+        record, shard = records[index]
+        wall = float(walls[id(shard)].get(str(index), 0.0))
+        points.append(_point_from_record(record, wall))
+
+    wall_seconds = 0.0
+    for shard in shards:
+        execution = shard.manifest.get("execution")
+        if isinstance(execution, dict):
+            try:
+                wall_seconds += float(execution.get("wall_seconds", 0.0))
+            except (TypeError, ValueError):
+                pass
+
+    result = CampaignResult(
+        campaign=spec.name,
+        scenario=spec.scenario,
+        points=points,
+        jobs=0,  # merged, not executed here; the manifest names the sources
+        wall_seconds=wall_seconds,
+        chunk=0,
+        shard=None,
+        points_total=points_total,
+    )
+    return MergedCampaign(spec=spec, result=result, sources=shards)
+
+
+def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
+    """The manifest of a merged run: campaign identity + ``spec_hash`` (so
+    the merged directory is a valid ``--resume`` source) plus a merge record
+    in place of the single-host execution block."""
+    reference = merged.sources[0].manifest
+    campaign_block = dict(reference["campaign"]) if isinstance(reference.get("campaign"), dict) else {}
+    result = merged.result
+    sources = []
+    for shard in merged.sources:
+        block = shard.manifest.get("shard")
+        sources.append(
+            {
+                "directory": str(shard.directory),
+                "shard": dict(block) if isinstance(block, dict) else None,
+                "n_points": len(shard.results.get("points", [])),
+            }
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spec_hash": spec_hash(merged.spec),
+        "campaign": campaign_block,
+        "n_points": result.n_points,
+        "artifacts": [RESULTS_JSON, RESULTS_CSV],
+        "execution": {
+            "merged_from": sources,
+            "jobs": None,
+            "chunk": None,
+            "reused_points": 0,
+            "computed_points": result.n_points,
+            "wall_seconds": result.wall_seconds,
+            "point_wall_seconds": {
+                str(point.index): point.wall_seconds for point in result.points
+            },
+            "python_version": platform.python_version(),
+        },
+    }
+
+
+def write_merged_artifacts(merged: MergedCampaign, out_dir: Path) -> Dict[str, Path]:
+    """Write the merged artifacts under ``out_dir / campaign``; return paths.
+
+    ``results.json``/``results.csv`` go through the same serialisers as a
+    local run, so they are byte-identical to a single-host execution.
+    """
+    campaign_dir = Path(out_dir) / merged.spec.name
+    campaign_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "results_json": campaign_dir / RESULTS_JSON,
+        "results_csv": campaign_dir / RESULTS_CSV,
+        "manifest_json": campaign_dir / MANIFEST_JSON,
+    }
+    paths["results_json"].write_text(
+        json.dumps(results_payload(merged.result), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    write_results_csv(merged.result, paths["results_csv"])
+    paths["manifest_json"].write_text(
+        json.dumps(merged_manifest_payload(merged), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return paths

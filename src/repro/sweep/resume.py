@@ -19,6 +19,19 @@ its point, a resumed run's ``results.json``/``results.csv`` are byte-identical
 to a from-scratch run (pinned by ``tests/sweep/test_resume.py``).  Wall-clock
 timings of reused points are carried over from the previous manifest so the
 new manifest stays fully populated.
+
+Any artifact set that carries a matching ``spec_hash`` is a valid resume
+source — a plain previous run, a single shard's artifacts (its records are
+simply a subset), or a **merged** multi-host run written by
+:mod:`repro.sweep.merge`.  That last case is what makes a fleet re-cuttable:
+resume a ``--shard I/N`` run from a merged ``results.json`` and every point
+of the new shard that was finished anywhere in the old fleet is reused.
+
+:func:`spec_from_manifest` is the inverse of the manifest's campaign block:
+it reconstructs the :class:`~repro.sweep.campaign.CampaignSpec` a manifest
+was written from, which is how ``sweep merge`` revalidates shard artifacts
+without consulting the campaign registry (the campaign may not be registered
+on the merging host at all).
 """
 
 from __future__ import annotations
@@ -26,7 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 from repro.sweep.campaign import CampaignSpec
 
@@ -55,8 +68,54 @@ def spec_hash(spec: CampaignSpec) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def load_reusable_results(spec: CampaignSpec, out_dir: Path) -> Dict[int, "PointResult"]:
+def spec_from_manifest(manifest: Mapping[str, object]) -> CampaignSpec:
+    """Reconstruct the :class:`CampaignSpec` a manifest's campaign block
+    describes.
+
+    Raises ``ValueError`` when the manifest has no well-formed campaign
+    block.  The reconstruction is exact for every identity field (name,
+    scenario, grid with axis order, base seed, kernel), so
+    ``spec_hash(spec_from_manifest(m)) == m["spec_hash"]`` for any manifest
+    this code base wrote — :mod:`repro.sweep.merge` asserts exactly that
+    before trusting a shard directory.
+    """
+    campaign = manifest.get("campaign")
+    if not isinstance(campaign, Mapping):
+        raise ValueError("manifest has no campaign block")
+    grid = campaign.get("grid")
+    if not isinstance(grid, Mapping):
+        raise ValueError("manifest campaign block has no grid mapping")
+    # The manifest is serialised with sorted keys, so the stored grid mapping
+    # has lost the axis order that fixes the row-major point numbering; the
+    # explicit axis_order list restores it.  (Without it, fall back to the
+    # stored order — the caller's spec-hash check catches any mismatch.)
+    axis_order = campaign.get("axis_order", list(grid))
+    if not isinstance(axis_order, (list, tuple)) or sorted(axis_order) != sorted(grid):
+        raise ValueError(
+            f"manifest axis_order {axis_order!r} does not name the grid axes {sorted(grid)}"
+        )
+    try:
+        return CampaignSpec(
+            name=str(campaign["name"]),
+            description=str(campaign.get("description", "")),
+            scenario=str(campaign["scenario"]),
+            grid={axis: tuple(grid[axis]) for axis in axis_order},
+            base_seed=int(campaign["base_seed"]),
+            dense=bool(campaign["dense"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"manifest campaign block is malformed: {exc!r}") from None
+
+
+def load_reusable_results(
+    spec: CampaignSpec, out_dir: Path, subdir: Optional[str] = None
+) -> Dict[int, "PointResult"]:
     """Per-point results of a previous run of ``spec``, keyed by index.
+
+    ``subdir`` reads a nested artifact directory instead of the campaign
+    root — the CLI uses it to resume a shard from its own
+    ``<campaign>/shard-I-of-N/`` slice in addition to any campaign-level
+    (full or merged) artifacts.
 
     Returns an empty mapping when there is nothing to resume from: missing or
     unreadable artifacts, a manifest without a spec hash (pre-resume schema),
@@ -73,6 +132,8 @@ def load_reusable_results(spec: CampaignSpec, out_dir: Path) -> Dict[int, "Point
     from repro.sweep.execute import PointResult
 
     campaign_dir = Path(out_dir) / spec.name
+    if subdir is not None:
+        campaign_dir = campaign_dir / subdir
     results_path = campaign_dir / "results.json"
     manifest_path = campaign_dir / "manifest.json"
     try:
