@@ -1,0 +1,89 @@
+"""E12 — Batched multi-instance execution on pipeline-clock-ratio.
+
+Runs the full ``pipeline-clock-ratio`` campaign (36 points: 4 clock ratios
+x 3 sampling periods x 3 horizon depths) through both executors:
+
+* **per-instance** (``--batch off``): every point builds and simulates its
+  own SoC — the pre-batching behaviour;
+* **batched** (``--batch``): the points of one (ratio, period) pair share a
+  single prepared simulation under one interned schedule plan; only the
+  120k-cycle horizon is actually simulated, and the 30k/60k points are
+  snapshotted in passing.
+
+With three horizon depths per group the batched executor simulates 4 units
+of work where the per-instance executor simulates 1+2+4 = 7, so the
+structural ceiling is 1.75x; the floor asserts 1.5x to absorb snapshot and
+scheduling overhead plus CI noise.  The aggregated artifacts must be
+byte-identical — which ``tests/sweep/test_batch.py`` pins for every
+registry campaign; here it guards the measurement itself.
+
+Results are appended to ``results/BENCH_kernel.json`` (``batch_speedup``
+section) for the CI perf-regression job.
+"""
+
+import json
+import time
+
+from repro.sweep import campaign, execute_campaign, results_payload
+
+CAMPAIGN = "pipeline-clock-ratio"
+MIN_BATCH_SPEEDUP = 1.5
+
+
+def _timed(batch):
+    start = time.perf_counter()
+    result = execute_campaign(campaign(CAMPAIGN), jobs=1, batch=batch)
+    return time.perf_counter() - start, result
+
+
+def test_bench_batched_execution_speedup(save_result, save_kernel_json):
+    spec = campaign(CAMPAIGN)
+    assert spec.n_points == 36
+
+    # Counterbalanced order (serial, batched, batched, serial), scored by
+    # the min of each pair: the passes are seconds long and shared hosts
+    # drift between back-to-back measurements.
+    serial_a, serial = _timed(batch=False)
+    batched_a, batched = _timed(batch=True)
+    batched_b, _ = _timed(batch=True)
+    serial_b, _ = _timed(batch=False)
+    serial_seconds = min(serial_a, serial_b)
+    batched_seconds = min(batched_a, batched_b)
+
+    assert json.dumps(results_payload(serial), sort_keys=True) == json.dumps(
+        results_payload(batched), sort_keys=True
+    )
+    assert batched.batched_points == spec.n_points
+    assert serial.batched_points == 0
+
+    speedup = serial_seconds / max(batched_seconds, 1e-9)
+    serial_rate = spec.n_points / serial_seconds
+    batched_rate = spec.n_points / batched_seconds
+    lines = [
+        f"Batched execution on {CAMPAIGN} ({spec.n_points} points, "
+        f"12 shared-prefix groups x 3 horizons):",
+        f"  per-instance (--batch off) : {serial_seconds * 1e3:8.1f} ms "
+        f"({serial_rate:.2f} points/s)",
+        f"  batched      (--batch)     : {batched_seconds * 1e3:8.1f} ms "
+        f"({batched_rate:.2f} points/s)",
+        f"  speedup                    : {speedup:8.2f}x (structural ceiling 1.75x)",
+        f"  aggregated artifacts       : byte-identical",
+    ]
+    save_result("batch_execution_speedup", "\n".join(lines))
+
+    save_kernel_json(
+        "batch_speedup",
+        {
+            "campaign": CAMPAIGN,
+            "n_points": spec.n_points,
+            "groups": 12,
+            "serial_seconds": serial_seconds,
+            "batched_seconds": batched_seconds,
+            "serial_points_per_second": serial_rate,
+            "batched_points_per_second": batched_rate,
+            "speedup": speedup,
+            "floor": MIN_BATCH_SPEEDUP,
+        },
+    )
+
+    assert speedup >= MIN_BATCH_SPEEDUP

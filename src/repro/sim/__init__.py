@@ -23,14 +23,19 @@ protocol.
 from repro.sim.clock import ClockDomain
 from repro.sim.component import Component
 from repro.sim.activity import ActivityCounters
-from repro.sim.simulator import Simulator, SimulationError
+from repro.sim.batch import BatchInstance, BatchSimulator
+from repro.sim.simulator import SchedulePlan, SimState, Simulator, SimulationError
 from repro.sim.trace import SignalTrace, TraceRecorder
 
 __all__ = [
     "ActivityCounters",
+    "BatchInstance",
+    "BatchSimulator",
     "ClockDomain",
     "Component",
+    "SchedulePlan",
     "SignalTrace",
+    "SimState",
     "SimulationError",
     "Simulator",
     "TraceRecorder",

@@ -32,12 +32,24 @@ The event-driven mode resolves wakes in two tiers:
   boundary, which is exactly the pre-cache behaviour and the safe default
   for reactive wakes (buses, DMA, CPU, PELS).
 
-The per-run :class:`_SchedulePlan` is persistent: it is rebuilt only when the
-component set, the hook overrides, or the clock ratios change — not per
-:meth:`Simulator.step`/:meth:`Simulator.run_until` call.  ``cached_wakes=
-False`` disables the deadline cache (every hinted component becomes
-volatile), which is how the benchmarks A/B the cached scheduler against the
-legacy poll-everything kernel.
+**Plan vs. state.**  The kernel splits its scheduling data in two:
+
+* :class:`SchedulePlan` is the **immutable, shareable** half: which
+  components tick, which are volatile/cached, which must be replayed on a
+  skip, which clock-domain slot each belongs to, and whether anything forces
+  dense stepping.  Plans are *structural* — they reference components by
+  position, never by object — and are interned process-wide, so every
+  simulator instance of the same topology (every point of a sweep campaign,
+  every instance in a :class:`~repro.sim.batch.BatchSimulator`) shares one
+  plan object instead of re-deriving the classification per instance.
+* :class:`SimState` is the **per-instance, mutable** half: the base-tick
+  counter, the plan's index lists bound to this instance's component
+  objects, the deadline heap and dirty set of the wake cache, the clock
+  divisors, and the activity/trace recorders.
+
+``cached_wakes=False`` disables the deadline cache (every hinted component
+becomes volatile), which is how the benchmarks A/B the cached scheduler
+against the legacy poll-everything kernel.
 
 For the scenarios in this repository all active components share one domain,
 but the multi-domain support is what lets the iso-latency experiment clock
@@ -73,8 +85,6 @@ class Simulator:
         dense: bool = False,
         cached_wakes: bool = True,
     ) -> None:
-        self.activity = ActivityCounters()
-        self.traces = TraceRecorder()
         #: When True, use the legacy cycle-driven kernel (tick every component
         #: on every cycle of its domain).  When False (default), skip over
         #: quiescent spans using the components' wake hints.  May be toggled
@@ -84,23 +94,40 @@ class Simulator:
         #: every hinted component at every wake boundary (the pre-cache
         #: kernel).  Exists for A/B benchmarking and as an escape hatch.
         self.cached_wakes = cached_wakes
-        #: Scheduler instrumentation: ``next_event_calls`` (wake polls),
-        #: ``dense_ticks``, ``spans_skipped``, ``cycles_skipped``,
-        #: ``plan_builds``.  Monotonic; cleared by :meth:`reset`.
-        self.kernel_stats: Dict[str, int] = {
-            "next_event_calls": 0,
-            "dense_ticks": 0,
-            "spans_skipped": 0,
-            "cycles_skipped": 0,
-            "plan_builds": 0,
-        }
         self._domains: Dict[str, ClockDomain] = {}
         self._components: List[Tuple[Component, ClockDomain]] = []
         self._components_by_name: Dict[str, Component] = {}
-        self._base_tick = 0
-        self._plan: Optional["_SchedulePlan"] = None
+        self._state = SimState()
+        self._plan: Optional["SchedulePlan"] = None
         self._fastest_hz: float = 0.0
         self._default_domain = self.add_clock_domain("default", default_frequency_hz)
+
+    # ------------------------------------------------------------- delegation
+
+    @property
+    def activity(self) -> ActivityCounters:
+        """Per-instance switching-activity counters (live in :class:`SimState`)."""
+        return self._state.activity
+
+    @property
+    def traces(self) -> TraceRecorder:
+        """Per-instance signal traces (live in :class:`SimState`)."""
+        return self._state.traces
+
+    @property
+    def kernel_stats(self) -> Dict[str, int]:
+        """Scheduler instrumentation: ``next_event_calls`` (wake polls),
+        ``dense_ticks``, ``spans_skipped``, ``cycles_skipped``,
+        ``plan_builds`` (plan resolutions for this instance), and
+        ``plan_shared`` (resolutions satisfied by the process-wide interned
+        plan of an identical topology).  Monotonic; cleared by :meth:`reset`.
+        """
+        return self._state.kernel_stats
+
+    @property
+    def state(self) -> "SimState":
+        """This instance's mutable scheduling state."""
+        return self._state
 
     # ----------------------------------------------------------------- domains
 
@@ -164,13 +191,13 @@ class Simulator:
     @property
     def current_cycle(self) -> int:
         """Base-tick counter (cycles of the fastest domain)."""
-        return self._base_tick
+        return self._state.base_tick
 
     def _fastest_frequency(self) -> float:
         # Domains are dataclasses whose frequency is mutable, and this is
         # only called from run_for_time (once per call) — recompute live so
         # a frequency change before the next step cannot go stale.  The hot
-        # paths use the plan's divisors, refreshed on snapshot change.
+        # paths use the state's divisors, refreshed on snapshot change.
         fastest = max(domain.frequency_hz for domain in self._domains.values())
         self._fastest_hz = fastest
         return fastest
@@ -186,32 +213,61 @@ class Simulator:
             )
         return divisor
 
-    def _schedule_plan(self) -> "_SchedulePlan":
-        """The persistent stepping schedule, rebuilt only when stale.
+    def _schedule_plan(self) -> "SchedulePlan":
+        """The (interned) schedule plan, re-resolved only when stale.
 
         A plan goes stale when the component set changes (tracked eagerly by
         :meth:`add_component`/:meth:`add_clock_domain`) or when a component's
         hook overrides change — e.g. a test double assigning ``tick`` on the
         instance after registration — which the cheap fingerprint check
-        detects at the next :meth:`step`/:meth:`run_until` entry.  Clock
-        ratios are re-validated on every call (frequencies are mutable), but
-        recomputed only when they actually changed.
+        detects at the next :meth:`step`/:meth:`run_until` entry.  Because the
+        fingerprint is purely structural, resolution first consults the
+        process-wide intern table: a second simulator of the same topology
+        (another sweep point, another batch instance) binds the existing plan
+        instead of rebuilding the classification.  Clock ratios are
+        re-validated on every call (frequencies are mutable), but recomputed
+        only when they actually changed.
         """
         plan = self._plan
-        if plan is None or plan.fingerprint != _SchedulePlan.compute_fingerprint(self):
-            plan = _SchedulePlan(self)
+        state = self._state
+        if plan is None or plan.fingerprint != SchedulePlan.compute_fingerprint(self):
+            plan, shared = SchedulePlan.resolve(self)
             self._plan = plan
-            self.kernel_stats["plan_builds"] += 1
-        plan.refresh_divisors(self)
+            state.kernel_stats["plan_builds"] += 1
+            if shared:
+                state.kernel_stats["plan_shared"] += 1
+        if state.bound_plan is not plan:
+            state.bind(plan, self._components)
+        state.refresh_divisors(self)
         return plan
 
     def _notify_wake_changed(self, component: Component) -> None:
         """Invalidate ``component``'s cached wake deadline (if it has one)."""
-        plan = self._plan
-        if plan is not None:
-            plan.invalidate_wake(component)
+        self._state.invalidate_wake(component)
 
     # --------------------------------------------------------------------- run
+
+    def advance_span(self, limit: int) -> int:
+        """Advance past one span boundary; return the base ticks advanced.
+
+        One call performs exactly one iteration of the event-driven stepping
+        loop: skip the current quiescent span (capped at ``limit``) and, if
+        the span ended before ``limit``, execute the dense tick at the wake
+        boundary.  ``step(n)`` is equivalent to a loop over this primitive,
+        and :class:`~repro.sim.batch.BatchSimulator` uses it to interleave
+        many instances at span granularity (re-resolving the plan only at
+        entry, like :meth:`step` does).  In dense mode (or when an unhinted
+        ticking component forces it) the call runs ``limit`` dense ticks.
+
+        Returns a value in ``[1, limit]`` for ``limit >= 1`` and ``0`` for
+        ``limit == 0``.
+        """
+        if limit < 0:
+            raise SimulationError("cannot advance a negative number of cycles")
+        if limit == 0:
+            return 0
+        plan = self._schedule_plan()
+        return self._state.advance_span(limit, dense=self.dense or plan.forces_dense)
 
     def step(self, cycles: int = 1) -> None:
         """Advance the simulation by ``cycles`` base ticks.
@@ -222,20 +278,17 @@ class Simulator:
         """
         if cycles < 0:
             raise SimulationError("cannot step a negative number of cycles")
+        if cycles == 0:
+            return
         plan = self._schedule_plan()
+        state = self._state
         if self.dense or plan.forces_dense:
             for _ in range(cycles):
-                plan.dense_tick(self)
+                state.dense_tick()
             return
         remaining = cycles
         while remaining > 0:
-            span = plan.quiescent_span(self, remaining)
-            if span > 0:
-                plan.skip_span(self, span)
-                remaining -= span
-            if remaining > 0:
-                plan.dense_tick(self)
-                remaining -= 1
+            remaining -= state.advance_span(remaining, dense=False)
 
     def run_until(
         self,
@@ -254,22 +307,23 @@ class Simulator:
         event line nothing observes) is only seen at the span's end — use
         ``dense=True`` for cycle-level polling of such state.
         """
-        start = self._base_tick
+        state = self._state
+        start = state.base_tick
         plan = self._schedule_plan()
         event_driven = not (self.dense or plan.forces_dense)
         while not condition():
-            elapsed = self._base_tick - start
+            elapsed = state.base_tick - start
             if elapsed >= max_cycles:
                 raise SimulationError(
                     f"{label} not reached within {max_cycles} cycles"
                 )
             if event_driven:
-                span = plan.quiescent_span(self, max_cycles - elapsed)
+                span = state.quiescent_span(max_cycles - elapsed)
                 if span > 0:
-                    plan.skip_span(self, span)
+                    state.skip_span(span)
                     continue
-            plan.dense_tick(self)
-        return self._base_tick - start
+            state.dense_tick()
+        return state.base_tick - start
 
     def run_for_time(self, seconds: float) -> int:
         """Run for a wall-clock duration measured in the fastest domain.
@@ -294,58 +348,71 @@ class Simulator:
             component.reset()
         for domain in self._domains.values():
             domain.reset()
-        self.activity.clear()
-        self.traces.clear()
-        self._base_tick = 0
-        for key in self.kernel_stats:
-            self.kernel_stats[key] = 0
-        # Cached deadlines are absolute base ticks; rewinding time voids them.
-        if self._plan is not None:
-            self._plan.clear_wake_cache()
+        self._state.reset()
 
     # ------------------------------------------------------------------- trace
 
     def trace(self, signal: str, value: object) -> None:
         """Record a value change of ``signal`` at the current base tick."""
-        self.traces.record(self._base_tick, signal, value)
+        state = self._state
+        state.traces.record(state.base_tick, signal, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "dense" if self.dense else "event-driven"
         return (
-            f"Simulator(cycle={self._base_tick}, components={len(self._components)}, "
+            f"Simulator(cycle={self._state.base_tick}, components={len(self._components)}, "
             f"domains={[d.name for d in self._domains.values()]}, mode={mode})"
         )
 
 
-class _SchedulePlan:
-    """Persistent stepping schedule for one set of registered components.
+#: Process-wide intern table of structural plans: every simulator whose
+#: topology hashes to the same fingerprint shares one plan object.  Keys are
+#: bounded by the number of distinct topologies a process builds (a sweep
+#: campaign contributes exactly one), so the table is deliberately unbounded.
+_PLAN_INTERN: Dict[Tuple, "SchedulePlan"] = {}
 
-    Splits the component list by which hooks are actually overridden so the
-    hot loops only visit objects that can have an effect:
 
-    * ``ticking`` — components with a real :meth:`Component.tick` (a default
-      tick is a no-op by definition and is never called);
-    * ``volatile`` — hinted components re-polled at every wake boundary
-      (reactive wakes, plus everything when ``cached_wakes`` is off);
-    * ``cached`` — hinted components flagged ``wake_cacheable``, whose
-      horizons live in the deadline heap and are recomputed only on
-      invalidation or deadline expiry;
-    * ``skippers`` — components with a real :meth:`Component.skip` (the only
-      ones a skipped span must be replayed on).
+class SchedulePlan:
+    """Immutable, shareable stepping schedule for one component topology.
+
+    The plan classifies components by which hooks are actually overridden so
+    the hot loops only visit objects that can have an effect:
+
+    * ``ticking`` — positions of components with a real
+      :meth:`Component.tick` (a default tick is a no-op by definition and is
+      never called);
+    * ``volatile`` — positions of hinted components re-polled at every wake
+      boundary (reactive wakes, plus everything when ``cached_wakes`` is
+      off);
+    * ``cached`` — positions of hinted components flagged ``wake_cacheable``,
+      whose horizons live in the per-instance deadline heap and are
+      recomputed only on invalidation or deadline expiry;
+    * ``skippers`` — positions of components with a real
+      :meth:`Component.skip` (the only ones a skipped span must be replayed
+      on).
 
     A component that ticks but gives no wake hint forces dense stepping
     (``forces_dense``), in which case the event-driven loops are bypassed
     entirely instead of recomputing a zero-length span every cycle.
 
-    **Deadline cache.**  ``_deadlines[i]`` is the authoritative absolute base
-    tick at which cached component ``i`` next needs a dense tick (``None`` =
-    no self-scheduled wake).  ``_heap`` holds ``(deadline, i)`` entries and is
-    lazy: stale entries (whose deadline no longer matches the authoritative
-    array) are discarded on peek.  ``_dirty`` indexes are re-polled at the
-    next boundary.  Absolute deadlines survive skips unchanged — only firing
-    (deadline expiry, detected in :meth:`dense_tick`) or an explicit
-    :meth:`invalidate_wake` moves them.
+    Everything here is **structural**: component *positions* (registration
+    order) and domain *slots* (first-appearance order), never component or
+    domain objects.  Two simulators with the same topology — same component
+    types, hook overrides, cacheability, domain-slot pattern, and cache
+    toggle — produce equal fingerprints and share one interned plan; each
+    instance binds the positions to its own objects in its
+    :class:`SimState`.  A plan is never mutated after construction.
     """
+
+    __slots__ = (
+        "fingerprint",
+        "ticking",
+        "volatile",
+        "cached",
+        "skippers",
+        "forces_dense",
+        "n_components",
+    )
 
     @staticmethod
     def _overrides(component: Component, name: str) -> bool:
@@ -358,69 +425,140 @@ class _SchedulePlan:
 
     @staticmethod
     def compute_fingerprint(simulator: Simulator) -> Tuple:
-        """Cheap staleness signature: the volatile/cached classification
-        inputs — component identities, hook overrides, and the cache toggle
-        (so flipping ``cached_wakes`` between steps takes effect, like the
-        ``dense`` flag does)."""
-        overrides = _SchedulePlan._overrides
-        return (
-            simulator.cached_wakes,
-            tuple(
+        """Structural staleness-and-sharing signature.
+
+        Covers everything the classification depends on — component types,
+        hook overrides (class- or instance-level), cacheability, the
+        domain-slot pattern, and the cache toggle (so flipping
+        ``cached_wakes`` between steps takes effect, like the ``dense`` flag
+        does) — and nothing instance-specific, so simulators of identical
+        topology share one interned plan.
+        """
+        overrides = SchedulePlan._overrides
+        slots: Dict[str, int] = {}
+        entries = []
+        for component, clock in simulator._components:
+            slot = slots.setdefault(clock.name, len(slots))
+            entries.append(
                 (
-                    id(component),
+                    type(component),
                     overrides(component, "tick"),
                     overrides(component, "next_event"),
                     overrides(component, "skip"),
+                    bool(component.wake_cacheable),
+                    slot,
                 )
-                for component, _ in simulator._components
-            ),
-        )
+            )
+        return (simulator.cached_wakes, tuple(entries))
 
-    def __init__(self, simulator: Simulator) -> None:
-        pairs = simulator._components
-        self.fingerprint = self.compute_fingerprint(simulator)
-        self.ticking = [
-            (component, clock) for component, clock in pairs if self._overrides(component, "tick")
-        ]
-        hinted = [
-            (component, clock)
-            for component, clock in pairs
-            if self._overrides(component, "next_event")
-        ]
-        use_cache = simulator.cached_wakes
-        self.volatile = [
-            (component, clock)
-            for component, clock in hinted
-            if not (use_cache and component.wake_cacheable)
-        ]
-        self.cached = [
-            (component, clock)
-            for component, clock in hinted
-            if use_cache and component.wake_cacheable
-        ]
-        self.skippers = [
-            (component, clock) for component, clock in pairs if self._overrides(component, "skip")
-        ]
-        self.forces_dense = any(
-            not self._overrides(component, "next_event") for component, _ in self.ticking
-        )
-        clocks: Dict[str, ClockDomain] = {}
-        for _, clock in pairs:
-            clocks.setdefault(clock.name, clock)
-        self.clocks = list(clocks.values())
+    @classmethod
+    def resolve(cls, simulator: Simulator) -> Tuple["SchedulePlan", bool]:
+        """Return the interned plan for ``simulator``'s topology.
+
+        The second element reports whether the plan was shared from the
+        intern table (True) or built fresh (False).
+        """
+        fingerprint = cls.compute_fingerprint(simulator)
+        plan = _PLAN_INTERN.get(fingerprint)
+        if plan is not None:
+            return plan, True
+        plan = cls(fingerprint)
+        _PLAN_INTERN[fingerprint] = plan
+        return plan, False
+
+    def __init__(self, fingerprint: Tuple) -> None:
+        self.fingerprint = fingerprint
+        _, entries = fingerprint
+        cached_wakes = fingerprint[0]
+        ticking: List[int] = []
+        volatile: List[int] = []
+        cached: List[int] = []
+        skippers: List[int] = []
+        forces_dense = False
+        for index, (_, ticks, hinted, skips, cacheable, _) in enumerate(entries):
+            if ticks:
+                ticking.append(index)
+                if not hinted:
+                    forces_dense = True
+            if hinted:
+                if cached_wakes and cacheable:
+                    cached.append(index)
+                else:
+                    volatile.append(index)
+            if skips:
+                skippers.append(index)
+        self.ticking = tuple(ticking)
+        self.volatile = tuple(volatile)
+        self.cached = tuple(cached)
+        self.skippers = tuple(skippers)
+        self.forces_dense = forces_dense
+        self.n_components = len(entries)
+
+
+class SimState:
+    """Per-instance mutable scheduling state.
+
+    Owns everything that differs between two simulators sharing a
+    :class:`SchedulePlan`: the base-tick counter, the plan's component
+    positions bound to this instance's objects, the wake-deadline cache, the
+    clock-ratio snapshot, and the activity/trace recorders.
+
+    **Deadline cache.**  ``deadlines[i]`` is the authoritative absolute base
+    tick at which cached component ``i`` next needs a dense tick (``None`` =
+    no self-scheduled wake).  ``_heap`` holds ``(deadline, i)`` entries and is
+    lazy: stale entries (whose deadline no longer matches the authoritative
+    array) are discarded on peek.  ``_dirty`` indexes are re-polled at the
+    next boundary.  Absolute deadlines survive skips unchanged — only firing
+    (deadline expiry, detected in :meth:`dense_tick`) or an explicit
+    :meth:`invalidate_wake` moves them.
+    """
+
+    def __init__(self) -> None:
+        self.base_tick = 0
+        self.activity = ActivityCounters()
+        self.traces = TraceRecorder()
+        self.kernel_stats: Dict[str, int] = {
+            "next_event_calls": 0,
+            "dense_ticks": 0,
+            "spans_skipped": 0,
+            "cycles_skipped": 0,
+            "plan_builds": 0,
+            "plan_shared": 0,
+        }
+        #: The plan these bound lists were derived from (identity-compared).
+        self.bound_plan: Optional[SchedulePlan] = None
+        self.ticking: List[Tuple[Component, ClockDomain]] = []
+        self.volatile: List[Tuple[Component, ClockDomain]] = []
+        self.cached: List[Tuple[Component, ClockDomain]] = []
+        self.skippers: List[Tuple[Component, ClockDomain]] = []
+        self.clocks: List[ClockDomain] = []
         self.divisors: Dict[str, int] = {}
         self.single_rate = True
         self._freq_snapshot: Optional[Tuple[float, ...]] = None
-        # Deadline cache (see class docstring).
-        self._cache_index: Dict[Component, int] = {
-            component: index for index, (component, _) in enumerate(self.cached)
-        }
-        self._deadlines: List[Optional[int]] = [None] * len(self.cached)
-        self._dirty = set(range(len(self.cached)))
+        self._cache_index: Dict[Component, int] = {}
+        self.deadlines: List[Optional[int]] = []
+        self._dirty: set = set()
         self._heap: List[Tuple[int, int]] = []
         #: Component whose tick()/skip() is currently executing; its *self*
         #: invalidations are suppressed (see invalidate_wake).
         self._active_component: Optional[Component] = None
+
+    # ----------------------------------------------------------------- binding
+
+    def bind(self, plan: SchedulePlan, pairs: Sequence[Tuple[Component, ClockDomain]]) -> None:
+        """Bind ``plan``'s component positions to this instance's objects."""
+        self.bound_plan = plan
+        self.ticking = [pairs[index] for index in plan.ticking]
+        self.volatile = [pairs[index] for index in plan.volatile]
+        self.cached = [pairs[index] for index in plan.cached]
+        self.skippers = [pairs[index] for index in plan.skippers]
+        clocks: Dict[str, ClockDomain] = {}
+        for _, clock in pairs:
+            clocks.setdefault(clock.name, clock)
+        self.clocks = list(clocks.values())
+        self._freq_snapshot = None  # divisors refreshed on next resolution
+        self._cache_index = {component: index for index, (component, _) in enumerate(self.cached)}
+        self.clear_wake_cache()
 
     def refresh_divisors(self, simulator: Simulator) -> None:
         """Recompute clock ratios only when a frequency actually changed.
@@ -465,22 +603,20 @@ class _SchedulePlan:
 
     def clear_wake_cache(self) -> None:
         """Drop every cached deadline (component set unchanged)."""
-        if not self.cached:
-            return
-        self._deadlines = [None] * len(self.cached)
+        self.deadlines = [None] * len(self.cached)
         self._dirty = set(range(len(self.cached)))
         self._heap = []
 
-    def _repoll(self, simulator: Simulator, index: int) -> None:
+    def _repoll(self, index: int) -> None:
         """Recompute one cached component's absolute deadline."""
         component, clock = self.cached[index]
         horizon = component.next_event()
         if horizon is None:
-            self._deadlines[index] = None
+            self.deadlines[index] = None
             return
         if horizon < 1:
             horizon = 1
-        base_tick = simulator._base_tick
+        base_tick = self.base_tick
         if self.single_rate:
             deadline = base_tick + horizon - 1
         else:
@@ -488,20 +624,20 @@ class _SchedulePlan:
             remainder = base_tick % divisor
             first = base_tick if remainder == 0 else base_tick + (divisor - remainder)
             deadline = first + (horizon - 1) * divisor
-        self._deadlines[index] = deadline
+        self.deadlines[index] = deadline
         heappush(self._heap, (deadline, index))
         # Lazy heaps accumulate stale entries; compact when they dominate.
         if len(self._heap) > 4 * len(self.cached) + 16:
             self._heap = [
                 (deadline, i)
-                for i, deadline in enumerate(self._deadlines)
+                for i, deadline in enumerate(self.deadlines)
                 if deadline is not None
             ]
             self._heap.sort()
 
     # ------------------------------------------------------------------ dense
 
-    def dense_tick(self, simulator: Simulator) -> None:
+    def dense_tick(self) -> None:
         """One base tick of the reference cycle-driven semantics."""
         if self.single_rate:
             for component, clock in self.ticking:
@@ -510,9 +646,9 @@ class _SchedulePlan:
             self._active_component = None
             for clock in self.clocks:
                 clock.advance()
-            simulator._base_tick += 1
+            self.base_tick += 1
         else:
-            base_tick = simulator._base_tick
+            base_tick = self.base_tick
             divisors = self.divisors
             for component, clock in self.ticking:
                 if base_tick % divisors[clock.name] == 0:
@@ -522,16 +658,16 @@ class _SchedulePlan:
             for clock in self.clocks:
                 if base_tick % divisors[clock.name] == 0:
                     clock.advance()
-            simulator._base_tick += 1
-        simulator.kernel_stats["dense_ticks"] += 1
+            self.base_tick += 1
+        self.kernel_stats["dense_ticks"] += 1
         # Expire cached deadlines the tick just serviced: the component fired
         # (or was due), so its old promise is used up and it must be
         # re-polled at the next boundary.  Register-notify usually marks it
         # dirty already; this sweep is the guaranteed path.
         heap = self._heap
         if heap:
-            base_tick = simulator._base_tick
-            deadlines = self._deadlines
+            base_tick = self.base_tick
+            deadlines = self.deadlines
             dirty = self._dirty
             while heap:
                 deadline, index = heap[0]
@@ -546,7 +682,27 @@ class _SchedulePlan:
 
     # ------------------------------------------------------------ event-driven
 
-    def quiescent_span(self, simulator: Simulator, limit: int) -> int:
+    def advance_span(self, limit: int, dense: bool) -> int:
+        """One iteration of the stepping loop against already-bound state.
+
+        The caller (``Simulator.step``/``advance_span``,
+        :class:`~repro.sim.batch.BatchSimulator`) is responsible for having
+        resolved the schedule plan first; this is the hot path and performs
+        no staleness checks.
+        """
+        if dense:
+            for _ in range(limit):
+                self.dense_tick()
+            return limit
+        span = self.quiescent_span(limit)
+        if span > 0:
+            self.skip_span(span)
+        if span < limit:
+            self.dense_tick()
+            span += 1
+        return span
+
+    def quiescent_span(self, limit: int) -> int:
         """Base ticks until the earliest pending wake, capped at ``limit``.
 
         Returns 0 when some component needs a dense tick right now.  A wake of
@@ -554,14 +710,14 @@ class _SchedulePlan:
         tick ``first`` pins the wake to base tick ``first + (k - 1) * div``;
         everything before that is quiescent by the component's promise.
         """
-        stats = simulator.kernel_stats
-        base_tick = simulator._base_tick
+        stats = self.kernel_stats
+        base_tick = self.base_tick
         # Re-poll invalidated cached components first (O(active)).
         dirty = self._dirty
         if dirty:
             stats["next_event_calls"] += len(dirty)
             for index in tuple(dirty):
-                self._repoll(simulator, index)
+                self._repoll(index)
             dirty.clear()
         span = limit
         volatile = self.volatile
@@ -601,7 +757,7 @@ class _SchedulePlan:
         stats["next_event_calls"] += len(volatile)
         # Earliest cached deadline (lazy heap peek).
         heap = self._heap
-        deadlines = self._deadlines
+        deadlines = self.deadlines
         while heap:
             deadline, index = heap[0]
             if deadlines[index] != deadline:
@@ -615,9 +771,9 @@ class _SchedulePlan:
             break
         return span
 
-    def skip_span(self, simulator: Simulator, span: int) -> None:
+    def skip_span(self, span: int) -> None:
         """Jump ``span`` quiescent base ticks, batch-applying skipped ticks."""
-        stats = simulator.kernel_stats
+        stats = self.kernel_stats
         stats["spans_skipped"] += 1
         stats["cycles_skipped"] += span
         if self.single_rate:
@@ -627,9 +783,9 @@ class _SchedulePlan:
             self._active_component = None
             for clock in self.clocks:
                 clock.advance(span)
-            simulator._base_tick += span
+            self.base_tick += span
             return
-        base_tick = simulator._base_tick
+        base_tick = self.base_tick
         divisors = self.divisors
         domain_ticks: Dict[str, int] = {}
         for clock in self.clocks:
@@ -651,7 +807,23 @@ class _SchedulePlan:
             count = domain_ticks[clock.name]
             if count:
                 clock.advance(count)
-        simulator._base_tick += span
+        self.base_tick += span
+
+    # ------------------------------------------------------------------- reset
+
+    def reset(self) -> None:
+        """Rewind to cycle 0: clear counters, traces, stats, and deadlines.
+
+        The activity counters and trace recorder are cleared *in place* so
+        references held by callers keep observing the simulator.  Cached
+        deadlines are absolute base ticks; rewinding time voids them.
+        """
+        self.activity.clear()
+        self.traces.clear()
+        self.base_tick = 0
+        for key in self.kernel_stats:
+            self.kernel_stats[key] = 0
+        self.clear_wake_cache()
 
 
 def build_simulator(

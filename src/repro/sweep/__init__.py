@@ -47,13 +47,18 @@ from repro.sweep.execute import (
     CampaignResult,
     PointResult,
     auto_chunk,
+    batch_groups,
     execute_campaign,
     run_point,
+    run_point_groups,
 )
 from repro.sweep.merge import (
+    IncompleteCoverageError,
     MergedCampaign,
     MergeError,
     merge_shards,
+    plan_heal,
+    write_heal_plan,
     write_merged_artifacts,
 )
 from repro.sweep.resume import load_reusable_results, spec_from_manifest, spec_hash
@@ -61,6 +66,7 @@ from repro.sweep.resume import load_reusable_results, spec_from_manifest, spec_h
 __all__ = [
     "CampaignResult",
     "CampaignSpec",
+    "IncompleteCoverageError",
     "MergeError",
     "MergedCampaign",
     "PointResult",
@@ -68,6 +74,7 @@ __all__ = [
     "ShardSpec",
     "SweepPoint",
     "auto_chunk",
+    "batch_groups",
     "campaign",
     "campaign_names",
     "campaigns",
@@ -78,13 +85,16 @@ __all__ = [
     "load_reusable_results",
     "manifest_payload",
     "merge_shards",
+    "plan_heal",
     "point_record",
     "register_campaign",
     "results_payload",
     "run_point",
+    "run_point_groups",
     "shard_dirname",
     "spec_from_manifest",
     "spec_hash",
     "write_artifacts",
+    "write_heal_plan",
     "write_merged_artifacts",
 ]

@@ -124,6 +124,7 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
             "chunk": result.chunk,
             "reused_points": result.n_reused,
             "computed_points": result.n_computed,
+            "batched_points": result.batched_points,
             "wall_seconds": result.wall_seconds,
             "point_wall_seconds": {
                 str(point.index): point.wall_seconds for point in result.points

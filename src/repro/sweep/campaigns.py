@@ -65,11 +65,16 @@ register_campaign(
         name="pipeline-clock-ratio",
         description=(
             "Multi-link pipeline across SoC-to-I/O clock ratios and sampling periods "
-            "(24 points): where does the chained service time overrun the period?"
+            "(36 points): where does the chained service time overrun the period?"
         ),
         scenario="multi-link-pipeline",
         grid={
-            "horizon_cycles": (30_000, 60_000),
+            # Three horizon depths: the short one exposes warm-up effects,
+            # the long one pins the steady-state rates.  Horizon depth is
+            # nearly free under batched execution — the points of one
+            # (ratio, period) pair share a single simulation and only the
+            # longest horizon is actually simulated.
+            "horizon_cycles": (30_000, 60_000, 120_000),
             "clock_ratio": (1, 2, 4, 8),
             "timer_period_cycles": (150, 300, 600),
         },

@@ -37,6 +37,20 @@ and with ``reuse`` (reusable indices outside the shard are simply never
 consulted), and the shard's artifacts record the slice so
 :mod:`repro.sweep.merge` can validate coverage when stitching shards back
 together.
+
+**Batched execution** (:func:`execute_campaign` with ``batch=``): scenarios
+that register a batch-prepare hook (see
+:mod:`repro.workloads.registry`) have their points grouped by parameters —
+points that differ only in ``horizon_cycles`` share one prepared simulation
+— and every group of a chunk is advanced together by a
+:class:`~repro.sim.batch.BatchSimulator`, which interleaves the instances
+over span boundaries under one shared schedule plan.  Each point's record
+is snapshotted the instant its horizon is reached, through exactly the same
+post-processing as :func:`run_point`, so batched artifacts are
+byte-identical to per-instance ones (``tests/sweep/test_batch.py`` pins
+this for every registry campaign).  ``batch=None`` auto-enables batching
+whenever the scenario supports it; batching composes with ``jobs``/
+``chunk`` (groups are packed whole into chunks), ``shard``, and ``reuse``.
 """
 
 from __future__ import annotations
@@ -45,12 +59,16 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.area.model import PelsAreaModel
 from repro.power.model import PowerModel
 from repro.sweep.campaign import CampaignSpec, ShardSpec, SweepPoint, expand_campaign
-from repro.workloads.registry import run_scenario_instrumented
+from repro.workloads.registry import (
+    ScenarioOutcome,
+    run_scenario_instrumented,
+    scenario,
+)
 
 
 @dataclass
@@ -94,6 +112,9 @@ class CampaignResult:
     shard: Optional[ShardSpec] = None
     #: Size of the *full* expanded grid (equals ``n_points`` when unsharded).
     points_total: int = 0
+    #: How many points were executed through the batched (shared-prefix)
+    #: executor rather than the per-instance path; recorded in the manifest.
+    batched_points: int = 0
 
     @property
     def n_points(self) -> int:
@@ -114,17 +135,13 @@ class CampaignResult:
 ProgressCallback = Callable[[int, int, PointResult], None]
 
 
-def run_point(point: SweepPoint) -> PointResult:
-    """Execute one sweep point and derive its power/area records."""
-    start = time.perf_counter()
-    outcome = run_scenario_instrumented(
-        point.scenario,
-        horizon_cycles=point.horizon_cycles,
-        dense=point.dense,
-        params=point.params,
-    )
-    wall = time.perf_counter() - start
+def _finalize_point(point: SweepPoint, outcome: ScenarioOutcome, wall: float) -> PointResult:
+    """Derive one point's record from its scenario outcome.
 
+    Shared by the per-instance path (:func:`run_point`, at end of run) and
+    the batched path (:func:`run_point_groups`, at the instant the point's
+    horizon is reached) — one code path, so the two modes cannot drift.
+    """
     activity: Dict[str, int] = {}
     power_uw: Dict[str, float] = {}
     area_kge: Dict[str, float] = {}
@@ -161,9 +178,122 @@ def run_point(point: SweepPoint) -> PointResult:
     )
 
 
+def run_point(point: SweepPoint) -> PointResult:
+    """Execute one sweep point and derive its power/area records."""
+    start = time.perf_counter()
+    outcome = run_scenario_instrumented(
+        point.scenario,
+        horizon_cycles=point.horizon_cycles,
+        dense=point.dense,
+        params=point.params,
+    )
+    return _finalize_point(point, outcome, time.perf_counter() - start)
+
+
 def run_points(points: Sequence[SweepPoint]) -> List[PointResult]:
     """Pool task: execute one chunk of points in order."""
     return [run_point(point) for point in points]
+
+
+# ------------------------------------------------------------------ batching
+
+
+def batch_groups(points: Sequence[SweepPoint]) -> List[List[SweepPoint]]:
+    """Group points that can share one prepared simulation.
+
+    Points of the same scenario with identical parameters (and kernel) that
+    differ only in ``horizon_cycles`` form one group: the simulation of the
+    largest horizon passes through every smaller one, so a single instance
+    serves the whole group.  Groups preserve first-occurrence order and each
+    group is sorted by horizon.
+    """
+    grouped: Dict[Tuple, List[SweepPoint]] = {}
+    for point in points:
+        key = (point.scenario, point.dense, tuple(sorted(point.params.items())))
+        grouped.setdefault(key, []).append(point)
+    return [sorted(group, key=lambda point: point.horizon_cycles) for group in grouped.values()]
+
+
+def _enroll_group(
+    batch, group: Sequence[SweepPoint], results: List[PointResult]
+) -> Dict[str, float]:
+    """Prepare one shared-prefix group and register its snapshot stops.
+
+    Returns the group's wall clock; the caller restamps it when the batch
+    actually starts running so no group is charged another group's
+    preparation time.
+    """
+    first = group[0]
+    spec = scenario(first.scenario)
+    by_horizon: Dict[int, List[SweepPoint]] = {}
+    for point in group:
+        by_horizon.setdefault(point.horizon_cycles, []).append(point)
+    horizons = sorted(by_horizon)
+    prepared = spec.batch_prepare(horizons, first.dense, **dict(first.params))
+    # Wall-clock attribution under interleaving is approximate by nature:
+    # each stop is charged the time since this instance's previous stop
+    # (manifest diagnostics only — never part of the comparable payload).
+    clock = {"last": time.perf_counter()}
+
+    def snapshot(elapsed: int, points: Sequence[SweepPoint]) -> None:
+        now = time.perf_counter()
+        wall, clock["last"] = now - clock["last"], now
+        outcome = prepared.outcome(elapsed)
+        for point in points:
+            results.append(_finalize_point(point, outcome, wall))
+
+    stops = [
+        (horizon, lambda elapsed, pts=tuple(by_horizon[horizon]): snapshot(elapsed, pts))
+        for horizon in horizons
+    ]
+    batch.add(prepared.simulator, stops, label=f"{first.scenario}#{first.index}")
+    return clock
+
+
+def run_point_groups(groups: Sequence[Sequence[SweepPoint]]) -> List[PointResult]:
+    """Pool task: execute one chunk of shared-prefix groups, batched.
+
+    All of the chunk's instances advance through one
+    :class:`~repro.sim.batch.BatchSimulator` — in lockstep over span
+    boundaries, under one shared schedule plan — and every point's record is
+    snapshotted exactly when its horizon is reached.
+    """
+    from repro.sim.batch import BatchSimulator
+
+    batch = BatchSimulator()
+    results: List[PointResult] = []
+    clocks = [_enroll_group(batch, group, results) for group in groups]
+    # Restamp every group's clock at the common start line: enrollment built
+    # the other groups' SoCs in between, and that cost must not land on the
+    # first group's first stop.
+    start = time.perf_counter()
+    for clock in clocks:
+        clock["last"] = start
+    batch.run()
+    return results
+
+
+def _chunked_groups(
+    groups: Sequence[Sequence[SweepPoint]], chunk: int
+) -> List[List[List[SweepPoint]]]:
+    """Pack whole groups into chunks of roughly ``chunk`` points.
+
+    Groups are never split: splitting one would sever the shared prefix and
+    re-simulate it per fragment.  A group larger than ``chunk`` therefore
+    becomes its own chunk.
+    """
+    chunks: List[List[List[SweepPoint]]] = []
+    current: List[List[SweepPoint]] = []
+    count = 0
+    for group in groups:
+        if current and count + len(group) > chunk:
+            chunks.append(current)
+            current, count = [], 0
+        current.append(group)
+        count += len(group)
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def auto_chunk(n_points: int, jobs: int) -> int:
@@ -189,6 +319,7 @@ def execute_campaign(
     chunk: Optional[int] = None,
     reuse: Optional[Mapping[int, PointResult]] = None,
     shard: Optional[ShardSpec] = None,
+    batch: Optional[bool] = None,
 ) -> CampaignResult:
     """Run every point of ``spec`` and return the aggregated result.
 
@@ -199,15 +330,20 @@ def execute_campaign(
     results (see :mod:`repro.sweep.resume`); those points are not re-run.
     ``shard`` restricts execution to one contiguous index range of the grid
     (see :class:`~repro.sweep.campaign.ShardSpec`); ``reuse`` entries outside
-    the shard are ignored.  ``progress`` (if given) is called after each
-    completed point with ``(completed, total, result)`` where ``total`` is
-    the shard-local point count — note that under sharding the completion
-    *order* is nondeterministic even though the aggregated results are not.
+    the shard are ignored.  ``batch`` selects the batched (shared-prefix)
+    executor: ``None`` auto-enables it when the scenario registers a
+    batch-prepare hook, ``True`` requests it (silently falling back when the
+    scenario cannot batch), ``False`` forces the per-instance path.
+    ``progress`` (if given) is called after each completed point with
+    ``(completed, total, result)`` where ``total`` is the shard-local point
+    count — note that under sharding or batching the completion *order* is
+    nondeterministic even though the aggregated results are not.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     if chunk is not None and chunk < 1:
         raise ValueError("chunk must be at least 1")
+    use_batch = batch is not False and scenario(spec.scenario).batch_prepare is not None
     all_points = expand_campaign(spec)
     points_total = len(all_points)
     points = shard.select(all_points) if shard is not None else all_points
@@ -223,20 +359,26 @@ def execute_campaign(
                 progress(completed, total, result)
 
     chunk_size = chunk if chunk is not None else auto_chunk(len(points), jobs)
-    chunks = _chunked(points, chunk_size)
+    if use_batch:
+        chunks: List = _chunked_groups(batch_groups(points), chunk_size)
+        task = run_point_groups
+    else:
+        chunks = _chunked(points, chunk_size)
+        task = run_points
     # Workers beyond the core count (or the chunk count) only add overhead;
     # the aggregated artifacts are independent of the pool geometry anyway.
     workers = min(jobs, os.cpu_count() or 1, len(chunks))
+    batched_points = len(points) if use_batch else 0
     if workers <= 1:
-        for point in points:
-            result = run_point(point)
-            results.append(result)
-            if progress is not None:
-                progress(len(results), total, result)
+        for piece in chunks:
+            for result in task(piece):
+                results.append(result)
+                if progress is not None:
+                    progress(len(results), total, result)
     else:
         with multiprocessing.Pool(processes=workers) as pool:
-            for batch in pool.imap_unordered(run_points, chunks):
-                for result in batch:
+            for completed in pool.imap_unordered(task, chunks):
+                for result in completed:
                     results.append(result)
                     if progress is not None:
                         progress(len(results), total, result)
@@ -250,4 +392,5 @@ def execute_campaign(
         chunk=chunk_size,
         shard=shard,
         points_total=points_total,
+        batched_points=batched_points,
     )

@@ -62,6 +62,26 @@ class MergeError(ValueError):
     the offending directories and indices."""
 
 
+class IncompleteCoverageError(MergeError):
+    """Missing point indices — the one merge failure that is *healable* by
+    re-running shards.  Carries the validated campaign identity and the gap
+    so :func:`plan_heal` can emit the exact re-run commands."""
+
+    def __init__(
+        self,
+        message: str,
+        spec: CampaignSpec,
+        points_total: int,
+        missing: List[int],
+        shards: Sequence["ShardArtifacts"],
+    ) -> None:
+        super().__init__(message)
+        self.spec = spec
+        self.points_total = points_total
+        self.missing = missing
+        self.shards = list(shards)
+
+
 @dataclass
 class ShardArtifacts:
     """One shard directory's parsed artifacts."""
@@ -310,10 +330,15 @@ def merge_shards(directories: Sequence[Path]) -> MergedCampaign:
                 f"  {shard.shard_label}: "
                 + (f"indices [{bounds[0]}, {bounds[1]})" if bounds else "unsharded")
             )
-        raise MergeError(
+        raise IncompleteCoverageError(
             f"incomplete coverage: {len(missing)} of {points_total} point(s) missing "
             f"({_summarise(missing)}); shards present:\n" + "\n".join(covered) + "\n"
-            "run the missing shard(s) or --resume the campaign to fill the gap"
+            "run the missing shard(s) (sweep merge --heal emits the exact "
+            "commands) or --resume the campaign to fill the gap",
+            spec=spec,
+            points_total=points_total,
+            missing=missing,
+            shards=shards,
         )
 
     walls = {id(shard): _point_walls(shard.manifest) for shard in shards}
@@ -374,6 +399,7 @@ def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
             "chunk": None,
             "reused_points": 0,
             "computed_points": result.n_points,
+            "batched_points": 0,
             "wall_seconds": result.wall_seconds,
             "point_wall_seconds": {
                 str(point.index): point.wall_seconds for point in result.points
@@ -381,6 +407,105 @@ def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
             "python_version": platform.python_version(),
         },
     }
+
+
+HEAL_JSON = "heal.json"
+
+
+def plan_heal(error: IncompleteCoverageError, out_dir: Path) -> Dict[str, object]:
+    """Turn an incomplete-coverage failure into exact re-run commands.
+
+    Preference order: re-run whole shards of the fleet's original shard
+    count ``N`` whose ranges fell entirely into the gap (the common failure —
+    a dead fleet member), then close any remaining stragglers with
+    single-point shards ``i/points_total`` (shard ``i`` of ``P`` covers
+    exactly ``[i, i+1)``), which can express *any* gap without overlapping
+    points other shards already carry.  The returned payload is what
+    ``sweep merge --heal`` prints and writes to ``<out>/<campaign>/heal.json``:
+
+    * ``commands`` — one entry per re-run with the ``--shard`` spec, the full
+      argv, and the artifact directory the run will produce;
+    * ``merge_after`` — every directory (the surviving shards plus the new
+      ones) to pass to the next ``sweep merge``.
+    """
+    from repro.sweep.artifacts import shard_dirname
+    from repro.sweep.campaign import ShardSpec
+
+    spec = error.spec
+    points_total = error.points_total
+    missing = set(error.missing)
+    counts = sorted(
+        {
+            int(block["count"])
+            for shard in error.shards
+            for block in [shard.manifest.get("shard")]
+            if isinstance(block, dict) and str(block.get("count", "")).isdigit()
+        }
+    )
+    fleet_count = counts[-1] if counts else None
+
+    shard_specs: List[ShardSpec] = []
+    if fleet_count is not None:
+        for index in range(fleet_count):
+            shard = ShardSpec(index=index, count=fleet_count)
+            start, stop = shard.bounds(points_total)
+            if start < stop and all(point in missing for point in range(start, stop)):
+                shard_specs.append(shard)
+                missing.difference_update(range(start, stop))
+    # Whatever is left (partial-shard gaps, or no shard blocks to infer a
+    # fleet from) becomes single-point shards: shard i of points_total is
+    # exactly point i, so the heal set never overlaps surviving records.
+    shard_specs.extend(
+        ShardSpec(index=index, count=points_total) for index in sorted(missing)
+    )
+    shard_specs.sort(key=lambda shard: shard.bounds(points_total))
+
+    out_dir = Path(out_dir)
+    commands = []
+    new_dirs = []
+    for shard in shard_specs:
+        argv = [
+            "python",
+            "-m",
+            "repro.run",
+            "sweep",
+            spec.name,
+            "--shard",
+            str(shard),
+            "--out",
+            str(out_dir),
+        ]
+        artifact_dir = out_dir / spec.name / shard_dirname(shard)
+        start, stop = shard.bounds(points_total)
+        commands.append(
+            {
+                "shard": str(shard),
+                "points": list(range(start, stop)),
+                "argv": argv,
+                "command": " ".join(argv),
+                "artifact_dir": str(artifact_dir),
+            }
+        )
+        new_dirs.append(str(artifact_dir))
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "campaign": spec.name,
+        "spec_hash": spec_hash(spec),
+        "points_total": points_total,
+        "missing": list(error.missing),
+        "commands": commands,
+        "merge_after": [str(shard.directory) for shard in error.shards] + new_dirs,
+    }
+
+
+def write_heal_plan(plan: Dict[str, object], out_dir: Path) -> Path:
+    """Write ``plan`` to ``<out>/<campaign>/heal.json``; return the path."""
+    heal_dir = Path(out_dir) / str(plan["campaign"])
+    heal_dir.mkdir(parents=True, exist_ok=True)
+    path = heal_dir / HEAL_JSON
+    path.write_text(json.dumps(plan, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
 
 
 def write_merged_artifacts(merged: MergedCampaign, out_dir: Path) -> Dict[str, Path]:
@@ -405,4 +530,8 @@ def write_merged_artifacts(merged: MergedCampaign, out_dir: Path) -> Dict[str, P
         json.dumps(merged_manifest_payload(merged), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    # A successful merge supersedes any heal plan a previous failed attempt
+    # left here — a stale heal.json next to complete artifacts would tell
+    # automation to re-run shards that are already merged.
+    (campaign_dir / HEAL_JSON).unlink(missing_ok=True)
     return paths

@@ -28,6 +28,8 @@ from repro.workloads.longrun import (
     DutyCycledLoggingResult,
     WatchdogRecoveryConfig,
     WatchdogRecoveryResult,
+    prepare_burst_stream,
+    prepare_duty_cycled_logging,
     run_burst_stream,
     run_duty_cycled_logging,
     run_watchdog_recovery,
@@ -37,11 +39,15 @@ from repro.workloads.minimal import MinimalLinkingResult, run_minimal_ibex_linki
 from repro.workloads.pipeline import (
     MultiLinkPipelineConfig,
     MultiLinkPipelineResult,
+    prepare_multi_link_pipeline,
     run_multi_link_pipeline,
 )
 from repro.workloads.registry import (
+    PreparedScenario,
     ScenarioOutcome,
     ScenarioSpec,
+    prepare_scenario_batch,
+    register_batch_prepare,
     register_scenario,
     run_scenario,
     run_scenario_instrumented,
@@ -72,6 +78,7 @@ __all__ = [
     "MultiLinkPipelineResult",
     "PeriodicMonitorConfig",
     "PeriodicMonitorResult",
+    "PreparedScenario",
     "ScenarioOutcome",
     "ScenarioSpec",
     "ThresholdWorkload",
@@ -79,6 +86,11 @@ __all__ = [
     "ThresholdWorkloadResult",
     "WatchdogRecoveryConfig",
     "WatchdogRecoveryResult",
+    "prepare_burst_stream",
+    "prepare_duty_cycled_logging",
+    "prepare_multi_link_pipeline",
+    "prepare_scenario_batch",
+    "register_batch_prepare",
     "register_scenario",
     "run_burst_stream",
     "run_duty_cycled_logging",

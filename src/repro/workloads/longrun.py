@@ -92,10 +92,40 @@ class DutyCycledLoggingResult:
         }
 
 
-def run_duty_cycled_logging(
+class PreparedDutyCycledLogging:
+    """A programmed duty-cycled logging system, ready to run — everything of
+    :func:`run_duty_cycled_logging` except the simulation itself."""
+
+    def __init__(self, config: DutyCycledLoggingConfig, soc: PulpissimoSoc) -> None:
+        self.config = config
+        self.soc = soc
+
+    @property
+    def simulator(self):
+        return self.soc.simulator
+
+    def result(self, elapsed_cycles: int) -> DutyCycledLoggingResult:
+        """Summarise the run as of ``elapsed_cycles`` simulated cycles
+        (identical to finishing a run of exactly that horizon — the setup
+        does not depend on the horizon)."""
+        soc = self.soc
+        return DutyCycledLoggingResult(
+            samples_taken=soc.adc.conversions,
+            readouts_completed=soc.spi.transfers_completed,
+            words_logged=soc.udma.total_words_moved,
+            duty_updates=soc.pwm.duty_updates,
+            watchdog_kicks=soc.wdt.kicks,
+            watchdog_barks=soc.wdt.barks,
+            cpu_interrupts=soc.cpu.interrupts_serviced,
+            horizon_cycles=elapsed_cycles,
+            soc=soc,
+        )
+
+
+def prepare_duty_cycled_logging(
     config: DutyCycledLoggingConfig = DutyCycledLoggingConfig(),
-) -> DutyCycledLoggingResult:
-    """Run the duty-cycled multi-sensor logging scenario.
+) -> PreparedDutyCycledLogging:
+    """Build and program the duty-cycled logging scenario without running it.
 
     Per sampling period the timer overflow instant-starts *both* an ADC
     conversion and an SPI readout (one action, two routed lines); the ADC
@@ -150,20 +180,17 @@ def run_duty_cycled_logging(
     soc.wdt.start()
     soc.timer.regs.reg("COMPARE").hw_write(config.sample_period_cycles)
     soc.timer.start()
+    return PreparedDutyCycledLogging(config, soc)
 
-    soc.run(config.horizon_cycles)
 
-    return DutyCycledLoggingResult(
-        samples_taken=soc.adc.conversions,
-        readouts_completed=soc.spi.transfers_completed,
-        words_logged=soc.udma.total_words_moved,
-        duty_updates=soc.pwm.duty_updates,
-        watchdog_kicks=soc.wdt.kicks,
-        watchdog_barks=soc.wdt.barks,
-        cpu_interrupts=soc.cpu.interrupts_serviced,
-        horizon_cycles=config.horizon_cycles,
-        soc=soc,
-    )
+def run_duty_cycled_logging(
+    config: DutyCycledLoggingConfig = DutyCycledLoggingConfig(),
+) -> DutyCycledLoggingResult:
+    """Run the duty-cycled multi-sensor logging scenario (see
+    :func:`prepare_duty_cycled_logging` for the wiring)."""
+    prepared = prepare_duty_cycled_logging(config)
+    prepared.soc.run(config.horizon_cycles)
+    return prepared.result(config.horizon_cycles)
 
 
 # -------------------------------------------------------------------- bursting
@@ -213,8 +240,36 @@ class BurstStreamResult:
         }
 
 
-def run_burst_stream(config: BurstStreamConfig = BurstStreamConfig()) -> BurstStreamResult:
-    """Run the burst SPI→DMA streaming scenario.
+class PreparedBurstStream:
+    """A programmed burst-streaming system, ready to run — everything of
+    :func:`run_burst_stream` except the simulation itself."""
+
+    def __init__(self, config: BurstStreamConfig, soc: PulpissimoSoc) -> None:
+        self.config = config
+        self.soc = soc
+
+    @property
+    def simulator(self):
+        return self.soc.simulator
+
+    def result(self, elapsed_cycles: int) -> BurstStreamResult:
+        """Summarise the run as of ``elapsed_cycles`` simulated cycles."""
+        soc = self.soc
+        return BurstStreamResult(
+            bursts_completed=soc.spi.transfers_completed,
+            words_streamed=soc.udma.total_words_moved,
+            rx_overflows=soc.spi.rx_overflows,
+            watchdog_kicks=soc.wdt.kicks,
+            watchdog_barks=soc.wdt.barks,
+            cpu_interrupts=soc.cpu.interrupts_serviced,
+            horizon_cycles=elapsed_cycles,
+            soc=soc,
+        )
+
+
+def prepare_burst_stream(config: BurstStreamConfig = BurstStreamConfig()) -> PreparedBurstStream:
+    """Build and program the burst SPI→DMA streaming scenario without
+    running it.
 
     The timer paces SPI bursts; the µDMA drains each burst to memory while it
     is still arriving, and the end-of-transfer event kicks the watchdog.  The
@@ -249,19 +304,15 @@ def run_burst_stream(config: BurstStreamConfig = BurstStreamConfig()) -> BurstSt
     soc.wdt.start()
     soc.timer.regs.reg("COMPARE").hw_write(config.burst_period_cycles)
     soc.timer.start()
+    return PreparedBurstStream(config, soc)
 
-    soc.run(config.horizon_cycles)
 
-    return BurstStreamResult(
-        bursts_completed=soc.spi.transfers_completed,
-        words_streamed=soc.udma.total_words_moved,
-        rx_overflows=soc.spi.rx_overflows,
-        watchdog_kicks=soc.wdt.kicks,
-        watchdog_barks=soc.wdt.barks,
-        cpu_interrupts=soc.cpu.interrupts_serviced,
-        horizon_cycles=config.horizon_cycles,
-        soc=soc,
-    )
+def run_burst_stream(config: BurstStreamConfig = BurstStreamConfig()) -> BurstStreamResult:
+    """Run the burst SPI→DMA streaming scenario (see
+    :func:`prepare_burst_stream` for the wiring)."""
+    prepared = prepare_burst_stream(config)
+    prepared.soc.run(config.horizon_cycles)
+    return prepared.result(config.horizon_cycles)
 
 
 # -------------------------------------------------------------------- recovery

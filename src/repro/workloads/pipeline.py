@@ -85,10 +85,46 @@ class MultiLinkPipelineResult:
         }
 
 
-def run_multi_link_pipeline(
+class PreparedPipeline:
+    """A programmed multi-link pipeline, ready to run (or to be advanced by
+    the batched executor) — everything of :func:`run_multi_link_pipeline`
+    except the simulation itself."""
+
+    def __init__(self, config: MultiLinkPipelineConfig, soc: PulpissimoSoc) -> None:
+        self.config = config
+        self.soc = soc
+
+    @property
+    def simulator(self):
+        return self.soc.simulator
+
+    def result(self, elapsed_cycles: int) -> MultiLinkPipelineResult:
+        """Summarise the pipeline as of ``elapsed_cycles`` simulated cycles.
+
+        Reading the counters at an intermediate cycle of a longer run is
+        identical to finishing a run of exactly that horizon: the simulation
+        is deterministic and none of the setup depends on the horizon.
+        """
+        soc = self.soc
+        pels = soc.pels
+        assert pels is not None
+        return MultiLinkPipelineResult(
+            timer_overflows=soc.timer.overflow_count,
+            adc_conversions=soc.adc.conversions,
+            uart_bytes=len(soc.uart.transmitted),
+            gpio_toggles=soc.gpio.toggle_count,
+            link_events_serviced=sum(link.events_serviced for link in pels.links),
+            instant_actions=pels.instant_actions_delivered,
+            cpu_interrupts=soc.cpu.interrupts_serviced,
+            horizon_cycles=elapsed_cycles,
+            soc=soc,
+        )
+
+
+def prepare_multi_link_pipeline(
     config: MultiLinkPipelineConfig = MultiLinkPipelineConfig(),
-) -> MultiLinkPipelineResult:
-    """Run the multi-link pipeline scenario."""
+) -> PreparedPipeline:
+    """Build and program the multi-link pipeline without running it."""
     soc = build_soc(
         SocConfig(
             pels_config=PelsConfig(n_links=4, scm_lines=8),
@@ -144,16 +180,13 @@ def run_multi_link_pipeline(
 
     soc.timer.regs.reg("COMPARE").hw_write(config.timer_period_cycles)
     soc.timer.start()
-    soc.run(config.horizon_cycles)
+    return PreparedPipeline(config, soc)
 
-    return MultiLinkPipelineResult(
-        timer_overflows=soc.timer.overflow_count,
-        adc_conversions=soc.adc.conversions,
-        uart_bytes=len(soc.uart.transmitted),
-        gpio_toggles=soc.gpio.toggle_count,
-        link_events_serviced=sum(link.events_serviced for link in pels.links),
-        instant_actions=pels.instant_actions_delivered,
-        cpu_interrupts=soc.cpu.interrupts_serviced,
-        horizon_cycles=config.horizon_cycles,
-        soc=soc,
-    )
+
+def run_multi_link_pipeline(
+    config: MultiLinkPipelineConfig = MultiLinkPipelineConfig(),
+) -> MultiLinkPipelineResult:
+    """Run the multi-link pipeline scenario."""
+    prepared = prepare_multi_link_pipeline(config)
+    prepared.soc.run(config.horizon_cycles)
+    return prepared.result(config.horizon_cycles)

@@ -17,14 +17,53 @@ worker — can read activity counters and configuration without re-running.
 
 :func:`run_scenario` keeps the original "stats dict" contract;
 :func:`run_scenario_instrumented` exposes the full outcome.
+
+**Batched execution.**  A scenario whose setup does not depend on the
+horizon (the horizon only bounds how long the prepared system runs) may
+additionally register a *batch-prepare* hook
+(:func:`register_batch_prepare`): a callable taking ``(horizons, dense,
+**params)`` that validates every requested horizon, builds the scenario
+once for the largest, and returns a :class:`PreparedScenario`.  The sweep
+layer's ``--batch`` mode advances such prepared instances through
+:class:`repro.sim.batch.BatchSimulator` and snapshots
+:meth:`PreparedScenario.outcome` at each point's horizon — one simulation
+serving every point that shares its parameters, byte-identical to running
+each point alone (the simulation is deterministic and a shorter horizon is
+a strict prefix of a longer one).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 ScenarioRunner = Callable[..., "ScenarioOutcome"]
+
+
+class PreparedScenario:
+    """One built, ready-to-advance scenario instance (batched execution).
+
+    Subclasses expose the system under simulation and summarise it at any
+    *elapsed* cycle count — which must equal what a standalone run with
+    ``horizon_cycles=elapsed`` would report, because the batch executor
+    snapshots the outcome mid-run at every shared point's horizon.
+    """
+
+    @property
+    def simulator(self):
+        """The :class:`repro.sim.Simulator` the batch driver advances."""
+        raise NotImplementedError
+
+    def outcome(self, elapsed_cycles: int) -> "ScenarioOutcome":
+        """The scenario outcome as of ``elapsed_cycles`` simulated cycles.
+
+        Called with the simulator paused exactly on ``elapsed_cycles``; must
+        only observe (read counters, reference the SoC), never advance.
+        """
+        raise NotImplementedError
+
+
+BatchPrepare = Callable[..., PreparedScenario]
 
 
 @dataclass
@@ -52,6 +91,12 @@ class ScenarioSpec:
     #: Names of the keyword parameters the runner accepts beyond the horizon
     #: and kernel selection — the axes a sweep campaign may put in its grid.
     params: Tuple[str, ...] = ()
+    #: Optional hook for batched execution: ``(horizons, dense, **params) ->
+    #: PreparedScenario``.  ``None`` means the scenario cannot share a
+    #: prepared instance across horizons (its setup depends on the horizon,
+    #: or its drive pattern is not a single uninterrupted run) and the sweep
+    #: layer falls back to per-point execution.
+    batch_prepare: Optional[BatchPrepare] = None
 
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
@@ -80,6 +125,46 @@ def register_scenario(
         return fn
 
     return decorator
+
+
+def register_batch_prepare(name: str) -> Callable[[BatchPrepare], BatchPrepare]:
+    """Decorator attaching a batch-prepare hook to the scenario ``name``.
+
+    The hook takes ``(horizons, dense, **params)`` where ``horizons`` is the
+    ascending list of horizons the prepared instance must serve; it validates
+    each of them exactly as the plain runner would (so a bad point fails the
+    same way batched or not) and returns a :class:`PreparedScenario` built
+    for the largest.
+    """
+
+    def decorator(fn: BatchPrepare) -> BatchPrepare:
+        spec = scenario(name)
+        if spec.batch_prepare is not None:
+            raise ValueError(f"scenario {name!r} already has a batch-prepare hook")
+        _REGISTRY[name] = replace(spec, batch_prepare=fn)
+        return fn
+
+    return decorator
+
+
+def prepare_scenario_batch(
+    name: str,
+    horizons: Sequence[int],
+    dense: bool = False,
+    params: Optional[Mapping[str, object]] = None,
+) -> PreparedScenario:
+    """Build one prepared instance of ``name`` serving every horizon in
+    ``horizons`` (ascending).  Raises ``ValueError`` when the scenario has no
+    batch-prepare hook or rejects the parameters/horizons."""
+    spec = scenario(name)
+    if spec.batch_prepare is None:
+        raise ValueError(f"scenario {name!r} does not support batched execution")
+    horizons = sorted(horizons)
+    if not horizons:
+        raise ValueError("prepare_scenario_batch needs at least one horizon")
+    if horizons[0] < 1:
+        raise ValueError("the horizon must be at least one cycle")
+    return spec.batch_prepare(horizons, dense, **_validated_params(spec, params))
 
 
 def scenario(name: str) -> ScenarioSpec:
@@ -286,6 +371,52 @@ def _run_multi_link_pipeline(horizon_cycles: int, dense: bool, **params: object)
     return ScenarioOutcome(stats=result.summary(), soc=result.soc)
 
 
+class _PreparedFigure5Idle(PreparedScenario):
+    """Built idle-measurement SoC serving the ``figure5-idle`` scenario."""
+
+    def __init__(self, soc, mode: str, frequency_mhz: float, pwm_period: int) -> None:
+        self.soc = soc
+        self.mode = mode
+        self.frequency_mhz = frequency_mhz
+        self.pwm_period = pwm_period
+
+    @property
+    def simulator(self):
+        return self.soc.simulator
+
+    def outcome(self, elapsed_cycles: int) -> ScenarioOutcome:
+        soc = self.soc
+        activity = soc.activity
+        stats = {
+            "mode": self.mode,
+            "frequency_mhz": self.frequency_mhz,
+            "cpu_sleep_cycles": soc.cpu.sleep_cycles,
+            "cpu_interrupts": soc.cpu.interrupts_serviced,
+            "pels_idle_cycles": activity.get("pels", "idle_cycles"),
+            "sram_reads": activity.get("sram", "reads"),
+            "horizon_cycles": elapsed_cycles,
+        }
+        if self.pwm_period:
+            stats["pwm_periods_elapsed"] = soc.pwm.periods_elapsed
+        return ScenarioOutcome(stats=stats, soc=soc)
+
+
+def _prepare_figure5_idle(
+    dense: bool, mode: str, frequency_mhz: float, pwm_period: int
+) -> _PreparedFigure5Idle:
+    from repro.power.scenarios import build_idle_measurement_soc
+
+    soc = build_idle_measurement_soc(mode, frequency_hz=frequency_mhz * 1e6, dense=dense)
+    if pwm_period:
+        # Arm the PWM actuator (as the always-on monitor keeps it running
+        # while idle).  Nothing consumes its ``period`` event line here, so
+        # this is the workload the consumer-aware fabric exists for: the
+        # legacy kernel wakes every period, the cached kernel free-runs.
+        soc.pwm.regs.reg("PERIOD").write(int(pwm_period))
+        soc.pwm.start()
+    return _PreparedFigure5Idle(soc, mode, frequency_mhz, pwm_period)
+
+
 @register_scenario(
     "figure5-idle",
     "Paper-scale idle power study: armed threshold link waiting for events (Figure 5 idle bars)",
@@ -299,27 +430,85 @@ def _run_figure5_idle(
     frequency_mhz: float = 27.0,
     pwm_period: int = 0,
 ) -> ScenarioOutcome:
-    from repro.power.scenarios import build_idle_measurement_soc
+    prepared = _prepare_figure5_idle(dense, mode, frequency_mhz, pwm_period)
+    prepared.soc.run(horizon_cycles)
+    return prepared.outcome(horizon_cycles)
 
-    soc = build_idle_measurement_soc(mode, frequency_hz=frequency_mhz * 1e6, dense=dense)
-    if pwm_period:
-        # Arm the PWM actuator (as the always-on monitor keeps it running
-        # while idle).  Nothing consumes its ``period`` event line here, so
-        # this is the workload the consumer-aware fabric exists for: the
-        # legacy kernel wakes every period, the cached kernel free-runs.
-        soc.pwm.regs.reg("PERIOD").write(int(pwm_period))
-        soc.pwm.start()
-    soc.run(horizon_cycles)
-    activity = soc.activity
-    stats = {
-        "mode": mode,
-        "frequency_mhz": frequency_mhz,
-        "cpu_sleep_cycles": soc.cpu.sleep_cycles,
-        "cpu_interrupts": soc.cpu.interrupts_serviced,
-        "pels_idle_cycles": activity.get("pels", "idle_cycles"),
-        "sram_reads": activity.get("sram", "reads"),
-        "horizon_cycles": horizon_cycles,
-    }
-    if pwm_period:
-        stats["pwm_periods_elapsed"] = soc.pwm.periods_elapsed
-    return ScenarioOutcome(stats=stats, soc=soc)
+
+# ------------------------------------------------------- batch-prepare hooks
+#
+# Only scenarios whose setup is horizon-independent and whose drive pattern
+# is a single uninterrupted run may register here: the batched executor
+# builds the instance once for the largest horizon and snapshots the outcome
+# at each smaller one, so any horizon-derived setup (always-on-monitor's
+# sample count, watchdog-recovery's stall instant) or mid-run host
+# interaction (threshold-pels' run_until loop) would break the
+# byte-identity guarantee.
+
+
+class _PreparedFromRunner(PreparedScenario):
+    """Adapter from a workload's prepared object (``.simulator`` +
+    ``.result(elapsed)``) to the registry's outcome contract."""
+
+    def __init__(self, prepared) -> None:
+        self._prepared = prepared
+
+    @property
+    def simulator(self):
+        return self._prepared.simulator
+
+    def outcome(self, elapsed_cycles: int) -> ScenarioOutcome:
+        result = self._prepared.result(elapsed_cycles)
+        return ScenarioOutcome(stats=result.summary(), soc=result.soc)
+
+
+def _register_prepared_hook(name: str, load: Callable[[], Tuple[type, Callable]]) -> None:
+    """Batch-prepare hook for the config/prepare/result workload shape.
+
+    ``load`` lazily imports and returns ``(config_cls, prepare_fn)``; the
+    hook validates a config per requested horizon (exactly like the plain
+    runner would point by point) and prepares one instance for the largest.
+    """
+
+    def hook(horizons: Sequence[int], dense: bool, **params: object) -> PreparedScenario:
+        config_cls, prepare = load()
+        configs = [
+            config_cls(horizon_cycles=horizon, dense=dense, **params) for horizon in horizons
+        ]
+        return _PreparedFromRunner(prepare(configs[-1]))
+
+    register_batch_prepare(name)(hook)
+
+
+def _load_multi_link_pipeline() -> Tuple[type, Callable]:
+    from repro.workloads.pipeline import MultiLinkPipelineConfig, prepare_multi_link_pipeline
+
+    return MultiLinkPipelineConfig, prepare_multi_link_pipeline
+
+
+def _load_duty_cycled_logging() -> Tuple[type, Callable]:
+    from repro.workloads.longrun import DutyCycledLoggingConfig, prepare_duty_cycled_logging
+
+    return DutyCycledLoggingConfig, prepare_duty_cycled_logging
+
+
+def _load_burst_stream() -> Tuple[type, Callable]:
+    from repro.workloads.longrun import BurstStreamConfig, prepare_burst_stream
+
+    return BurstStreamConfig, prepare_burst_stream
+
+
+_register_prepared_hook("multi-link-pipeline", _load_multi_link_pipeline)
+_register_prepared_hook("duty-cycled-logging", _load_duty_cycled_logging)
+_register_prepared_hook("burst-spi-dma", _load_burst_stream)
+
+
+@register_batch_prepare("figure5-idle")
+def _batch_figure5_idle(
+    horizons: Sequence[int],
+    dense: bool,
+    mode: str = "pels",
+    frequency_mhz: float = 27.0,
+    pwm_period: int = 0,
+) -> PreparedScenario:
+    return _prepare_figure5_idle(dense, mode, frequency_mhz, pwm_period)

@@ -1,0 +1,183 @@
+"""Kernel-level tests for batched multi-instance execution.
+
+Covers the two halves of the plan/state split:
+
+* :class:`repro.sim.SchedulePlan` interning — simulators of identical
+  topology share one immutable plan object, and per-instance mutation
+  (deadline heaps, volatile-list reordering) never leaks across instances;
+* :class:`repro.sim.BatchSimulator` — N instances advanced in lockstep over
+  span boundaries end in exactly the state of N standalone runs, and
+  mid-run stops observe exactly the state a standalone run of that horizon
+  would have finished in.
+"""
+
+import pytest
+
+from repro.sim import BatchSimulator, SimulationError, Simulator
+from repro.sim.component import Component
+
+
+class Blinker(Component):
+    """Cacheable periodic pulse counter (the wake-cache test workhorse)."""
+
+    wake_cacheable = True
+
+    def __init__(self, period, name="blinker"):
+        super().__init__(name)
+        self.period = period
+        self.countdown = period
+        self.pulses = 0
+        self.idle_cycles = 0
+
+    def tick(self, cycle):
+        self.countdown -= 1
+        if self.countdown == 0:
+            self.pulses += 1
+            self.countdown = self.period
+
+    def next_event(self):
+        return self.countdown
+
+    def skip(self, cycles):
+        self.countdown -= cycles
+        self.idle_cycles += cycles
+
+
+def _build(periods):
+    simulator = Simulator()
+    blinkers = [
+        simulator.add_component(Blinker(period, name=f"b{i}")) for i, period in enumerate(periods)
+    ]
+    return simulator, blinkers
+
+
+class TestPlanSharing:
+    def test_same_topology_shares_one_plan(self):
+        sim_a, _ = _build([7, 1000])
+        sim_b, _ = _build([13, 500])  # different parameters, same structure
+        sim_a.step(10)
+        sim_b.step(10)
+        assert sim_a.state.bound_plan is sim_b.state.bound_plan
+        assert sim_a.kernel_stats["plan_builds"] == 1
+        assert sim_b.kernel_stats["plan_builds"] == 1
+        assert sim_b.kernel_stats["plan_shared"] == 1
+
+    def test_fresh_topology_builds_fresh_plan(self):
+        class Unique(Blinker):  # local class => new type => new fingerprint
+            pass
+
+        simulator = Simulator()
+        simulator.add_component(Unique(5))
+        simulator.step(10)
+        assert simulator.kernel_stats["plan_builds"] == 1
+        assert simulator.kernel_stats["plan_shared"] == 0
+
+    def test_shared_plan_is_immutable_across_instances(self):
+        sim_a, (a,) = _build([10])
+        sim_b, (b,) = _build([10])
+        sim_a.step(95)
+        sim_b.step(25)
+        # Same plan object, independent per-instance state.
+        assert sim_a.state.bound_plan is sim_b.state.bound_plan
+        assert (a.pulses, b.pulses) == (9, 2)
+        assert sim_a.current_cycle == 95
+        assert sim_b.current_cycle == 25
+
+    def test_cached_wakes_toggle_selects_a_different_plan(self):
+        sim_a, _ = _build([10])
+        sim_a.step(5)
+        cached_plan = sim_a.state.bound_plan
+        sim_a.cached_wakes = False
+        sim_a.step(5)
+        assert sim_a.state.bound_plan is not cached_plan
+        assert sim_a.kernel_stats["plan_builds"] == 2
+
+
+class TestBatchSimulator:
+    def test_batched_instances_match_standalone_runs(self):
+        # Heterogeneous periods and horizons: every instance must end in
+        # exactly the state of its own standalone run.
+        configs = [([7, 50], 1_000), ([13, 990], 2_500), ([1, 3], 311)]
+        solo = []
+        for periods, horizon in configs:
+            simulator, blinkers = _build(periods)
+            simulator.step(horizon)
+            solo.append([(b.pulses, b.idle_cycles, b.countdown) for b in blinkers])
+
+        batch = BatchSimulator()
+        batched_states = []
+        for periods, horizon in configs:
+            simulator, blinkers = _build(periods)
+            batched_states.append(blinkers)
+            batch.add(simulator, [(horizon, lambda elapsed: None)])
+        batch.run()
+        batched = [
+            [(b.pulses, b.idle_cycles, b.countdown) for b in blinkers]
+            for blinkers in batched_states
+        ]
+        assert batched == solo
+
+    def test_stops_observe_the_exact_standalone_state(self):
+        # A stop at cycle k must see the state a standalone step(k) produces,
+        # even though the instance keeps running to a larger horizon.
+        stops_at = [311, 1_000, 2_048]
+        solo_states = []
+        for horizon in stops_at:
+            simulator, (blinker,) = _build([7])
+            simulator.step(horizon)
+            solo_states.append((blinker.pulses, blinker.idle_cycles, blinker.countdown))
+
+        simulator, (blinker,) = _build([7])
+        seen = {}
+
+        def snapshot(elapsed):
+            seen[elapsed] = (blinker.pulses, blinker.idle_cycles, blinker.countdown)
+
+        batch = BatchSimulator()
+        batch.add(simulator, [(cycles, snapshot) for cycles in stops_at])
+        batch.run()
+        assert [seen[cycles] for cycles in stops_at] == solo_states
+        assert simulator.current_cycle == stops_at[-1]
+
+    def test_dense_instances_are_supported(self):
+        simulator, (blinker,) = _build([10])
+        simulator.dense = True
+        batch = BatchSimulator()
+        batch.add(simulator, [(100, lambda elapsed: None)])
+        batch.run()
+        assert blinker.pulses == 10
+        assert simulator.kernel_stats["dense_ticks"] == 100
+
+    def test_rounds_interleave_instances(self):
+        batch = BatchSimulator()
+        for _ in range(3):
+            simulator, _ = _build([10])
+            batch.add(simulator, [(1_000, lambda elapsed: None)])
+        batch.run()
+        # Lockstep: the batch needed one round per span boundary, not one
+        # round per instance.
+        assert batch.rounds >= 100
+
+    def test_stop_validation(self):
+        simulator, _ = _build([10])
+        batch = BatchSimulator()
+        with pytest.raises(SimulationError, match="at least one stop"):
+            batch.add(simulator, [])
+        with pytest.raises(SimulationError, match="at least one cycle"):
+            batch.add(simulator, [(0, lambda elapsed: None)])
+        with pytest.raises(SimulationError, match="duplicate batch stop"):
+            batch.add(simulator, [(5, lambda elapsed: None), (5, lambda elapsed: None)])
+
+    def test_double_enrollment_is_rejected(self):
+        simulator, _ = _build([10])
+        batch = BatchSimulator()
+        batch.add(simulator, [(10, lambda elapsed: None)])
+        with pytest.raises(SimulationError, match="already enrolled"):
+            batch.add(simulator, [(20, lambda elapsed: None)])
+
+    def test_callback_advancing_the_simulator_is_detected(self):
+        simulator, _ = _build([10])
+        batch = BatchSimulator()
+        batch.add(simulator, [(50, lambda elapsed: simulator.step(1))])
+        with pytest.raises(SimulationError, match="advanced the simulator"):
+            batch.run()

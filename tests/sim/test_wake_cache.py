@@ -224,11 +224,11 @@ class TestMicroFixes:
         slow = simulator.add_clock_domain("slow", 25e6)
         blinker = simulator.add_component(CountingBlinker(period=10), domain=slow)
         simulator.step(100)
-        plan = simulator._plan
-        assert plan.divisors == {"slow": 2}  # only domains with components
-        snapshot = plan._freq_snapshot
+        state = simulator.state
+        assert state.divisors == {"slow": 2}  # only domains with components
+        snapshot = state._freq_snapshot
         simulator.step(100)
-        assert simulator._plan._freq_snapshot is snapshot  # untouched
+        assert simulator.state._freq_snapshot is snapshot  # untouched
         assert blinker.pulses == 10
 
     def test_frequency_change_mid_run_stays_exact(self):

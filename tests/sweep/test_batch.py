@@ -1,0 +1,166 @@
+"""Batched sweep execution (--batch): grouping, byte-identity, composition.
+
+The acceptance oracle of the batched executor is byte-identity: for every
+registry campaign, ``--batch`` artifacts must equal the per-instance
+``--jobs 1`` artifacts bit for bit.  Scenarios without a batch-prepare hook
+(watchdog-recovery's two-segment drive) must fall back silently, and
+batching must compose with ``--jobs``/``--chunk``/``--shard``/``--resume``.
+"""
+
+import json
+
+import pytest
+
+from repro.run import main
+from repro.sweep import (
+    CampaignSpec,
+    ShardSpec,
+    batch_groups,
+    campaign,
+    campaign_names,
+    execute_campaign,
+    expand_campaign,
+    load_reusable_results,
+    results_payload,
+    write_artifacts,
+)
+from repro.sweep.artifacts import manifest_payload
+from repro.workloads.registry import scenario
+
+SMALL_SPEC = CampaignSpec(
+    name="batch-test",
+    description="small batchable campaign for the --batch tests",
+    scenario="duty-cycled-logging",
+    grid={
+        "horizon_cycles": (20_000, 40_000),
+        "sample_period_cycles": (1_000, 2_000),
+    },
+)
+
+
+def _payload_bytes(result):
+    return json.dumps(results_payload(result), indent=2, sort_keys=True)
+
+
+class TestBatchGroups:
+    def test_points_group_by_params_across_horizons(self):
+        points = expand_campaign(SMALL_SPEC)
+        groups = batch_groups(points)
+        assert len(groups) == 2  # one group per sample_period value
+        for group in groups:
+            assert len(group) == 2
+            assert len({point.params["sample_period_cycles"] for point in group}) == 1
+            horizons = [point.horizon_cycles for point in group]
+            assert horizons == sorted(horizons) == [20_000, 40_000]
+
+    def test_distinct_params_stay_separate(self):
+        points = expand_campaign(campaign("pipeline-clock-ratio"))
+        groups = batch_groups(points)
+        assert len(groups) == 12  # 4 ratios x 3 periods; 3 horizons merge
+        assert all(len(group) == 3 for group in groups)
+        assert sum(len(group) for group in groups) == len(points)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", sorted(campaign_names()))
+    def test_every_registry_campaign_is_batch_identical(self, name, tmp_path):
+        """The acceptance criterion: batched == per-instance, bit for bit,
+        for results.json *and* results.csv of every registry campaign."""
+        spec = campaign(name)
+        serial = execute_campaign(spec, jobs=1, batch=False)
+        batched = execute_campaign(spec, jobs=1, batch=True)
+        assert _payload_bytes(serial) == _payload_bytes(batched)
+        serial_paths = write_artifacts(spec, serial, tmp_path / "serial")
+        batched_paths = write_artifacts(spec, batched, tmp_path / "batched")
+        for key in ("results_json", "results_csv"):
+            assert serial_paths[key].read_bytes() == batched_paths[key].read_bytes()
+
+    def test_batchable_scenarios_report_batched_points(self):
+        batched = execute_campaign(SMALL_SPEC, jobs=1, batch=True)
+        assert batched.batched_points == batched.n_points == 4
+
+    def test_non_batchable_scenario_falls_back(self):
+        spec = CampaignSpec(
+            name="batch-fallback",
+            description="watchdog-recovery has a two-segment drive: no batch hook",
+            scenario="watchdog-recovery",
+            grid={"horizon_cycles": (200_000,), "seed": (0, 1)},
+        )
+        assert scenario(spec.scenario).batch_prepare is None
+        serial = execute_campaign(spec, jobs=1, batch=False)
+        batched = execute_campaign(spec, jobs=1, batch=True)
+        assert batched.batched_points == 0
+        assert _payload_bytes(serial) == _payload_bytes(batched)
+
+
+class TestComposition:
+    def test_batch_composes_with_jobs_and_chunk(self):
+        serial = execute_campaign(SMALL_SPEC, jobs=1, batch=False)
+        pooled = execute_campaign(SMALL_SPEC, jobs=2, chunk=1, batch=True)
+        assert _payload_bytes(serial) == _payload_bytes(pooled)
+        # chunk=1 cannot split a 2-point group: sharing survives chunking.
+        assert pooled.batched_points == 4
+
+    def test_batch_composes_with_shard(self):
+        serial = execute_campaign(SMALL_SPEC, jobs=1, batch=False)
+        shards = [
+            execute_campaign(SMALL_SPEC, shard=ShardSpec(index=index, count=2), batch=True)
+            for index in range(2)
+        ]
+        merged = [point for shard in shards for point in shard.points]
+        merged.sort(key=lambda point: point.index)
+        assert [p.index for p in merged] == [p.index for p in serial.points]
+        serial_records = [json.dumps(r.stats, sort_keys=True) for r in serial.points]
+        shard_records = [json.dumps(r.stats, sort_keys=True) for r in merged]
+        assert serial_records == shard_records
+
+    def test_batch_composes_with_resume(self, tmp_path):
+        first = execute_campaign(SMALL_SPEC, jobs=1, batch=True)
+        write_artifacts(SMALL_SPEC, first, tmp_path)
+        reuse = load_reusable_results(SMALL_SPEC, tmp_path)
+        assert len(reuse) == 4
+        resumed = execute_campaign(SMALL_SPEC, jobs=1, reuse=reuse, batch=True)
+        assert resumed.n_reused == 4
+        assert resumed.batched_points == 0  # nothing left to execute
+        assert _payload_bytes(first) == _payload_bytes(resumed)
+
+    def test_manifest_records_batched_points(self, tmp_path):
+        result = execute_campaign(SMALL_SPEC, jobs=1, batch=True)
+        manifest = manifest_payload(SMALL_SPEC, result)
+        assert manifest["execution"]["batched_points"] == 4
+        serial = execute_campaign(SMALL_SPEC, jobs=1, batch=False)
+        assert manifest_payload(SMALL_SPEC, serial)["execution"]["batched_points"] == 0
+
+
+class TestCli:
+    def test_batch_flag_round_trip(self, tmp_path, capsys):
+        on_dir, off_dir = tmp_path / "on", tmp_path / "off"
+        assert main(["sweep", "smoke", "--batch", "on", "--out", str(on_dir)]) == 0
+        assert main(["sweep", "smoke", "--batch", "off", "--out", str(off_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4 batched" in out
+        for name in ("results.json", "results.csv"):
+            assert (on_dir / "smoke" / name).read_bytes() == (off_dir / "smoke" / name).read_bytes()
+        on_manifest = json.loads((on_dir / "smoke" / "manifest.json").read_text())
+        off_manifest = json.loads((off_dir / "smoke" / "manifest.json").read_text())
+        assert on_manifest["execution"]["batched_points"] == 4
+        assert off_manifest["execution"]["batched_points"] == 0
+
+    def test_batch_on_warns_for_non_batchable_scenario(self, tmp_path, capsys):
+        # A 2-point slice keeps the CLI check cheap.
+        assert (
+            main(
+                [
+                    "sweep",
+                    "watchdog-fault-injection",
+                    "--batch",
+                    "on",
+                    "--shard",
+                    "0/12",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "does not support batched execution" in capsys.readouterr().err

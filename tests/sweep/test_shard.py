@@ -206,3 +206,70 @@ class TestShardCli:
         assert "point   2" in out
         assert "point   0" not in out
         assert not (tmp_path / "smoke").exists()
+
+
+class TestEmptyShards:
+    """Regression: --shard I/N with N > grid points must yield valid, empty,
+    mergeable artifacts (a fleet cut wider than the campaign is legal)."""
+
+    def test_empty_shard_executes_to_zero_points(self):
+        result = execute_campaign(SPEC, shard=ShardSpec(index=0, count=6))
+        assert result.n_points == 0
+        assert result.points_total == 4
+        assert result.n_reused == result.n_computed == 0
+
+    def test_empty_shard_writes_valid_artifacts(self, tmp_path):
+        result = execute_campaign(SPEC, shard=ShardSpec(index=0, count=6))
+        paths = write_artifacts(SPEC, result, tmp_path, subdir="shard-0-of-6")
+        results = json.loads(paths["results_json"].read_text())
+        assert results["n_points"] == 0
+        assert results["points"] == []
+        assert results["shard"] == {
+            "index": 0,
+            "count": 6,
+            "start": 0,
+            "stop": 0,
+            "points_total": 4,
+        }
+        manifest = json.loads(paths["manifest_json"].read_text())
+        assert manifest["n_points"] == 0
+        assert manifest["spec_hash"] == spec_hash(SPEC)
+        # Header-only CSV: still parseable, still schema-stable.
+        assert paths["results_csv"].read_text().startswith("index,scenario,horizon_cycles,seed")
+
+    def test_overwide_fleet_merges_byte_identical(self, tmp_path):
+        """6-way cut of a 4-point grid: two shards are empty; the merge must
+        accept them (even listed first) and reproduce the serial bytes."""
+        from repro.sweep.merge import merge_shards, write_merged_artifacts
+
+        directories = []
+        for index in range(6):
+            shard = ShardSpec(index=index, count=6)
+            result = execute_campaign(SPEC, shard=shard)
+            paths = write_artifacts(SPEC, result, tmp_path, subdir=f"shard-{index}-of-6")
+            directories.append(paths["results_json"].parent)
+        empties = [
+            directory
+            for index, directory in enumerate(directories)
+            if ShardSpec(index=index, count=6).bounds(4)[0]
+            == ShardSpec(index=index, count=6).bounds(4)[1]
+        ]
+        assert len(empties) == 2  # the premise: the cut really over-shards
+        reordered = empties + [d for d in directories if d not in empties]
+        merged = merge_shards(reordered)
+        merged_paths = write_merged_artifacts(merged, tmp_path / "merged")
+        serial = execute_campaign(SPEC, jobs=1)
+        serial_paths = write_artifacts(SPEC, serial, tmp_path / "serial")
+        for key in ("results_json", "results_csv"):
+            assert merged_paths[key].read_bytes() == serial_paths[key].read_bytes()
+
+    def test_empty_shard_cli_round_trip(self, capsys, tmp_path):
+        assert main(["sweep", "smoke", "--shard", "0/6", "--out", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "shard 0/6: points [0, 0) of 4" in captured.err
+        assert "0 points" in captured.out
+        shard_dir = tmp_path / "smoke" / "shard-0-of-6"
+        for name in ("results.json", "results.csv", "manifest.json"):
+            assert (shard_dir / name).exists()
+        # An empty shard resumes (vacuously) without touching anything.
+        assert main(["sweep", "smoke", "--shard", "0/6", "--resume", "--out", str(tmp_path)]) == 0
