@@ -12,7 +12,9 @@ artifacts plus a reproducibility manifest under ``results/sweeps/``.
 Batched execution (``--batch``, on by default where the scenario supports
 it) lets points that differ only in their horizon share one simulation,
 advanced in lockstep with the chunk's other instances — byte-identical
-artifacts, measured ≥1.5x faster on multi-horizon campaigns.
+artifacts, measured ≥1.5x faster on multi-horizon campaigns (≥3x with the
+vectorised ``--backend numpy`` round loop, the default when numpy is
+importable).
 ``--shard I/N`` restricts a run to one slice of the grid for multi-host
 distribution, ``sweep merge`` stitches the per-host artifact directories
 back into the single-host artifacts, and ``sweep merge --heal`` emits the
@@ -144,6 +146,15 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         "chunk's other instances under one schedule plan; results are "
         "byte-identical to per-point execution (default: %(default)s — on "
         "whenever the scenario supports it)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default="auto",
+        help="batch kernel loop: 'python' is the reference per-instance "
+        "round loop, 'numpy' vectorises span selection across the batch "
+        "(identical results), 'auto' picks numpy when importable "
+        "(default: %(default)s); recorded in the manifest execution block",
     )
     parser.add_argument(
         "--shard",
@@ -291,6 +302,16 @@ def _sweep_main(argv: Sequence[str]) -> int:
         except ValueError as exc:
             print(f"error: --shard: {exc}", file=sys.stderr)
             return 2
+    # Validate the backend up front: an explicit --backend numpy on a host
+    # without numpy is a usage error, not a mid-campaign crash.
+    from repro.sim.backend import resolve_backend
+    from repro.sim.simulator import SimulationError
+
+    try:
+        resolve_backend(args.backend)
+    except SimulationError as exc:
+        print(f"error: --backend: {exc}", file=sys.stderr)
+        return 2
     try:
         spec = campaign(args.campaign)
     except KeyError as exc:
@@ -360,6 +381,7 @@ def _sweep_main(argv: Sequence[str]) -> int:
         reuse=reuse,
         shard=shard,
         batch=batch,
+        backend=args.backend,
     )
     if batch is True and not result.batched_points and result.n_computed:
         print(
@@ -367,10 +389,23 @@ def _sweep_main(argv: Sequence[str]) -> int:
             f"execution; points ran per-instance",
             file=sys.stderr,
         )
+    for record in result.batch_fallbacks:
+        # A group that quietly lost batching is a perf bug waiting to hide;
+        # name every reason (the manifest keeps the same records).
+        print(
+            f"batch: {len(record['points'])} point(s) fell back to per-instance "
+            f"execution: {record['reason']}",
+            file=sys.stderr,
+        )
     paths = write_artifacts(spec, result, Path(args.out), subdir=shard_subdir)
     sharded = f"shard {shard}, " if shard is not None else ""
     reused = f", {result.n_reused} reused" if result.n_reused else ""
-    batched = f", {result.batched_points} batched" if result.batched_points else ""
+    batched = (
+        f", {result.batched_points} batched ({result.backend})" if result.batched_points else ""
+    )
+    if result.batch_fallbacks:
+        fallen = sum(len(record["points"]) for record in result.batch_fallbacks)
+        batched += f", {fallen} fell back"
     print(
         f"campaign {spec.name}: {result.n_points} points over scenario {spec.scenario} "
         f"({sharded}{args.jobs} job{'s' if args.jobs != 1 else ''}, chunk {result.chunk}, "

@@ -1,0 +1,73 @@
+"""Pluggable execution backends for batched multi-instance simulation.
+
+:class:`~repro.sim.batch.BatchSimulator` delegates its scheduling round
+loop to a backend resolved here:
+
+* ``"python"`` — :class:`~repro.sim.backend.reference.PythonBackend`, the
+  always-available pure-python reference loop and the semantics oracle
+  every other backend is differentially tested against;
+* ``"numpy"``  — :class:`~repro.sim.backend.vector.NumpyBackend`,
+  struct-of-arrays span selection vectorised across the batch (requires
+  numpy);
+* ``"auto"`` (or ``None``) — numpy when importable, python otherwise.
+
+The selection rules are deliberately boring: ``auto`` never errors, an
+explicit ``"numpy"`` without numpy raises a clear
+:class:`~repro.sim.simulator.SimulationError`, and the resolved name is
+recorded (``BatchSimulator.backend_name``, the sweep manifest's
+``execution.backend`` field) so a run's artifacts always say which loop
+produced them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.sim.backend.base import BatchBackend, LiveEntry, stall_error
+from repro.sim.backend.reference import PythonBackend
+from repro.sim.backend.vector import NumpyBackend, numpy_available
+from repro.sim.simulator import SimulationError
+
+#: Names accepted by :func:`resolve_backend` (and the sweep ``--backend``
+#: flag).  ``auto`` resolves to the best available concrete backend.
+BACKEND_CHOICES: Tuple[str, ...] = ("auto", "python", "numpy")
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Concrete backend names constructible in this interpreter."""
+    if numpy_available():
+        return ("python", "numpy")
+    return ("python",)
+
+
+def resolve_backend(backend: Union[None, str, BatchBackend] = None) -> BatchBackend:
+    """Resolve a backend name (or pass through an instance).
+
+    ``None`` and ``"auto"`` select numpy when importable and fall back to
+    the python reference otherwise; explicit names are honoured or fail
+    loudly.
+    """
+    if isinstance(backend, BatchBackend):
+        return backend
+    if backend is None or backend == "auto":
+        return NumpyBackend() if numpy_available() else PythonBackend()
+    if backend == "python":
+        return PythonBackend()
+    if backend == "numpy":
+        return NumpyBackend()
+    raise SimulationError(
+        f"unknown batch backend {backend!r}; choose from {', '.join(BACKEND_CHOICES)}"
+    )
+
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "BatchBackend",
+    "LiveEntry",
+    "NumpyBackend",
+    "PythonBackend",
+    "available_backends",
+    "numpy_available",
+    "resolve_backend",
+    "stall_error",
+]

@@ -1,0 +1,66 @@
+"""Backend contract for :class:`~repro.sim.batch.BatchSimulator`.
+
+A batch backend owns the *scheduling round loop*: given the list of live
+``(instance, state, dense)`` entries that :meth:`BatchSimulator.run` has
+already plan-resolved, it advances every instance through all of its stops.
+The semantics a backend must preserve are fixed by the reference
+implementation (:class:`~repro.sim.backend.reference.PythonBackend`):
+
+* every live instance advances exactly one span boundary per round, capped
+  at its next stop (lockstep fairness);
+* stops fire the moment their cycle is reached, in enrollment order within
+  a round, with the instance paused exactly on the stop cycle;
+* kernel stats (``next_event_calls``, ``dense_ticks``, ``spans_skipped``,
+  ``cycles_skipped``) accumulate identically — a backend may *reorganise*
+  the span computation (e.g. vectorise the cached-deadline min) but not
+  change which component hooks run;
+* a live instance that makes zero progress is a mis-wired scenario, not an
+  infinite loop: backends raise :func:`stall_error` naming the instance.
+
+Backends own the struct-of-arrays columns spanning the batch — base-tick,
+start and next-stop cursors, liveness flags, and the wake-deadline matrix
+whose rows are attached to each :class:`~repro.sim.simulator.SimState` via
+:meth:`~repro.sim.simulator.SimState.attach_wake_row`.  Per-instance state
+(heaps, dirty sets, divisors, activity) stays inside ``SimState``; the
+columns are projections the backend derives and keeps in sync through the
+write-through hooks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.sim.simulator import SimState, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.batch import BatchInstance, BatchSimulator
+
+#: One live batch entry: the instance, its bound state, and whether it is
+#: forced dense (``simulator.dense`` or an unhinted ticking component).
+LiveEntry = Tuple["BatchInstance", SimState, bool]
+
+
+class BatchBackend:
+    """Interface every batch backend implements."""
+
+    #: Registry name (``"python"``, ``"numpy"``); recorded by the sweep
+    #: layer in the manifest execution block.
+    name: str = "abstract"
+
+    def run(self, batch: "BatchSimulator", live: List[LiveEntry]) -> None:
+        """Advance every live instance through all of its stops.
+
+        ``batch`` is the owning :class:`BatchSimulator`; backends increment
+        ``batch.rounds`` once per scheduling round.
+        """
+        raise NotImplementedError
+
+
+def stall_error(instance: "BatchInstance") -> SimulationError:
+    """The shared zero-progress diagnostic (same text in every backend)."""
+    return SimulationError(
+        f"batch instance {instance.label} made no progress at elapsed cycle "
+        f"{instance.elapsed} with a stop pending at cycle {instance.next_stop}; "
+        f"the scenario's wake scheduling is mis-wired (e.g. an empty wake heap "
+        f"with work outstanding)"
+    )

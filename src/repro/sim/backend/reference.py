@@ -1,0 +1,39 @@
+"""The pure-python reference backend — the batch semantics oracle.
+
+This is the round loop :class:`~repro.sim.batch.BatchSimulator` has always
+run, now behind the backend seam: one ``advance_span`` per live instance
+per round, stops fired in enrollment order.  Every other backend is
+validated against it (byte-identical sweep artifacts, identical kernel
+stats, identical stop observation order — see
+``tests/property/test_backend_differential.py``), so its behaviour is the
+contract: change it only with the differential suite in hand.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.backend.base import BatchBackend, LiveEntry, stall_error
+
+
+class PythonBackend(BatchBackend):
+    """Per-instance Python round loop (always available, the reference)."""
+
+    name = "python"
+
+    def run(self, batch, live: List[LiveEntry]) -> None:
+        live = list(live)
+        while live:
+            batch.rounds += 1
+            still_live = []
+            for entry in live:
+                instance, state, dense = entry
+                limit = instance.next_stop - instance.elapsed
+                advanced = state.advance_span(limit, dense=dense)
+                if advanced <= 0:
+                    raise stall_error(instance)
+                instance.elapsed += advanced
+                instance._fire_due_stops()
+                if not instance.done:
+                    still_live.append(entry)
+            live = still_live

@@ -1,0 +1,144 @@
+"""Numpy struct-of-arrays batch backend.
+
+The per-instance scheduling cursors the reference backend keeps as Python
+attributes become int64 columns spanning the batch:
+
+* ``base``     — each instance's base-tick counter (mirror of
+  ``SimState.base_tick``, advanced by this loop);
+* ``start``    — the base tick at enrollment, so ``base - start`` is the
+  instance-relative elapsed cycle;
+* ``next_stop`` — the absolute base tick of the next pending stop;
+* ``rows``     — the wake-deadline matrix: row *i* mirrors instance *i*'s
+  cached ``deadlines`` (write-through from
+  :meth:`~repro.sim.simulator.SimState.attach_wake_row`, with
+  :data:`~repro.sim.simulator.WAKE_NONE` for "no deadline").
+
+Each round then splits in three phases.  Phase 1 walks the live instances
+once for the Python-object work that cannot be vectorised — dirty-deadline
+re-polls and volatile ``next_event`` probes (which write through to
+``rows``).  Phase 2 is the vectorised span selection: every instance's
+earliest cached wake is one row-min, and the span is the element-wise min
+of stop cap, volatile bound, and cached gap across the whole batch at
+once.  Phase 3 applies each span (``skip_span`` + boundary ``dense_tick``)
+and fires due stops in enrollment order, exactly like the reference
+backend, so kernel stats, component hook sequences, and stop observation
+order are identical by construction.
+
+``numpy`` is optional: this module imports it guarded, and constructing
+:class:`NumpyBackend` without it raises a clear
+:class:`~repro.sim.simulator.SimulationError` (the ``auto`` selection in
+:func:`repro.sim.backend.resolve_backend` never gets that far).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.backend.base import BatchBackend, LiveEntry, stall_error
+from repro.sim.simulator import WAKE_NONE, SimulationError
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be constructed in this interpreter."""
+    return _np is not None
+
+
+class NumpyBackend(BatchBackend):
+    """Vectorised span selection over struct-of-arrays columns."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        if _np is None:
+            raise SimulationError(
+                "the numpy batch backend requires numpy, which is not "
+                "importable; use the python backend (or backend='auto')"
+            )
+
+    def run(self, batch, live: List[LiveEntry]) -> None:
+        np = _np
+        entries = list(live)
+        n = len(entries)
+        if n == 0:
+            return
+        base = np.empty(n, dtype=np.int64)
+        start = np.empty(n, dtype=np.int64)
+        next_stop = np.empty(n, dtype=np.int64)
+        width = 1
+        for i, (instance, state, dense) in enumerate(entries):
+            base[i] = state.base_tick
+            start[i] = state.base_tick - instance.elapsed
+            next_stop[i] = start[i] + instance.next_stop
+            width = max(width, len(state.cached))
+        rows = np.full((n, width), WAKE_NONE, dtype=np.int64)
+        for i, (instance, state, dense) in enumerate(entries):
+            if not dense:
+                state.attach_wake_row(rows[i, : len(state.cached)])
+        # Preallocated per-round buffers: the round loop runs tens of
+        # thousands of times per batch, so it works in place (``out=``) and
+        # converts numpy scalars to Python ints in bulk (``tolist``) rather
+        # than one element at a time.
+        vbounds = np.zeros(n, dtype=np.int64)
+        limits = np.empty(n, dtype=np.int64)
+        mins = np.empty(n, dtype=np.int64)
+        gaps = np.empty(n, dtype=np.int64)
+        spans = np.empty(n, dtype=np.int64)
+        live_list = [(i,) + tuple(entry) for i, entry in enumerate(entries)]
+        try:
+            while live_list:
+                batch.rounds += 1
+                np.subtract(next_stop, base, out=limits)
+                limits_list = limits.tolist()
+                # Phase 1: per-instance Python work — re-poll dirty cached
+                # deadlines (writes through to `rows`) and probe volatile
+                # components for this round's span cap.
+                for i, instance, state, dense in live_list:
+                    if not dense:
+                        state.poll_dirty()
+                        vbounds[i] = state.volatile_bound(limits_list[i])
+                # Phase 2: vectorised span selection.  A gap <= 0 means a
+                # cached deadline is due right now; volatile bounds are
+                # never negative, so clamping min(vbound, gap) at zero is
+                # exactly the "due now -> span 0, dense tick" rule.
+                rows.min(axis=1, out=mins)
+                np.subtract(mins, base, out=gaps)
+                np.minimum(vbounds, gaps, out=spans)
+                np.maximum(spans, 0, out=spans)
+                spans_list = spans.tolist()
+                # Phase 3: apply spans and fire due stops, in enrollment
+                # order (the reference backend's observation order).
+                still_live = []
+                for item in live_list:
+                    i, instance, state, dense = item
+                    limit = limits_list[i]
+                    if dense:
+                        advanced = state.advance_span(limit, dense=True)
+                    else:
+                        span = spans_list[i]
+                        if span > 0:
+                            state.skip_span(span)
+                        if span < limit:
+                            state.dense_tick()
+                            advanced = span + 1
+                        else:
+                            advanced = span
+                    if advanced <= 0:
+                        raise stall_error(instance)
+                    base[i] += advanced
+                    instance.elapsed += advanced
+                    if instance.elapsed == instance.next_stop:
+                        instance._fire_due_stops()
+                        if instance.done:
+                            continue
+                        next_stop[i] = start[i] + instance.next_stop
+                    still_live.append(item)
+                live_list = still_live
+        finally:
+            for _, state, dense in entries:
+                if not dense:
+                    state.detach_wake_row()

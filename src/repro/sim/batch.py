@@ -39,9 +39,12 @@ one.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.simulator import SimulationError, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.sim.backend.base import BatchBackend
 
 #: A stop callback: receives the instance-relative elapsed cycle count; the
 #: simulator is paused exactly on that cycle while the callback runs.
@@ -123,12 +126,23 @@ class BatchSimulator:
     instance advances exactly one span boundary, capped at its next stop.
     Stops fire as soon as their cycle is reached.  The batch is done when
     every instance has fired its last stop.
+
+    The round loop itself is pluggable (:mod:`repro.sim.backend`):
+    ``backend`` picks the pure-python reference loop (``"python"``), the
+    vectorised struct-of-arrays loop (``"numpy"``), or the best available
+    (``"auto"``/``None``, the default).  All backends produce identical
+    component state, kernel stats, and stop observation order; the name of
+    the loop that actually ran is recorded in :attr:`backend_name`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Union[None, str, "BatchBackend"] = None) -> None:
         self.instances: List[BatchInstance] = []
         #: Scheduling rounds executed by :meth:`run` (diagnostics).
         self.rounds = 0
+        self._backend = backend
+        #: Name of the backend resolved by the last :meth:`run` call.
+        self.backend_name: Optional[str] = None
+        self._running = False
 
     def add(
         self,
@@ -137,6 +151,11 @@ class BatchSimulator:
         label: Optional[str] = None,
     ) -> BatchInstance:
         """Enroll ``simulator`` with its ``(cycles, callback)`` stops."""
+        if self._running:
+            raise SimulationError(
+                "cannot enroll an instance while the batch is running; "
+                "build a second BatchSimulator for late arrivals"
+            )
         for instance in self.instances:
             if instance.simulator is simulator:
                 raise SimulationError(
@@ -148,25 +167,23 @@ class BatchSimulator:
 
     def run(self) -> None:
         """Advance every instance through all of its stops."""
+        from repro.sim.backend import resolve_backend
+
+        backend = resolve_backend(self._backend)
+        self.backend_name = backend.name
         live: List[Tuple[BatchInstance, object, bool]] = []
         for instance in self.instances:
             if instance.done:
                 continue
             simulator = instance.simulator
             # Resolve (and share) the plan once per instance up front; the
-            # round loop then drives the bound state directly, exactly like
-            # Simulator.step does for a single instance.
+            # backend round loop then drives the bound state directly,
+            # exactly like Simulator.step does for a single instance.
             plan = simulator._schedule_plan()
             dense = simulator.dense or plan.forces_dense
             live.append((instance, simulator._state, dense))
-        while live:
-            self.rounds += 1
-            still_live = []
-            for entry in live:
-                instance, state, dense = entry
-                limit = instance.next_stop - instance.elapsed
-                instance.elapsed += state.advance_span(limit, dense=dense)
-                instance._fire_due_stops()
-                if not instance.done:
-                    still_live.append(entry)
-            live = still_live
+        self._running = True
+        try:
+            backend.run(self, live)
+        finally:
+            self._running = False

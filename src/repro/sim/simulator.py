@@ -203,11 +203,20 @@ class Simulator:
         return fastest
 
     def _divisor(self, domain: ClockDomain, fastest_hz: Optional[float] = None) -> int:
-        """Integer ratio between the fastest clock and ``domain``."""
+        """Integer ratio between the fastest clock and ``domain``.
+
+        The integrality check uses a *relative* tolerance: the float error of
+        a legitimate large ratio (e.g. 1 GHz against a 32.768 kHz RTC domain,
+        a 30518:1 ratio) grows with the ratio itself, so an absolute window
+        would wrongly reject valid integer ratios at large divisors — and the
+        same fixed window is far too forgiving at small ones, accepting
+        near-miss frequencies (55 MHz against 27.500014 MHz) that silently
+        drift the slow domain by a cycle over long horizons.
+        """
         fastest = self._fastest_hz if fastest_hz is None else fastest_hz
         ratio = fastest / domain.frequency_hz
         divisor = round(ratio)
-        if divisor < 1 or abs(ratio - divisor) > 1e-6:
+        if divisor < 1 or abs(ratio - divisor) > 1e-9 * divisor:
             raise SimulationError(
                 f"clock domain {domain.name!r} frequency must divide the fastest domain"
             )
@@ -495,6 +504,13 @@ class SchedulePlan:
         self.n_components = len(entries)
 
 
+#: Sentinel stored in an attached wake-deadline column for "no deadline"
+#: (``deadlines[i] is None``).  Large enough that ``WAKE_NONE - base_tick``
+#: never caps a span, small enough that int64 column arithmetic cannot
+#: overflow.
+WAKE_NONE = 1 << 62
+
+
 class SimState:
     """Per-instance mutable scheduling state.
 
@@ -511,6 +527,16 @@ class SimState:
     next boundary.  Absolute deadlines survive skips unchanged — only firing
     (deadline expiry, detected in :meth:`dense_tick`) or an explicit
     :meth:`invalidate_wake` moves them.
+
+    **Column extraction (batched execution).**  A struct-of-arrays batch
+    backend (:mod:`repro.sim.backend`) may hand this instance one row of a
+    shared int64 deadline matrix via :meth:`attach_wake_row`.  The row then
+    mirrors the authoritative ``deadlines`` list at every mutation site
+    (re-poll, expiry, cache clear) with :data:`WAKE_NONE` standing in for
+    ``None``, so the backend computes every instance's earliest cached wake
+    as one vectorised row-min instead of a per-instance heap peek.  The heap
+    keeps running regardless — it still drives deadline expiry in
+    :meth:`dense_tick` and the solo stepping path.
     """
 
     def __init__(self) -> None:
@@ -539,6 +565,9 @@ class SimState:
         self.deadlines: List[Optional[int]] = []
         self._dirty: set = set()
         self._heap: List[Tuple[int, int]] = []
+        #: Optional backend-owned int64 row mirroring ``deadlines``
+        #: (:data:`WAKE_NONE` for ``None``); see :meth:`attach_wake_row`.
+        self._wake_row = None
         #: Component whose tick()/skip() is currently executing; its *self*
         #: invalidations are suppressed (see invalidate_wake).
         self._active_component: Optional[Component] = None
@@ -548,6 +577,9 @@ class SimState:
     def bind(self, plan: SchedulePlan, pairs: Sequence[Tuple[Component, ClockDomain]]) -> None:
         """Bind ``plan``'s component positions to this instance's objects."""
         self.bound_plan = plan
+        # A rebind can change the cached-component count; an attached wake
+        # row has the old width and must not survive it.
+        self._wake_row = None
         self.ticking = [pairs[index] for index in plan.ticking]
         self.volatile = [pairs[index] for index in plan.volatile]
         self.cached = [pairs[index] for index in plan.cached]
@@ -606,13 +638,46 @@ class SimState:
         self.deadlines = [None] * len(self.cached)
         self._dirty = set(range(len(self.cached)))
         self._heap = []
+        if self._wake_row is not None:
+            self._wake_row[:] = WAKE_NONE
+
+    # ------------------------------------------------------------ wake columns
+
+    def attach_wake_row(self, row) -> None:
+        """Mirror this instance's cached deadlines into ``row``.
+
+        ``row`` is one row of a batch backend's shared int64 deadline matrix
+        (any mutable int sequence of length ``len(self.cached)``; in practice
+        a numpy view).  From this call on, every deadline mutation —
+        :meth:`_repoll`, the expiry sweep in :meth:`dense_tick`,
+        :meth:`clear_wake_cache` — is written through to the row with
+        :data:`WAKE_NONE` standing in for ``None``, so
+        ``row.min() - base_tick`` is this instance's earliest cached wake
+        gap.  Rebinding to a different plan detaches the row (its width would
+        be stale).
+        """
+        if len(row) != len(self.cached):
+            raise SimulationError(
+                f"wake row has width {len(row)}, expected {len(self.cached)} "
+                f"(one slot per cached component)"
+            )
+        self._wake_row = row
+        for index, deadline in enumerate(self.deadlines):
+            row[index] = WAKE_NONE if deadline is None else deadline
+
+    def detach_wake_row(self) -> None:
+        """Stop mirroring deadlines into the attached row (if any)."""
+        self._wake_row = None
 
     def _repoll(self, index: int) -> None:
         """Recompute one cached component's absolute deadline."""
         component, clock = self.cached[index]
         horizon = component.next_event()
+        row = self._wake_row
         if horizon is None:
             self.deadlines[index] = None
+            if row is not None:
+                row[index] = WAKE_NONE
             return
         if horizon < 1:
             horizon = 1
@@ -625,6 +690,8 @@ class SimState:
             first = base_tick if remainder == 0 else base_tick + (divisor - remainder)
             deadline = first + (horizon - 1) * divisor
         self.deadlines[index] = deadline
+        if row is not None:
+            row[index] = deadline
         heappush(self._heap, (deadline, index))
         # Lazy heaps accumulate stale entries; compact when they dominate.
         if len(self._heap) > 4 * len(self.cached) + 16:
@@ -669,6 +736,7 @@ class SimState:
             base_tick = self.base_tick
             deadlines = self.deadlines
             dirty = self._dirty
+            row = self._wake_row
             while heap:
                 deadline, index = heap[0]
                 if deadlines[index] != deadline:
@@ -678,6 +746,8 @@ class SimState:
                     break
                 heappop(heap)
                 deadlines[index] = None
+                if row is not None:
+                    row[index] = WAKE_NONE
                 dirty.add(index)
 
     # ------------------------------------------------------------ event-driven
@@ -709,16 +779,53 @@ class SimState:
         ``k`` domain cycles from a component whose domain next ticks at base
         tick ``first`` pins the wake to base tick ``first + (k - 1) * div``;
         everything before that is quiescent by the component's promise.
+
+        Composed from :meth:`poll_dirty` + :meth:`volatile_bound` + the lazy
+        heap peek over cached deadlines; batch backends call the first two
+        directly and replace the peek with a vectorised row-min over attached
+        wake rows (same value by construction — the row mirrors
+        ``deadlines``).
         """
-        stats = self.kernel_stats
+        self.poll_dirty()
+        span = self.volatile_bound(limit)
+        if span == 0:
+            return 0
+        # Earliest cached deadline (lazy heap peek).
         base_tick = self.base_tick
-        # Re-poll invalidated cached components first (O(active)).
+        heap = self._heap
+        deadlines = self.deadlines
+        while heap:
+            deadline, index = heap[0]
+            if deadlines[index] != deadline:
+                heappop(heap)
+                continue
+            gap = deadline - base_tick
+            if gap <= 0:
+                return 0
+            if gap < span:
+                span = gap
+            break
+        return span
+
+    def poll_dirty(self) -> None:
+        """Re-poll invalidated cached components (O(active))."""
         dirty = self._dirty
         if dirty:
-            stats["next_event_calls"] += len(dirty)
+            self.kernel_stats["next_event_calls"] += len(dirty)
             for index in tuple(dirty):
                 self._repoll(index)
             dirty.clear()
+
+    def volatile_bound(self, limit: int) -> int:
+        """Span cap from the volatile components alone, in ``[0, limit]``.
+
+        Returns 0 when a volatile component needs a dense tick right now.
+        Does **not** consult the cached-deadline heap — callers combine this
+        with the heap peek (:meth:`quiescent_span`) or with a wake-row min
+        (the numpy batch backend).
+        """
+        stats = self.kernel_stats
+        base_tick = self.base_tick
         span = limit
         volatile = self.volatile
         if self.single_rate:
@@ -755,20 +862,6 @@ class SimState:
                         return 0
                     span = bound
         stats["next_event_calls"] += len(volatile)
-        # Earliest cached deadline (lazy heap peek).
-        heap = self._heap
-        deadlines = self.deadlines
-        while heap:
-            deadline, index = heap[0]
-            if deadlines[index] != deadline:
-                heappop(heap)
-                continue
-            gap = deadline - base_tick
-            if gap <= 0:
-                return 0
-            if gap < span:
-                span = gap
-            break
         return span
 
     def skip_span(self, span: int) -> None:

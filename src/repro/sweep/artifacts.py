@@ -125,6 +125,13 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
             "reused_points": result.n_reused,
             "computed_points": result.n_computed,
             "batched_points": result.batched_points,
+            # Why points that could have batched did not (empty when every
+            # executed point batched, or when batching was off): audit trail
+            # for a campaign that quietly lost its shared-prefix execution.
+            "batch_fallbacks": [dict(record) for record in result.batch_fallbacks],
+            # The batch kernel loop that produced the batched points
+            # (null when nothing ran batched); see repro.sim.backend.
+            "backend": result.backend,
             "wall_seconds": result.wall_seconds,
             "point_wall_seconds": {
                 str(point.index): point.wall_seconds for point in result.points

@@ -65,18 +65,20 @@ register_campaign(
         name="pipeline-clock-ratio",
         description=(
             "Multi-link pipeline across SoC-to-I/O clock ratios and sampling periods "
-            "(36 points): where does the chained service time overrun the period?"
+            "(56 points): where does the chained service time overrun the period?"
         ),
         scenario="multi-link-pipeline",
         grid={
-            # Three horizon depths: the short one exposes warm-up effects,
-            # the long one pins the steady-state rates.  Horizon depth is
-            # nearly free under batched execution — the points of one
-            # (ratio, period) pair share a single simulation and only the
-            # longest horizon is actually simulated.
-            "horizon_cycles": (30_000, 60_000, 120_000),
+            # A seven-step horizon ladder: the short end exposes warm-up
+            # effects, the long end pins the steady-state rates, and the
+            # intermediate rungs trace how quickly each configuration
+            # converges.  Horizon depth is nearly free under batched
+            # execution — the points of one (ratio, period) pair share a
+            # single simulation and only the longest horizon is actually
+            # simulated, so the ladder costs one run per group, not seven.
+            "horizon_cycles": (10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000),
             "clock_ratio": (1, 2, 4, 8),
-            "timer_period_cycles": (150, 300, 600),
+            "timer_period_cycles": (150, 600),
         },
     )
 )

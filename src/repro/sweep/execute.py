@@ -59,12 +59,14 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.area.model import PelsAreaModel
 from repro.power.model import PowerModel
 from repro.sweep.campaign import CampaignSpec, ShardSpec, SweepPoint, expand_campaign
 from repro.workloads.registry import (
+    BatchUnsupported,
     ScenarioOutcome,
     run_scenario_instrumented,
     scenario,
@@ -115,6 +117,13 @@ class CampaignResult:
     #: How many points were executed through the batched (shared-prefix)
     #: executor rather than the per-instance path; recorded in the manifest.
     batched_points: int = 0
+    #: Why points that could have batched did not: one record per fallback
+    #: (``{"reason": ..., "points": [indices]}``), recorded in the manifest
+    #: next to ``batched_points`` and surfaced in the CLI summary.
+    batch_fallbacks: List[Dict[str, object]] = field(default_factory=list)
+    #: The resolved batch backend name (``"python"``/``"numpy"``; ``None``
+    #: when nothing ran batched).
+    backend: Optional[str] = None
 
     @property
     def n_points(self) -> int:
@@ -190,9 +199,20 @@ def run_point(point: SweepPoint) -> PointResult:
     return _finalize_point(point, outcome, time.perf_counter() - start)
 
 
-def run_points(points: Sequence[SweepPoint]) -> List[PointResult]:
-    """Pool task: execute one chunk of points in order."""
-    return [run_point(point) for point in points]
+@dataclass
+class ChunkOutcome:
+    """What one pool task produced: the chunk's point records plus the
+    batching bookkeeping (how many points actually shared a prepared
+    simulation, and why any group fell back to per-instance execution)."""
+
+    results: List[PointResult] = field(default_factory=list)
+    fallbacks: List[Dict[str, object]] = field(default_factory=list)
+    batched_points: int = 0
+
+
+def run_points(points: Sequence[SweepPoint]) -> ChunkOutcome:
+    """Pool task: execute one chunk of points in order (per-instance)."""
+    return ChunkOutcome(results=[run_point(point) for point in points])
 
 
 # ------------------------------------------------------------------ batching
@@ -214,14 +234,22 @@ def batch_groups(points: Sequence[SweepPoint]) -> List[List[SweepPoint]]:
     return [sorted(group, key=lambda point: point.horizon_cycles) for group in grouped.values()]
 
 
+def _fallback_record(group: Sequence[SweepPoint], reason: str) -> Dict[str, object]:
+    """One manifest ``batch_fallbacks`` entry (deterministic fields only)."""
+    return {"reason": reason, "points": [point.index for point in group]}
+
+
 def _enroll_group(
     batch, group: Sequence[SweepPoint], results: List[PointResult]
-) -> Dict[str, float]:
+) -> Optional[Dict[str, float]]:
     """Prepare one shared-prefix group and register its snapshot stops.
 
     Returns the group's wall clock; the caller restamps it when the batch
     actually starts running so no group is charged another group's
-    preparation time.
+    preparation time.  Raises :class:`BatchUnsupported` (from the scenario's
+    batch-prepare hook) or :class:`SimulationError` (from enrollment) when
+    the group cannot share a prepared instance — the caller falls back to
+    per-instance execution for just that group.
     """
     first = group[0]
     spec = scenario(first.scenario)
@@ -242,27 +270,69 @@ def _enroll_group(
         for point in points:
             results.append(_finalize_point(point, outcome, wall))
 
-    stops = [
-        (horizon, lambda elapsed, pts=tuple(by_horizon[horizon]): snapshot(elapsed, pts))
-        for horizon in horizons
-    ]
+    # Merge the scenario's drive script (mid-run testbench interference,
+    # e.g. watchdog-recovery's fault injection) into the snapshot schedule.
+    # A drive sharing a cycle with a snapshot fires first — exactly the
+    # standalone order (interfere, then keep running / observe).  Drives
+    # beyond the last horizon are dropped: a standalone run of any requested
+    # horizon would never reach them.
+    drives_by_cycle: Dict[int, List[Callable[[int], None]]] = {}
+    for cycle, callback in prepared.drive_stops():
+        if cycle <= horizons[-1]:
+            drives_by_cycle.setdefault(cycle, []).append(callback)
+
+    def stop_at(horizon: int) -> Callable[[int], None]:
+        drives = tuple(drives_by_cycle.pop(horizon, ()))
+        points = tuple(by_horizon[horizon])
+
+        def fire(elapsed: int) -> None:
+            for drive in drives:
+                drive(elapsed)
+            snapshot(elapsed, points)
+
+        return fire
+
+    stops = [(horizon, stop_at(horizon)) for horizon in horizons]
+    for cycle, callbacks in drives_by_cycle.items():
+
+        def fire_drives(elapsed: int, drives=tuple(callbacks)) -> None:
+            for drive in drives:
+                drive(elapsed)
+
+        stops.append((cycle, fire_drives))
     batch.add(prepared.simulator, stops, label=f"{first.scenario}#{first.index}")
     return clock
 
 
-def run_point_groups(groups: Sequence[Sequence[SweepPoint]]) -> List[PointResult]:
+def run_point_groups(
+    groups: Sequence[Sequence[SweepPoint]], backend: Optional[str] = None
+) -> ChunkOutcome:
     """Pool task: execute one chunk of shared-prefix groups, batched.
 
     All of the chunk's instances advance through one
     :class:`~repro.sim.batch.BatchSimulator` — in lockstep over span
-    boundaries, under one shared schedule plan — and every point's record is
-    snapshotted exactly when its horizon is reached.
+    boundaries, under one shared schedule plan, on the requested backend —
+    and every point's record is snapshotted exactly when its horizon is
+    reached.  A group whose batch-prepare hook declines
+    (:class:`BatchUnsupported` — e.g. heterogeneous derived parameters) or
+    whose enrollment fails runs per-instance inside this same task, with the
+    reason recorded in the outcome's ``fallbacks``.
     """
     from repro.sim.batch import BatchSimulator
+    from repro.sim.simulator import SimulationError
 
-    batch = BatchSimulator()
-    results: List[PointResult] = []
-    clocks = [_enroll_group(batch, group, results) for group in groups]
+    batch = BatchSimulator(backend=backend)
+    outcome = ChunkOutcome()
+    results = outcome.results
+    clocks = []
+    for group in groups:
+        try:
+            clocks.append(_enroll_group(batch, group, results))
+        except (BatchUnsupported, SimulationError) as exc:
+            outcome.fallbacks.append(_fallback_record(group, str(exc)))
+            results.extend(run_point(point) for point in group)
+        else:
+            outcome.batched_points += len(group)
     # Restamp every group's clock at the common start line: enrollment built
     # the other groups' SoCs in between, and that cost must not land on the
     # first group's first stop.
@@ -270,7 +340,7 @@ def run_point_groups(groups: Sequence[Sequence[SweepPoint]]) -> List[PointResult
     for clock in clocks:
         clock["last"] = start
     batch.run()
-    return results
+    return outcome
 
 
 def _chunked_groups(
@@ -320,6 +390,7 @@ def execute_campaign(
     reuse: Optional[Mapping[int, PointResult]] = None,
     shard: Optional[ShardSpec] = None,
     batch: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> CampaignResult:
     """Run every point of ``spec`` and return the aggregated result.
 
@@ -332,24 +403,38 @@ def execute_campaign(
     (see :class:`~repro.sweep.campaign.ShardSpec`); ``reuse`` entries outside
     the shard are ignored.  ``batch`` selects the batched (shared-prefix)
     executor: ``None`` auto-enables it when the scenario registers a
-    batch-prepare hook, ``True`` requests it (silently falling back when the
-    scenario cannot batch), ``False`` forces the per-instance path.
-    ``progress`` (if given) is called after each completed point with
-    ``(completed, total, result)`` where ``total`` is the shard-local point
-    count — note that under sharding or batching the completion *order* is
-    nondeterministic even though the aggregated results are not.
+    batch-prepare hook, ``True`` requests it, ``False`` forces the
+    per-instance path.  Groups (or whole scenarios) that cannot batch fall
+    back to per-instance execution with the reason recorded in
+    ``batch_fallbacks`` — never silently.  ``backend`` picks the batch
+    kernel loop (``None``/``"auto"`` → numpy when importable, else the
+    python reference; see :mod:`repro.sim.backend`); the resolved name is
+    recorded on the result.  ``progress`` (if given) is called after each
+    completed point with ``(completed, total, result)`` where ``total`` is
+    the shard-local point count — note that under sharding or batching the
+    completion *order* is nondeterministic even though the aggregated
+    results are not.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     if chunk is not None and chunk < 1:
         raise ValueError("chunk must be at least 1")
     use_batch = batch is not False and scenario(spec.scenario).batch_prepare is not None
+    backend_name: Optional[str] = None
+    if use_batch:
+        from repro.sim.backend import resolve_backend
+
+        # Resolve up front: an explicit --backend numpy without numpy must
+        # fail loudly before any point runs, and the workers must all use
+        # the concrete backend the parent resolved (not re-resolve "auto").
+        backend_name = resolve_backend(backend).name
     all_points = expand_campaign(spec)
     points_total = len(all_points)
     points = shard.select(all_points) if shard is not None else all_points
     total = len(points)
     start = time.perf_counter()
     results: List[PointResult] = []
+    fallbacks: List[Dict[str, object]] = []
     if reuse:
         results.extend(reuse[point.index] for point in points if point.index in reuse)
         points = [point for point in points if point.index not in reuse]
@@ -357,32 +442,46 @@ def execute_campaign(
             result.reused = True
             if progress is not None:
                 progress(completed, total, result)
+    if batch is not False and not use_batch and points:
+        # The scenario has no batch-prepare hook at all: one campaign-level
+        # fallback record covering every executed point.
+        fallbacks.append(
+            _fallback_record(
+                points, f"scenario {spec.scenario!r} does not support batched execution"
+            )
+        )
 
     chunk_size = chunk if chunk is not None else auto_chunk(len(points), jobs)
     if use_batch:
         chunks: List = _chunked_groups(batch_groups(points), chunk_size)
-        task = run_point_groups
+        task: Callable = partial(run_point_groups, backend=backend_name)
     else:
         chunks = _chunked(points, chunk_size)
         task = run_points
     # Workers beyond the core count (or the chunk count) only add overhead;
     # the aggregated artifacts are independent of the pool geometry anyway.
     workers = min(jobs, os.cpu_count() or 1, len(chunks))
-    batched_points = len(points) if use_batch else 0
+    batched_points = 0
+
+    def collect(outcome: ChunkOutcome) -> None:
+        nonlocal batched_points
+        batched_points += outcome.batched_points
+        fallbacks.extend(outcome.fallbacks)
+        for result in outcome.results:
+            results.append(result)
+            if progress is not None:
+                progress(len(results), total, result)
+
     if workers <= 1:
         for piece in chunks:
-            for result in task(piece):
-                results.append(result)
-                if progress is not None:
-                    progress(len(results), total, result)
+            collect(task(piece))
     else:
         with multiprocessing.Pool(processes=workers) as pool:
-            for completed in pool.imap_unordered(task, chunks):
-                for result in completed:
-                    results.append(result)
-                    if progress is not None:
-                        progress(len(results), total, result)
+            for outcome in pool.imap_unordered(task, chunks):
+                collect(outcome)
     results.sort(key=lambda result: result.index)
+    # Deterministic fallback order regardless of pool completion order.
+    fallbacks.sort(key=lambda record: record["points"])
     return CampaignResult(
         campaign=spec.name,
         scenario=spec.scenario,
@@ -393,4 +492,6 @@ def execute_campaign(
         shard=shard,
         points_total=points_total,
         batched_points=batched_points,
+        batch_fallbacks=fallbacks,
+        backend=backend_name if batched_points else None,
     )

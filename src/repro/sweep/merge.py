@@ -400,6 +400,8 @@ def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
             "reused_points": 0,
             "computed_points": result.n_points,
             "batched_points": 0,
+            "batch_fallbacks": [],
+            "backend": None,
             "wall_seconds": result.wall_seconds,
             "point_wall_seconds": {
                 str(point.index): point.wall_seconds for point in result.points

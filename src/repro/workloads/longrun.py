@@ -390,18 +390,81 @@ class WatchdogRecoveryResult:
         }
 
 
-def run_watchdog_recovery(
-    config: WatchdogRecoveryConfig = WatchdogRecoveryConfig(),
-) -> WatchdogRecoveryResult:
-    """Run the watchdog-recovery scenario.
+class PreparedWatchdogRecovery:
+    """A programmed watchdog-recovery system plus its fault-injection drive.
 
-    A timer-paced ADC sampling loop kicks the watchdog on every conversion.
-    After ``stall_after_samples`` samples the testbench stops the timer
-    (injecting the fault the supervision exists for).  The watchdog counts
-    down and *barks*; the bark event is linked to the timer's ``start``
-    input, so PELS restarts the loop autonomously — the *bite* (system
-    reset) never fires and the CPU never wakes.
+    Unlike the other long-run workloads this scenario is *two-segment*: the
+    testbench interferes mid-run (stopping the timer at the stall instant).
+    The prepared object therefore exposes the interference as a **drive
+    stop** — ``(stall_cycles, inject_stall)`` — which the batched executor
+    merges into its snapshot schedule, so the batch fires the injection
+    while paused exactly on the stall cycle, byte-identical to the
+    standalone two-phase run.
     """
+
+    def __init__(self, config: WatchdogRecoveryConfig, soc: PulpissimoSoc) -> None:
+        self.config = config
+        self.soc = soc
+        #: Healthy sample count recorded by :meth:`inject_stall`; the
+        #: recovery verdict in :meth:`result` is relative to it.
+        self.samples_before_stall: Optional[int] = None
+
+    @property
+    def simulator(self):
+        return self.soc.simulator
+
+    @property
+    def stall_cycles(self) -> int:
+        """The absolute cycle at which the fault is injected."""
+        period = self.config.sample_period_cycles
+        return self.config.stall_after_samples * period + period // 2
+
+    def inject_stall(self, elapsed_cycles: int) -> None:
+        """Record the healthy sample count and stall the sampling loop.
+
+        Observes-and-configures only (a register write); it never advances
+        the clock, so it is a valid batch stop callback.
+        """
+        self.samples_before_stall = self.soc.adc.conversions
+        self.soc.timer.stop()  # fault injection: the sampling loop stalls
+
+    def drive_stops(self):
+        """The scenario's mid-run interference as ``(cycle, callback)``."""
+        return ((self.stall_cycles, self.inject_stall),)
+
+    def result(self, elapsed_cycles: int) -> WatchdogRecoveryResult:
+        """Summarise the run as of ``elapsed_cycles`` simulated cycles.
+
+        Only meaningful after :meth:`inject_stall` has fired (every valid
+        horizon lies beyond the stall instant — the config validation
+        demands ``(stall + 4)`` periods of room).
+        """
+        soc = self.soc
+        samples_before = self.samples_before_stall
+        if samples_before is None:
+            raise ValueError(
+                "watchdog-recovery result requested before the stall was "
+                f"injected (elapsed {elapsed_cycles} < stall {self.stall_cycles})"
+            )
+        recovered = (
+            soc.timer.enabled and soc.adc.conversions > samples_before and soc.wdt.bites == 0
+        )
+        return WatchdogRecoveryResult(
+            samples_before_stall=samples_before,
+            samples_total=soc.adc.conversions,
+            watchdog_barks=soc.wdt.barks,
+            watchdog_bites=soc.wdt.bites,
+            recovered=recovered,
+            cpu_interrupts=soc.cpu.interrupts_serviced,
+            horizon_cycles=elapsed_cycles,
+            soc=soc,
+        )
+
+
+def prepare_watchdog_recovery(
+    config: WatchdogRecoveryConfig = WatchdogRecoveryConfig(),
+) -> PreparedWatchdogRecovery:
+    """Build and program the watchdog-recovery scenario without running it."""
     soc = _soc_for(
         config.dense,
         SensorWaveform(kind="constant", amplitude=config.sensor_amplitude),
@@ -433,24 +496,29 @@ def run_watchdog_recovery(
     soc.wdt.start()
     soc.timer.regs.reg("COMPARE").hw_write(period)
     soc.timer.start()
+    return PreparedWatchdogRecovery(config, soc)
+
+
+def run_watchdog_recovery(
+    config: WatchdogRecoveryConfig = WatchdogRecoveryConfig(),
+) -> WatchdogRecoveryResult:
+    """Run the watchdog-recovery scenario.
+
+    A timer-paced ADC sampling loop kicks the watchdog on every conversion.
+    After ``stall_after_samples`` samples the testbench stops the timer
+    (injecting the fault the supervision exists for).  The watchdog counts
+    down and *barks*; the bark event is linked to the timer's ``start``
+    input, so PELS restarts the loop autonomously — the *bite* (system
+    reset) never fires and the CPU never wakes.
+    """
+    prepared = prepare_watchdog_recovery(config)
+    soc = prepared.soc
 
     # Phase 1: healthy loop until the stall point.
-    stall_cycles = config.stall_after_samples * period + period // 2
+    stall_cycles = prepared.stall_cycles
     soc.run(stall_cycles)
-    samples_before = soc.adc.conversions
-    soc.timer.stop()  # fault injection: the sampling loop stalls
+    prepared.inject_stall(stall_cycles)
 
     # Phase 2: the watchdog detects the stall, PELS restarts the loop.
     soc.run(config.horizon_cycles - stall_cycles)
-
-    recovered = soc.timer.enabled and soc.adc.conversions > samples_before and soc.wdt.bites == 0
-    return WatchdogRecoveryResult(
-        samples_before_stall=samples_before,
-        samples_total=soc.adc.conversions,
-        watchdog_barks=soc.wdt.barks,
-        watchdog_bites=soc.wdt.bites,
-        recovered=recovered,
-        cpu_interrupts=soc.cpu.interrupts_serviced,
-        horizon_cycles=config.horizon_cycles,
-        soc=soc,
-    )
+    return prepared.result(config.horizon_cycles)

@@ -40,6 +40,18 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 ScenarioRunner = Callable[..., "ScenarioOutcome"]
 
 
+class BatchUnsupported(ValueError):
+    """A batch-prepare hook declining this particular point group.
+
+    Raised when the scenario supports batching in general but the requested
+    parameters cannot share one prepared instance (e.g. a fault-injection
+    seed that derives *different* drives at different horizons).  The sweep
+    executor catches it, runs the group per-instance, and records the reason
+    in the manifest's ``batch_fallbacks`` — unlike a plain ``ValueError``,
+    which still means "bad point" and propagates.
+    """
+
+
 class PreparedScenario:
     """One built, ready-to-advance scenario instance (batched execution).
 
@@ -61,6 +73,18 @@ class PreparedScenario:
         only observe (read counters, reference the SoC), never advance.
         """
         raise NotImplementedError
+
+    def drive_stops(self) -> Sequence[Tuple[int, Callable[[int], None]]]:
+        """Mid-run testbench interference as ``(cycle, callback)`` stops.
+
+        Most scenarios run uninterrupted and return nothing.  Two-segment
+        scenarios (watchdog-recovery's fault injection) return the resumable
+        drive script here; the batch executor merges these into its snapshot
+        schedule so the interference fires while the batch is paused exactly
+        on that cycle — callbacks may mutate the system (that is their
+        point) but must never advance the clock.
+        """
+        return ()
 
 
 BatchPrepare = Callable[..., PreparedScenario]
@@ -437,18 +461,20 @@ def _run_figure5_idle(
 
 # ------------------------------------------------------- batch-prepare hooks
 #
-# Only scenarios whose setup is horizon-independent and whose drive pattern
-# is a single uninterrupted run may register here: the batched executor
-# builds the instance once for the largest horizon and snapshots the outcome
-# at each smaller one, so any horizon-derived setup (always-on-monitor's
-# sample count, watchdog-recovery's stall instant) or mid-run host
-# interaction (threshold-pels' run_until loop) would break the
-# byte-identity guarantee.
+# Only scenarios whose setup is horizon-independent may register here: the
+# batched executor builds the instance once for the largest horizon and
+# snapshots the outcome at each smaller one, so any horizon-derived setup
+# (always-on-monitor's sample count) or unscriptable mid-run host
+# interaction (threshold-pels' run_until loop) would break the byte-identity
+# guarantee.  Scripted interference is fine: watchdog-recovery exposes its
+# fault injection as a drive stop (:meth:`PreparedScenario.drive_stops`)
+# that the executor replays at the exact stall cycle.
 
 
 class _PreparedFromRunner(PreparedScenario):
     """Adapter from a workload's prepared object (``.simulator`` +
-    ``.result(elapsed)``) to the registry's outcome contract."""
+    ``.result(elapsed)``, optionally ``.drive_stops()``) to the registry's
+    outcome contract."""
 
     def __init__(self, prepared) -> None:
         self._prepared = prepared
@@ -460,6 +486,10 @@ class _PreparedFromRunner(PreparedScenario):
     def outcome(self, elapsed_cycles: int) -> ScenarioOutcome:
         result = self._prepared.result(elapsed_cycles)
         return ScenarioOutcome(stats=result.summary(), soc=result.soc)
+
+    def drive_stops(self) -> Sequence[Tuple[int, Callable[[int], None]]]:
+        stops = getattr(self._prepared, "drive_stops", None)
+        return tuple(stops()) if stops is not None else ()
 
 
 def _register_prepared_hook(name: str, load: Callable[[], Tuple[type, Callable]]) -> None:
@@ -501,6 +531,57 @@ def _load_burst_stream() -> Tuple[type, Callable]:
 _register_prepared_hook("multi-link-pipeline", _load_multi_link_pipeline)
 _register_prepared_hook("duty-cycled-logging", _load_duty_cycled_logging)
 _register_prepared_hook("burst-spi-dma", _load_burst_stream)
+
+
+class _PreparedWatchdogRecoveryScenario(_PreparedFromRunner):
+    """Watchdog-recovery adapter mirroring the plain runner's stats shape
+    (the runner appends the resolved drive parameters to the summary)."""
+
+    def outcome(self, elapsed_cycles: int) -> ScenarioOutcome:
+        outcome = super().outcome(elapsed_cycles)
+        config = self._prepared.config
+        outcome.stats["sample_period_cycles"] = config.sample_period_cycles
+        outcome.stats["stall_after_samples"] = config.stall_after_samples
+        return outcome
+
+
+@register_batch_prepare("watchdog-recovery")
+def _batch_watchdog_recovery(
+    horizons: Sequence[int],
+    dense: bool,
+    seed: Optional[int] = None,
+    **params: object,
+) -> PreparedScenario:
+    from repro.workloads.longrun import (
+        WatchdogRecoveryConfig,
+        prepare_watchdog_recovery,
+        seeded_watchdog_recovery_config,
+    )
+
+    if seed is not None and params:
+        raise ValueError(
+            "watchdog-recovery takes either a fault-injection seed or explicit "
+            f"parameters, not both (got seed={seed} and {sorted(params)})"
+        )
+    configs = []
+    for horizon in horizons:
+        if seed is not None:
+            configs.append(
+                seeded_watchdog_recovery_config(seed, horizon_cycles=horizon, dense=dense)
+            )
+        else:
+            configs.append(WatchdogRecoveryConfig(horizon_cycles=horizon, dense=dense, **params))
+    # A seeded config derives its drive (period, stall instant) from the
+    # horizon too; the shared instance is only a valid prefix of every point
+    # when all horizons derive the same drive.
+    drives = {(c.sample_period_cycles, c.stall_after_samples) for c in configs}
+    if len(drives) > 1:
+        raise BatchUnsupported(
+            f"watchdog-recovery seed {seed} derives different fault-injection "
+            f"drives across horizons {sorted(horizons)}; the points cannot "
+            f"share one prepared instance"
+        )
+    return _PreparedWatchdogRecoveryScenario(prepare_watchdog_recovery(configs[-1]))
 
 
 @register_batch_prepare("figure5-idle")

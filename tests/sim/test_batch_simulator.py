@@ -14,7 +14,10 @@ Covers the two halves of the plan/state split:
 import pytest
 
 from repro.sim import BatchSimulator, SimulationError, Simulator
+from repro.sim.backend import available_backends
 from repro.sim.component import Component
+
+BACKENDS = available_backends()
 
 
 class Blinker(Component):
@@ -94,9 +97,10 @@ class TestPlanSharing:
 
 
 class TestBatchSimulator:
-    def test_batched_instances_match_standalone_runs(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batched_instances_match_standalone_runs(self, backend):
         # Heterogeneous periods and horizons: every instance must end in
-        # exactly the state of its own standalone run.
+        # exactly the state of its own standalone run — on every backend.
         configs = [([7, 50], 1_000), ([13, 990], 2_500), ([1, 3], 311)]
         solo = []
         for periods, horizon in configs:
@@ -104,13 +108,14 @@ class TestBatchSimulator:
             simulator.step(horizon)
             solo.append([(b.pulses, b.idle_cycles, b.countdown) for b in blinkers])
 
-        batch = BatchSimulator()
+        batch = BatchSimulator(backend=backend)
         batched_states = []
         for periods, horizon in configs:
             simulator, blinkers = _build(periods)
             batched_states.append(blinkers)
             batch.add(simulator, [(horizon, lambda elapsed: None)])
         batch.run()
+        assert batch.backend_name == backend
         batched = [
             [(b.pulses, b.idle_cycles, b.countdown) for b in blinkers]
             for blinkers in batched_states
@@ -180,4 +185,42 @@ class TestBatchSimulator:
         batch = BatchSimulator()
         batch.add(simulator, [(50, lambda elapsed: simulator.step(1))])
         with pytest.raises(SimulationError, match="advanced the simulator"):
+            batch.run()
+
+    def test_mid_run_enrollment_is_rejected(self):
+        # add() during run() would give the new instance a partial round and
+        # desynchronise the lockstep; it must fail loudly, not corrupt state.
+        simulator, _ = _build([10])
+        batch = BatchSimulator()
+
+        def sneak(elapsed):
+            extra, _ = _build([10])
+            batch.add(extra, [(10, lambda e: None)])
+
+        batch.add(simulator, [(20, sneak)])
+        with pytest.raises(SimulationError, match="while the batch is running"):
+            batch.run()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_zero_progress_raises_instead_of_spinning(self, backend):
+        # Regression: a live instance whose advance_span returns 0 (mis-wired
+        # wake scheduling) used to spin run() forever.  It must raise,
+        # naming the instance, its elapsed cycle, and the pending stop.
+        simulator, _ = _build([10])
+        simulator.dense = True  # both backends route dense via advance_span
+        batch = BatchSimulator(backend=backend)
+        batch.add(simulator, [(50, lambda elapsed: None)], label="stuck-instance")
+        simulator.state.advance_span = lambda limit, dense=False: 0
+        with pytest.raises(SimulationError) as excinfo:
+            batch.run()
+        message = str(excinfo.value)
+        assert "stuck-instance" in message
+        assert "elapsed cycle 0" in message
+        assert "cycle 50" in message
+
+    def test_backend_selection_validates_names(self):
+        simulator, _ = _build([10])
+        batch = BatchSimulator(backend="fortran")
+        batch.add(simulator, [(10, lambda elapsed: None)])
+        with pytest.raises(SimulationError, match="unknown batch backend"):
             batch.run()

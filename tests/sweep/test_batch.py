@@ -2,8 +2,10 @@
 
 The acceptance oracle of the batched executor is byte-identity: for every
 registry campaign, ``--batch`` artifacts must equal the per-instance
-``--jobs 1`` artifacts bit for bit.  Scenarios without a batch-prepare hook
-(watchdog-recovery's two-segment drive) must fall back silently, and
+``--jobs 1`` artifacts bit for bit — on every available backend (the pure
+python reference loop and, when importable, the vectorised numpy loop).
+Groups that cannot batch (no batch-prepare hook, or heterogeneous derived
+drives) must fall back with the reason recorded in the manifest, and
 batching must compose with ``--jobs``/``--chunk``/``--shard``/``--resume``.
 """
 
@@ -12,6 +14,7 @@ import json
 import pytest
 
 from repro.run import main
+from repro.sim.backend import available_backends
 from repro.sweep import (
     CampaignSpec,
     ShardSpec,
@@ -21,6 +24,7 @@ from repro.sweep import (
     execute_campaign,
     expand_campaign,
     load_reusable_results,
+    register_campaign,
     results_payload,
     write_artifacts,
 )
@@ -37,9 +41,29 @@ SMALL_SPEC = CampaignSpec(
     },
 )
 
+BACKENDS = available_backends()
+
 
 def _payload_bytes(result):
     return json.dumps(results_payload(result), indent=2, sort_keys=True)
+
+
+def _non_batchable_campaign():
+    """A campaign over a scenario without a batch-prepare hook (registered
+    lazily so it does not leak into the registry-campaign parametrisation)."""
+    name = "monitor-non-batchable-test"
+    try:
+        return campaign(name)
+    except KeyError:
+        assert scenario("always-on-monitor").batch_prepare is None
+        return register_campaign(
+            CampaignSpec(
+                name=name,
+                description="always-on-monitor has no batch hook: fallback test",
+                scenario="always-on-monitor",
+                grid={"horizon_cycles": (10_000, 20_000)},
+            )
+        )
 
 
 class TestBatchGroups:
@@ -56,19 +80,36 @@ class TestBatchGroups:
     def test_distinct_params_stay_separate(self):
         points = expand_campaign(campaign("pipeline-clock-ratio"))
         groups = batch_groups(points)
-        assert len(groups) == 12  # 4 ratios x 3 periods; 3 horizons merge
-        assert all(len(group) == 3 for group in groups)
+        assert len(groups) == 8  # 4 ratios x 2 periods; 7 horizons merge
+        assert all(len(group) == 7 for group in groups)
         assert sum(len(group) for group in groups) == len(points)
 
 
+@pytest.fixture(scope="module")
+def serial_campaign():
+    """Per-instance reference results, computed once per registry campaign."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = execute_campaign(campaign(name), jobs=1, batch=False)
+        return cache[name]
+
+    return get
+
+
 class TestByteIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("name", sorted(campaign_names()))
-    def test_every_registry_campaign_is_batch_identical(self, name, tmp_path):
+    def test_every_registry_campaign_is_batch_identical(
+        self, name, backend, tmp_path, serial_campaign
+    ):
         """The acceptance criterion: batched == per-instance, bit for bit,
-        for results.json *and* results.csv of every registry campaign."""
+        for results.json *and* results.csv of every registry campaign, on
+        every available backend."""
         spec = campaign(name)
-        serial = execute_campaign(spec, jobs=1, batch=False)
-        batched = execute_campaign(spec, jobs=1, batch=True)
+        serial = serial_campaign(name)
+        batched = execute_campaign(spec, jobs=1, batch=True, backend=backend)
         assert _payload_bytes(serial) == _payload_bytes(batched)
         serial_paths = write_artifacts(spec, serial, tmp_path / "serial")
         batched_paths = write_artifacts(spec, batched, tmp_path / "batched")
@@ -78,19 +119,63 @@ class TestByteIdentity:
     def test_batchable_scenarios_report_batched_points(self):
         batched = execute_campaign(SMALL_SPEC, jobs=1, batch=True)
         assert batched.batched_points == batched.n_points == 4
+        assert batched.backend in BACKENDS
+        assert batched.batch_fallbacks == []
 
-    def test_non_batchable_scenario_falls_back(self):
+    def test_explicit_backend_is_recorded(self):
+        batched = execute_campaign(SMALL_SPEC, jobs=1, batch=True, backend="python")
+        assert batched.backend == "python"
+        assert batched.batched_points == 4
+
+    def test_watchdog_recovery_batches(self):
+        """The two-segment drive (fault injection) is replayed as a drive
+        stop: watchdog-recovery no longer falls back to per-instance runs."""
         spec = CampaignSpec(
-            name="batch-fallback",
-            description="watchdog-recovery has a two-segment drive: no batch hook",
+            name="batch-watchdog",
+            description="seeded watchdog recovery batches across horizons",
             scenario="watchdog-recovery",
-            grid={"horizon_cycles": (200_000,), "seed": (0, 1)},
+            grid={"horizon_cycles": (200_000, 400_000), "seed": (0, 1)},
         )
-        assert scenario(spec.scenario).batch_prepare is None
+        assert scenario(spec.scenario).batch_prepare is not None
+        serial = execute_campaign(spec, jobs=1, batch=False)
+        batched = execute_campaign(spec, jobs=1, batch=True)
+        assert batched.batched_points == 4
+        assert batched.batch_fallbacks == []
+        assert _payload_bytes(serial) == _payload_bytes(batched)
+
+    def test_heterogeneous_drives_fall_back_with_reason(self):
+        """A seeded group whose horizons derive *different* fault-injection
+        drives cannot share one instance: it falls back, and the manifest
+        records why (the clamp in seeded_watchdog_recovery_config binds at
+        horizon 5000, so the 5 k and 200 k points disagree on the drive)."""
+        spec = CampaignSpec(
+            name="batch-watchdog-hetero",
+            description="horizon-dependent drives force a per-group fallback",
+            scenario="watchdog-recovery",
+            grid={"horizon_cycles": (5_000, 200_000), "seed": (0,)},
+        )
         serial = execute_campaign(spec, jobs=1, batch=False)
         batched = execute_campaign(spec, jobs=1, batch=True)
         assert batched.batched_points == 0
+        assert batched.backend is None
+        [record] = batched.batch_fallbacks
+        assert "different fault-injection drives" in record["reason"]
+        assert record["points"] == [0, 1]
         assert _payload_bytes(serial) == _payload_bytes(batched)
+        manifest = manifest_payload(spec, batched)
+        assert manifest["execution"]["batch_fallbacks"] == [record]
+
+    def test_non_batchable_scenario_falls_back_with_reason(self):
+        spec = _non_batchable_campaign()
+        serial = execute_campaign(spec, jobs=1, batch=False)
+        batched = execute_campaign(spec, jobs=1, batch=True)
+        assert batched.batched_points == 0
+        [record] = batched.batch_fallbacks
+        assert "does not support batched execution" in record["reason"]
+        assert record["points"] == [0, 1]
+        assert _payload_bytes(serial) == _payload_bytes(batched)
+        # batch=False means nobody asked for batching: no fallback records.
+        assert serial.batch_fallbacks == []
 
 
 class TestComposition:
@@ -122,14 +207,19 @@ class TestComposition:
         resumed = execute_campaign(SMALL_SPEC, jobs=1, reuse=reuse, batch=True)
         assert resumed.n_reused == 4
         assert resumed.batched_points == 0  # nothing left to execute
+        assert resumed.backend is None
         assert _payload_bytes(first) == _payload_bytes(resumed)
 
-    def test_manifest_records_batched_points(self, tmp_path):
+    def test_manifest_records_batch_execution(self, tmp_path):
         result = execute_campaign(SMALL_SPEC, jobs=1, batch=True)
-        manifest = manifest_payload(SMALL_SPEC, result)
-        assert manifest["execution"]["batched_points"] == 4
+        execution = manifest_payload(SMALL_SPEC, result)["execution"]
+        assert execution["batched_points"] == 4
+        assert execution["batch_fallbacks"] == []
+        assert execution["backend"] in BACKENDS
         serial = execute_campaign(SMALL_SPEC, jobs=1, batch=False)
-        assert manifest_payload(SMALL_SPEC, serial)["execution"]["batched_points"] == 0
+        serial_execution = manifest_payload(SMALL_SPEC, serial)["execution"]
+        assert serial_execution["batched_points"] == 0
+        assert serial_execution["backend"] is None
 
 
 class TestCli:
@@ -144,23 +234,20 @@ class TestCli:
         on_manifest = json.loads((on_dir / "smoke" / "manifest.json").read_text())
         off_manifest = json.loads((off_dir / "smoke" / "manifest.json").read_text())
         assert on_manifest["execution"]["batched_points"] == 4
+        assert on_manifest["execution"]["backend"] in BACKENDS
         assert off_manifest["execution"]["batched_points"] == 0
+        assert off_manifest["execution"]["backend"] is None
+
+    def test_backend_flag_round_trip(self, tmp_path, capsys):
+        out_dir = tmp_path / "py"
+        assert main(["sweep", "smoke", "--backend", "python", "--out", str(out_dir)]) == 0
+        assert "4 batched (python)" in capsys.readouterr().out
+        manifest = json.loads((out_dir / "smoke" / "manifest.json").read_text())
+        assert manifest["execution"]["backend"] == "python"
 
     def test_batch_on_warns_for_non_batchable_scenario(self, tmp_path, capsys):
-        # A 2-point slice keeps the CLI check cheap.
-        assert (
-            main(
-                [
-                    "sweep",
-                    "watchdog-fault-injection",
-                    "--batch",
-                    "on",
-                    "--shard",
-                    "0/12",
-                    "--out",
-                    str(tmp_path),
-                ]
-            )
-            == 0
-        )
-        assert "does not support batched execution" in capsys.readouterr().err
+        spec = _non_batchable_campaign()
+        assert main(["sweep", spec.name, "--batch", "on", "--out", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "does not support batched execution" in err
+        assert "fell back to per-instance execution" in err
