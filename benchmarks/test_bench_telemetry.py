@@ -1,0 +1,141 @@
+"""E12 — Telemetry: the disabled-mode overhead floor and enabled-mode neutrality.
+
+The observability layer (``repro.obs``) promises that when no tracer is
+installed the kernel hot paths are untouched: ``step()`` performs one
+module-global fetch and one ``is None`` branch per call, and the span loop
+it enters is byte-for-byte the pre-telemetry loop.  This benchmark holds
+that promise to a number:
+
+* **baseline** — the raw event-driven span loop (``_schedule_plan`` + a
+  manual ``advance_span`` loop), i.e. ``step()`` with the telemetry
+  dispatch physically absent;
+* **disabled** — the real ``step()`` with no tracer installed;
+* **enabled** — the real ``step()`` under an installed tracer (recorded
+  for the figure, not asserted: enabled mode pays for real timestamping).
+
+``overhead = max(0, disabled/baseline - 1)`` must stay under 5%.  The
+workload is span-heavy (a short-period pulse over a long horizon) so the
+per-call dispatch cost is amortised exactly the way real campaigns
+amortise it.  Results land in ``results/telemetry_overhead.txt`` and the
+``telemetry_overhead`` section of ``results/BENCH_kernel.json`` (consumed
+by the CI perf-regression job, which asserts the same floor).
+"""
+
+import time
+
+from repro.obs import tracing
+from repro.sim import Simulator
+from repro.sim.component import Component
+
+HORIZON_CYCLES = 200_000
+PULSE_PERIOD = 7  # ~28.5k spans over the horizon: span-dispatch dominated
+REPEATS = 7
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+class Pulse(Component):
+    wake_cacheable = True
+
+    def __init__(self, period, name="pulse"):
+        super().__init__(name)
+        self.period = period
+        self.countdown = period
+        self.pulses = 0
+
+    def tick(self, cycle):
+        self.countdown -= 1
+        if self.countdown == 0:
+            self.pulses += 1
+            self.countdown = self.period
+
+    def next_event(self):
+        return self.countdown
+
+    def skip(self, cycles):
+        self.countdown -= cycles
+
+
+def _fresh():
+    simulator = Simulator()
+    simulator.add_component(Pulse(PULSE_PERIOD))
+    return simulator
+
+
+def _baseline_run():
+    """``step(HORIZON_CYCLES)`` with the telemetry dispatch removed."""
+    simulator = _fresh()
+    simulator._schedule_plan()
+    state = simulator._state
+    remaining = HORIZON_CYCLES
+    while remaining > 0:
+        remaining -= state.advance_span(remaining, dense=False)
+    return simulator
+
+
+def _disabled_run():
+    simulator = _fresh()
+    simulator.step(HORIZON_CYCLES)
+    return simulator
+
+
+def _enabled_run():
+    with tracing.capture():
+        simulator = _fresh()
+        simulator.step(HORIZON_CYCLES)
+    return simulator
+
+
+def _best_of(fn, repeats=REPEATS):
+    """Minimum wall time over ``repeats`` passes — the standard noise shield
+    for ratio benchmarks on shared hosts (matches test_bench_sweep.py)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_telemetry_disabled_overhead(save_result, save_kernel_json):
+    # Warm the interned plan so no pass pays the one-time plan build.
+    _fresh().step(64)
+
+    baseline_seconds, baseline_sim = _best_of(_baseline_run)
+    disabled_seconds, disabled_sim = _best_of(_disabled_run)
+    enabled_seconds, enabled_sim = _best_of(_enabled_run)
+
+    overhead = max(0.0, disabled_seconds / max(baseline_seconds, 1e-9) - 1.0)
+    enabled_cost = enabled_seconds / max(baseline_seconds, 1e-9) - 1.0
+
+    lines = [
+        f"Telemetry overhead on a span-heavy run ({HORIZON_CYCLES} cycles, "
+        f"{PULSE_PERIOD}-cycle pulse period, best of {REPEATS}):",
+        f"  raw span loop (no dispatch) : {baseline_seconds * 1e3:8.1f} ms",
+        f"  step(), telemetry disabled  : {disabled_seconds * 1e3:8.1f} ms "
+        f"({overhead * 100:+.1f}%)",
+        f"  step(), tracer installed    : {enabled_seconds * 1e3:8.1f} ms "
+        f"({enabled_cost * 100:+.1f}%)",
+        f"  disabled-overhead floor     : {MAX_DISABLED_OVERHEAD * 100:.0f}%",
+    ]
+    save_result("telemetry_overhead", "\n".join(lines))
+    save_kernel_json(
+        "telemetry_overhead",
+        {
+            "scenario": "pulse-span-loop",
+            "horizon_cycles": HORIZON_CYCLES,
+            "baseline_seconds": baseline_seconds,
+            "disabled_seconds": disabled_seconds,
+            "enabled_seconds": enabled_seconds,
+            "overhead": overhead,
+            "floor": MAX_DISABLED_OVERHEAD,
+        },
+    )
+
+    # Telemetry must never perturb simulation state, enabled or disabled.
+    stats = baseline_sim.kernel_stats
+    assert disabled_sim.kernel_stats == stats
+    assert enabled_sim.kernel_stats == stats
+    assert stats["spans_skipped"] > 10_000  # the workload is span-dispatch bound
+
+    assert overhead <= MAX_DISABLED_OVERHEAD

@@ -15,6 +15,9 @@ reproduces the system and its evaluation in pure Python:
 * :mod:`repro.sweep` — sweep campaigns: scenario × parameter grid, sharded
   across processes, aggregated into structured artifacts
   (``python -m repro.run sweep``).
+* :mod:`repro.obs` — the telemetry layer: metrics registry, structured span
+  tracing (Chrome trace-event export), and sweep profiling hooks
+  (``--trace-out``, ``--profile``, ``python -m repro.run stats``).
 
 Quickstart::
 
@@ -51,6 +54,7 @@ from repro.power import PowerModel, run_figure5
 from repro.area import PelsAreaModel, figure6a_sweep, figure6b_breakdown
 from repro.analysis import format_table1, measure_latency_comparison
 from repro.sweep import CampaignSpec, execute_campaign, expand_campaign, write_artifacts
+from repro.obs import MetricsRegistry, SpanTracer, capture
 
 __version__ = "0.1.0"
 
@@ -59,6 +63,7 @@ __all__ = [
     "CampaignSpec",
     "Command",
     "JumpCondition",
+    "MetricsRegistry",
     "Opcode",
     "Pels",
     "PelsAreaModel",
@@ -67,9 +72,11 @@ __all__ = [
     "Program",
     "PulpissimoSoc",
     "SocConfig",
+    "SpanTracer",
     "ThresholdWorkloadConfig",
     "TriggerCondition",
     "build_soc",
+    "capture",
     "execute_campaign",
     "expand_campaign",
     "figure6a_sweep",

@@ -1,0 +1,75 @@
+"""repro.obs — the unified telemetry layer.
+
+Three small, dependency-free pieces give every layer of the system (the
+simulation kernel, the batch backends, the sweep executor, the CLI) one
+observability vocabulary:
+
+* :mod:`repro.obs.metrics` — a **metrics registry**: counters, gauges, and
+  histograms with labels, plus the fixed-key :class:`~repro.obs.metrics.CounterSet`
+  the kernel's ``kernel_stats`` is built from.  ``KERNEL_STAT_KEYS`` is the
+  canonical key set every kernel/backend must agree on, and the
+  snapshot/diff protocol is what the stats-parity tests compare.
+* :mod:`repro.obs.tracing` — **structured span tracing**: a process-global
+  :class:`~repro.obs.tracing.SpanTracer` that instrumented code consults
+  through one ``tracing.TRACER is not None`` check.  When no tracer is
+  installed (the default), the hot span loop pays a single identity check
+  per boundary — enforced below 5% by ``benchmarks/test_bench_telemetry.py``.
+  When installed, spans (plan builds, quiescent/skip/advance spans, batch
+  enrolment, snapshot stops, sweep phases, artifact writes) buffer in
+  memory per process.
+* :mod:`repro.obs.traceio` — export, validation, and merging of the
+  buffered spans as **Chrome trace-event JSON** (``--trace-out trace.json``,
+  loadable in Perfetto / ``chrome://tracing``), with per-worker process
+  lanes and a ``sweep merge``-aware combiner that stitches shard traces
+  into one document.
+* :mod:`repro.obs.profile` — the sweep executor's **per-phase wall-time
+  breakdown** (expand, prepare, simulate, finalize, write) that
+  ``sweep --profile`` records into the manifest's ``execution.telemetry``
+  block and ``python -m repro.run stats`` renders.
+
+Telemetry is strictly *observational*: enabling it must not perturb
+results.  ``results.json``/``results.csv`` of a campaign run with tracing
+and profiling on are byte-identical to a run with telemetry off (pinned by
+``tests/sweep/test_telemetry.py`` and the ``telemetry-smoke`` CI job);
+telemetry output lands only in the manifest, the trace file, and stderr.
+
+Full documentation: ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    KERNEL_STAT_KEYS,
+    CounterSet,
+    MetricsRegistry,
+)
+from repro.obs.profile import SWEEP_PHASES, PhaseTimer, format_profile
+from repro.obs.tracing import SpanTracer, active_tracer, capture, install, uninstall
+from repro.obs.traceio import (
+    TRACE_SCHEMA,
+    merge_trace_documents,
+    summarize_trace,
+    trace_document,
+    validate_trace,
+    validate_trace_file,
+    write_trace,
+)
+
+__all__ = [
+    "KERNEL_STAT_KEYS",
+    "CounterSet",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "SWEEP_PHASES",
+    "SpanTracer",
+    "TRACE_SCHEMA",
+    "active_tracer",
+    "capture",
+    "format_profile",
+    "install",
+    "merge_trace_documents",
+    "summarize_trace",
+    "trace_document",
+    "uninstall",
+    "validate_trace",
+    "validate_trace_file",
+    "write_trace",
+]

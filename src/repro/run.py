@@ -32,6 +32,13 @@ Examples::
     python -m repro.run sweep smoke --shard 0/3 --out /tmp/shards
     python -m repro.run sweep merge /tmp/shards/smoke/shard-0-of-3 \\
         /tmp/shards/smoke/shard-1-of-3 /tmp/shards/smoke/shard-2-of-3
+    python -m repro.run sweep smoke --trace-out trace.json --profile
+    python -m repro.run stats results/sweeps/smoke
+
+Telemetry (``--trace-out``, ``--profile``, the ``stats`` subcommand) is the
+:mod:`repro.obs` layer — see ``docs/observability.md``.  It is purely
+observational: results.json/results.csv are byte-identical with it on or
+off, and with it off the instrumentation costs one pointer check per span.
 """
 
 from __future__ import annotations
@@ -77,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compare",
         action="store_true",
         help="run under both kernels and report the event-driven speedup",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="export a Chrome trace-event JSON of the run (open in Perfetto "
+        "or chrome://tracing); see docs/observability.md",
     )
     return parser
 
@@ -174,6 +188,23 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="expand and print the run matrix without executing anything",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="export a Chrome trace-event JSON of the whole campaign "
+        "(kernel spans, batch rounds, per-point lanes; open in Perfetto). "
+        "A bare filename lands next to the campaign's artifacts; results "
+        "stay byte-identical to an untraced run",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record the per-phase wall-time breakdown (expand/prepare/"
+        "simulate/finalize/write) into the manifest's execution.telemetry "
+        "block and print it after the run; 'repro.run stats <dir>' renders "
+        "it again later",
+    )
     return parser
 
 
@@ -262,6 +293,101 @@ def _merge_main(argv: Sequence[str]) -> int:
         print(f"  <- {source.shard_label}")
     for label in ("results_json", "results_csv", "manifest_json"):
         print(f"  {paths[label]}")
+    if "trace_json" in paths:
+        print(f"  {paths['trace_json']}")
+    return 0
+
+
+# -------------------------------------------------------------------- stats
+
+
+def _build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run stats",
+        description="Render the telemetry recorded in a sweep manifest "
+        "(phase profile, metrics, trace summary).",
+    )
+    parser.add_argument(
+        "campaign_dir",
+        help="artifact directory containing manifest.json (a campaign, "
+        "shard, or merged directory)",
+    )
+    return parser
+
+
+def _stats_main(argv: Sequence[str]) -> int:
+    import json
+
+    from repro.obs.profile import SWEEP_PHASES, format_profile
+    from repro.obs.traceio import summarize_trace, validate_trace_file
+
+    args = _build_stats_parser().parse_args(argv)
+    directory = Path(args.campaign_dir)
+    manifest_path = directory / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except OSError:
+        print(
+            f"error: {manifest_path}: no readable manifest.json — pass a sweep "
+            f"artifact directory (campaign, shard, or merged)",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"error: {manifest_path}: invalid JSON: {exc}", file=sys.stderr)
+        return 2
+    campaign_block = manifest.get("campaign") if isinstance(manifest, dict) else None
+    name = campaign_block.get("name", "?") if isinstance(campaign_block, dict) else "?"
+    execution = manifest.get("execution") if isinstance(manifest, dict) else None
+    if not isinstance(execution, dict):
+        print(f"error: {manifest_path}: manifest has no execution block", file=sys.stderr)
+        return 2
+    n_points = manifest.get("n_points", "?")
+    wall = float(execution.get("wall_seconds") or 0.0)
+    rate = f", {float(n_points) / wall:.1f} points/s" if wall > 0 and n_points != "?" else ""
+    print(f"campaign {name}: {n_points} points, {wall:.2f} s wall{rate}")
+    telemetry = execution.get("telemetry")
+    if not isinstance(telemetry, dict):
+        print(
+            "no telemetry recorded — re-run the sweep with --profile and/or "
+            "--trace-out (see docs/observability.md)"
+        )
+        return 1
+    profile = telemetry.get("profile")
+    if isinstance(profile, dict) and any(profile.get(phase) for phase in SWEEP_PHASES):
+        print()
+        print(format_profile({k: float(v) for k, v in profile.items()}, wall))
+    metrics = telemetry.get("metrics")
+    if isinstance(metrics, dict):
+        counters = metrics.get("counter", {})
+        if counters:
+            print()
+            print("counters")
+            width = max(len(key) for key in counters)
+            for key in sorted(counters):
+                print(f"  {key:<{width}} : {counters[key]}")
+        histograms = metrics.get("histogram", {})
+        for key in sorted(histograms):
+            summary = histograms[key]
+            print(
+                f"  {key}: n={summary.get('count')} mean={summary.get('mean', 0.0):.4f}s "
+                f"min={summary.get('min', 0.0):.4f}s max={summary.get('max', 0.0):.4f}s"
+            )
+    trace = telemetry.get("trace")
+    if isinstance(trace, dict) and trace.get("file"):
+        trace_path = directory / str(trace["file"])
+        print()
+        try:
+            summary = summarize_trace(validate_trace_file(trace_path))
+        except ValueError as exc:
+            print(f"trace {trace_path}: invalid: {exc}", file=sys.stderr)
+            return 2
+        print(f"trace {trace_path}: {summary['spans']} spans, {summary['dropped_events']} dropped")
+        for category in sorted(summary["categories"]):
+            entry = summary["categories"][category]
+            print(
+                f"  {category:<8} {entry['events']:>6} events  {entry['span_ms']:>10.2f} ms span time"
+            )
     return 0
 
 
@@ -373,16 +499,29 @@ def _sweep_main(argv: Sequence[str]) -> int:
             )
 
     batch = {"auto": None, "on": True, "off": False}[args.batch]
-    result = execute_campaign(
-        spec,
-        jobs=args.jobs,
-        progress=_sweep_progress,
-        chunk=args.chunk,
-        reuse=reuse,
-        shard=shard,
-        batch=batch,
-        backend=args.backend,
-    )
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import tracing
+
+        tracer = tracing.install()
+    try:
+        result = execute_campaign(
+            spec,
+            jobs=args.jobs,
+            progress=_sweep_progress,
+            chunk=args.chunk,
+            reuse=reuse,
+            shard=shard,
+            batch=batch,
+            backend=args.backend,
+            trace=args.trace_out is not None,
+            profile=args.profile,
+        )
+    finally:
+        if tracer is not None:
+            from repro.obs import tracing
+
+            tracing.uninstall()
     if batch is True and not result.batched_points and result.n_computed:
         print(
             f"batch: scenario {spec.scenario!r} does not support batched "
@@ -397,6 +536,35 @@ def _sweep_main(argv: Sequence[str]) -> int:
             f"execution: {record['reason']}",
             file=sys.stderr,
         )
+    trace_path = None
+    if tracer is not None:
+        from repro.obs.traceio import trace_document, write_trace
+
+        artifact_dir = Path(args.out) / spec.name
+        if shard_subdir is not None:
+            artifact_dir = artifact_dir / shard_subdir
+        trace_path = _resolve_trace_path(args.trace_out, artifact_dir)
+        events = tracer.drain() + result.trace_events
+        dropped = tracer.dropped + result.trace_dropped
+        metadata: Dict[str, object] = {"campaign": spec.name}
+        if shard is not None:
+            metadata["shard"] = str(shard)
+        document = trace_document(
+            events, labels={tracer.pid: "sweep"}, metadata=metadata, dropped=dropped
+        )
+        write_trace(trace_path, document)
+        try:
+            file_ref = str(trace_path.relative_to(artifact_dir))
+        except ValueError:
+            # A trace outside the artifact dir is recorded by absolute path
+            # (sweep merge resolves relative names against the shard dir).
+            file_ref = str(trace_path.resolve())
+        if result.telemetry is not None:
+            result.telemetry["trace"] = {
+                "file": file_ref,
+                "events": sum(1 for event in document["traceEvents"] if event.get("ph") != "M"),
+                "dropped": dropped,
+            }
     paths = write_artifacts(spec, result, Path(args.out), subdir=shard_subdir)
     sharded = f"shard {shard}, " if shard is not None else ""
     reused = f", {result.n_reused} reused" if result.n_reused else ""
@@ -406,22 +574,41 @@ def _sweep_main(argv: Sequence[str]) -> int:
     if result.batch_fallbacks:
         fallen = sum(len(record["points"]) for record in result.batch_fallbacks)
         batched += f", {fallen} fell back"
+    rate = result.n_points / max(result.wall_seconds, 1e-9)
     print(
         f"campaign {spec.name}: {result.n_points} points over scenario {spec.scenario} "
         f"({sharded}{args.jobs} job{'s' if args.jobs != 1 else ''}, chunk {result.chunk}, "
-        f"{result.wall_seconds:.2f} s{reused}{batched})"
+        f"{result.wall_seconds:.2f} s, {rate:.1f} points/s{reused}{batched})"
     )
     for label in ("results_json", "results_csv", "manifest_json"):
         print(f"  {paths[label]}")
+    if trace_path is not None:
+        print(f"  {trace_path}")
+    if args.profile and result.telemetry is not None:
+        from repro.obs.profile import format_profile
+
+        print(format_profile(result.telemetry.get("profile", {}), result.wall_seconds))
     return 0
+
+
+def _resolve_trace_path(trace_out: str, artifact_dir: Path) -> Path:
+    """A bare ``--trace-out`` filename lands next to the campaign artifacts
+    (shard runs: inside the shard subdirectory, so per-host traces never
+    collide); any path with a directory part is taken literally."""
+    path = Path(trace_out)
+    if path.name == trace_out:
+        return artifact_dir / path
+    return path
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
-    # ``sweep`` is a subcommand with its own flags; dispatch before the
-    # single-scenario parser can reject them.
+    # ``sweep`` and ``stats`` are subcommands with their own flags; dispatch
+    # before the single-scenario parser can reject them.
     if arguments and arguments[0] == "sweep":
         return _sweep_main(arguments[1:])
+    if arguments and arguments[0] == "stats":
+        return _stats_main(arguments[1:])
 
     args = _build_parser().parse_args(arguments)
 
@@ -443,6 +630,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     effective = horizon if horizon is not None else spec.default_horizon_cycles
 
     try:
+        if args.trace_out is not None:
+            from repro.obs import tracing
+            from repro.obs.traceio import trace_document, write_trace
+
+            with tracing.capture() as tracer:
+                code = _dispatch(args, spec, horizon, effective)
+            document = trace_document(
+                tracer.drain(),
+                labels={tracer.pid: spec.name},
+                metadata={"scenario": spec.name},
+                dropped=tracer.dropped,
+            )
+            path = write_trace(Path(args.trace_out), document)
+            print(f"  trace written to {path}")
+            return code
         return _dispatch(args, spec, horizon, effective)
     except ValueError as exc:
         # Scenario configs validate their horizons (e.g. "the horizon leaves

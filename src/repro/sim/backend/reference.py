@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.obs import tracing
 from repro.sim.backend.base import BatchBackend, LiveEntry, stall_error
 
 
@@ -22,9 +23,12 @@ class PythonBackend(BatchBackend):
     name = "python"
 
     def run(self, batch, live: List[LiveEntry]) -> None:
+        tracer = tracing.TRACER
         live = list(live)
         while live:
             batch.rounds += 1
+            if tracer is not None and batch.rounds % 64 == 1:
+                tracer.counter("batch.live", "batch", {"instances": len(live)})
             still_live = []
             for entry in live:
                 instance, state, dense = entry

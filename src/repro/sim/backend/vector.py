@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.obs import tracing
 from repro.sim.backend.base import BatchBackend, LiveEntry, stall_error
 from repro.sim.simulator import WAKE_NONE, SimulationError
 
@@ -89,9 +90,12 @@ class NumpyBackend(BatchBackend):
         gaps = np.empty(n, dtype=np.int64)
         spans = np.empty(n, dtype=np.int64)
         live_list = [(i,) + tuple(entry) for i, entry in enumerate(entries)]
+        tracer = tracing.TRACER
         try:
             while live_list:
                 batch.rounds += 1
+                if tracer is not None and batch.rounds % 64 == 1:
+                    tracer.counter("batch.live", "batch", {"instances": len(live_list)})
                 np.subtract(next_stop, base, out=limits)
                 limits_list = limits.tolist()
                 # Phase 1: per-instance Python work — re-poll dirty cached

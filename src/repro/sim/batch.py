@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import tracing
 from repro.sim.simulator import SimulationError, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
@@ -100,11 +101,23 @@ class BatchInstance:
         return self._stops[self._next][0]
 
     def _fire_due_stops(self) -> None:
+        tracer = tracing.TRACER
         while not self.done and self._stops[self._next][0] == self.elapsed:
             cycles, callback = self._stops[self._next]
             self._next += 1
             before = self.simulator.current_cycle
-            callback(cycles)
+            if tracer is None:
+                callback(cycles)
+            else:
+                start_ns = tracer.now_ns()
+                callback(cycles)
+                tracer.event(
+                    "batch.stop",
+                    "batch",
+                    start_ns,
+                    tracer.now_ns() - start_ns,
+                    {"label": self.label, "cycle": cycles},
+                )
             if self.simulator.current_cycle != before:
                 raise SimulationError(
                     f"batch stop callback at cycle {cycles} of {self.label} "
@@ -183,7 +196,26 @@ class BatchSimulator:
             dense = simulator.dense or plan.forces_dense
             live.append((instance, simulator._state, dense))
         self._running = True
+        tracer = tracing.TRACER
+        if tracer is None:
+            try:
+                backend.run(self, live)
+            finally:
+                self._running = False
+            return
+        start_ns = tracer.now_ns()
         try:
             backend.run(self, live)
         finally:
             self._running = False
+            tracer.event(
+                "batch.run",
+                "batch",
+                start_ns,
+                tracer.now_ns() - start_ns,
+                {
+                    "instances": len(self.instances),
+                    "backend": self.backend_name,
+                    "rounds": self.rounds,
+                },
+            )

@@ -66,6 +66,8 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import tracing
+from repro.obs.metrics import KERNEL_STAT_KEYS, CounterSet
 from repro.sim.activity import ActivityCounters
 from repro.sim.clock import ClockDomain
 from repro.sim.component import Component
@@ -240,11 +242,21 @@ class Simulator:
         plan = self._plan
         state = self._state
         if plan is None or plan.fingerprint != SchedulePlan.compute_fingerprint(self):
+            tracer = tracing.TRACER
+            start_ns = tracer.now_ns() if tracer is not None else 0
             plan, shared = SchedulePlan.resolve(self)
             self._plan = plan
             state.kernel_stats["plan_builds"] += 1
             if shared:
                 state.kernel_stats["plan_shared"] += 1
+            if tracer is not None:
+                tracer.event(
+                    "kernel.plan",
+                    "kernel",
+                    start_ns,
+                    tracer.now_ns() - start_ns,
+                    {"shared": shared, "components": plan.n_components},
+                )
         if state.bound_plan is not plan:
             state.bind(plan, self._components)
         state.refresh_divisors(self)
@@ -291,13 +303,40 @@ class Simulator:
             return
         plan = self._schedule_plan()
         state = self._state
+        # One global fetch per step() call; when no tracer is installed the
+        # loops below are the untouched hot paths (the disabled-telemetry
+        # overhead benchmark holds this to <5% of the raw span loop).
+        tracer = tracing.TRACER
         if self.dense or plan.forces_dense:
+            if tracer is None:
+                for _ in range(cycles):
+                    state.dense_tick()
+                return
+            start_ns = tracer.now_ns()
             for _ in range(cycles):
                 state.dense_tick()
+            tracer.event(
+                "kernel.dense", "kernel", start_ns, tracer.now_ns() - start_ns, {"cycles": cycles}
+            )
             return
         remaining = cycles
+        if tracer is None:
+            while remaining > 0:
+                remaining -= state.advance_span(remaining, dense=False)
+            return
+        stats = state.kernel_stats
         while remaining > 0:
-            remaining -= state.advance_span(remaining, dense=False)
+            start_ns = tracer.now_ns()
+            skipped_before = stats["cycles_skipped"]
+            advanced = state.advance_span(remaining, dense=False)
+            tracer.event(
+                "kernel.span",
+                "kernel",
+                start_ns,
+                tracer.now_ns() - start_ns,
+                {"cycles": advanced, "skipped": stats["cycles_skipped"] - skipped_before},
+            )
+            remaining -= advanced
 
     def run_until(
         self,
@@ -316,6 +355,28 @@ class Simulator:
         event line nothing observes) is only seen at the span's end — use
         ``dense=True`` for cycle-level polling of such state.
         """
+        tracer = tracing.TRACER
+        if tracer is None:
+            return self._run_until(condition, max_cycles, label)
+        start_ns = tracer.now_ns()
+        before = self._state.base_tick
+        try:
+            return self._run_until(condition, max_cycles, label)
+        finally:
+            tracer.event(
+                "kernel.run_until",
+                "kernel",
+                start_ns,
+                tracer.now_ns() - start_ns,
+                {"label": label, "cycles": self._state.base_tick - before},
+            )
+
+    def _run_until(
+        self,
+        condition: Callable[[], bool],
+        max_cycles: int,
+        label: str,
+    ) -> int:
         state = self._state
         start = state.base_tick
         plan = self._schedule_plan()
@@ -543,14 +604,11 @@ class SimState:
         self.base_tick = 0
         self.activity = ActivityCounters()
         self.traces = TraceRecorder()
-        self.kernel_stats: Dict[str, int] = {
-            "next_event_calls": 0,
-            "dense_ticks": 0,
-            "spans_skipped": 0,
-            "cycles_skipped": 0,
-            "plan_builds": 0,
-            "plan_shared": 0,
-        }
+        # The canonical scheduler counters: the key set is defined once in
+        # repro.obs.metrics (KERNEL_STAT_KEYS) and shared by every kernel
+        # and batch backend; writing an undeclared key raises at the
+        # increment site (tests/sim/test_kernel_stat_keys.py pins the set).
+        self.kernel_stats: CounterSet = CounterSet(KERNEL_STAT_KEYS)
         #: The plan these bound lists were derived from (identity-compared).
         self.bound_plan: Optional[SchedulePlan] = None
         self.ticking: List[Tuple[Component, ClockDomain]] = []
@@ -914,8 +972,7 @@ class SimState:
         self.activity.clear()
         self.traces.clear()
         self.base_tick = 0
-        for key in self.kernel_stats:
-            self.kernel_stats[key] = 0
+        self.kernel_stats.reset()
         self.clear_wake_cache()
 
 

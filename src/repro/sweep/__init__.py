@@ -18,7 +18,10 @@ in ``results.json`` under an identical campaign manifest
 index range of the grid for multi-host distribution — the per-host artifact
 directories merge back into the single-host artifacts with
 ``python -m repro.run sweep merge <dir>...`` (:mod:`repro.sweep.merge`).
-Full documentation: ``docs/sweeps.md``.
+``--trace-out``/``--profile`` record telemetry (:mod:`repro.obs`) into the
+manifest and a Chrome trace file without perturbing the result artifacts;
+``python -m repro.run stats <dir>`` renders it back.
+Full documentation: ``docs/sweeps.md`` and ``docs/observability.md``.
 """
 
 from repro.sweep.artifacts import (
@@ -56,6 +59,7 @@ from repro.sweep.merge import (
     IncompleteCoverageError,
     MergedCampaign,
     MergeError,
+    merge_shard_traces,
     merge_shards,
     plan_heal,
     write_heal_plan,
@@ -84,6 +88,7 @@ __all__ = [
     "grid_from_lists",
     "load_reusable_results",
     "manifest_payload",
+    "merge_shard_traces",
     "merge_shards",
     "plan_heal",
     "point_record",

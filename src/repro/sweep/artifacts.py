@@ -28,6 +28,7 @@ from __future__ import annotations
 import csv
 import json
 import platform
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -139,6 +140,11 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
             "python_version": platform.python_version(),
         },
     }
+    if result.telemetry is not None:
+        # Telemetry (phase profile, metrics registry, trace pointer) lives
+        # only in the manifest: results.json/results.csv must stay
+        # byte-identical whether a run was traced/profiled or not.
+        payload["execution"]["telemetry"] = result.telemetry
     shard = shard_record(result)
     if shard is not None:
         payload["shard"] = shard
@@ -218,10 +224,16 @@ def write_artifacts(
         "results_csv": campaign_dir / RESULTS_CSV,
         "manifest_json": campaign_dir / MANIFEST_JSON,
     }
+    # The write phase must land in the manifest it is part of, so it covers
+    # the two result files only; the manifest dump itself goes untimed.
+    write_start = time.perf_counter()
     paths["results_json"].write_text(
         json.dumps(results_payload(result), indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     write_results_csv(result, paths["results_csv"])
+    if result.telemetry is not None:
+        profile = result.telemetry.setdefault("profile", {})
+        profile["write"] = profile.get("write", 0.0) + (time.perf_counter() - write_start)
     paths["manifest_json"].write_text(
         json.dumps(manifest_payload(spec, result), indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

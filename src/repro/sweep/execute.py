@@ -63,6 +63,9 @@ from functools import partial
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.area.model import PelsAreaModel
+from repro.obs import tracing
+from repro.obs.metrics import KERNEL_STAT_KEYS, CounterSet, MetricsRegistry
+from repro.obs.profile import PhaseTimer
 from repro.power.model import PowerModel
 from repro.sweep.campaign import CampaignSpec, ShardSpec, SweepPoint, expand_campaign
 from repro.workloads.registry import (
@@ -124,6 +127,17 @@ class CampaignResult:
     #: The resolved batch backend name (``"python"``/``"numpy"``; ``None``
     #: when nothing ran batched).
     backend: Optional[str] = None
+    #: Campaign-level telemetry (phase profile + metrics registry), present
+    #: only when the execution ran with ``trace=``/``profile=``; the
+    #: artifacts layer embeds it as the manifest's ``execution.telemetry``.
+    telemetry: Optional[Dict[str, object]] = None
+    #: Chrome trace events buffered by worker-owned tracers (``trace=True``
+    #: under a pool).  The caller combines these with its own installed
+    #: tracer's buffer (which holds the serial/parent-side events) into one
+    #: exported document.
+    trace_events: List[Dict[str, object]] = field(default_factory=list)
+    #: Events the worker tracers dropped at their buffer caps.
+    trace_dropped: int = 0
 
     @property
     def n_points(self) -> int:
@@ -203,16 +217,115 @@ def run_point(point: SweepPoint) -> PointResult:
 class ChunkOutcome:
     """What one pool task produced: the chunk's point records plus the
     batching bookkeeping (how many points actually shared a prepared
-    simulation, and why any group fell back to per-instance execution)."""
+    simulation, and why any group fell back to per-instance execution).
+    Under ``trace=``/``profile=`` the task additionally ships its telemetry
+    home: worker-summed phase seconds, summed kernel stats, batch rounds,
+    and (when this process owned its tracer) the buffered trace events."""
 
     results: List[PointResult] = field(default_factory=list)
     fallbacks: List[Dict[str, object]] = field(default_factory=list)
     batched_points: int = 0
+    #: Worker-side per-phase wall seconds (empty when telemetry is off).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Summed ``kernel_stats`` across the chunk's simulations.
+    kernel_stats: Dict[str, int] = field(default_factory=dict)
+    #: Batch scheduling rounds this chunk executed (batched path only).
+    rounds: int = 0
+    #: Buffered Chrome trace events from a worker-owned tracer (empty when
+    #: the parent owns the tracer — serial mode — or tracing is off).
+    trace_events: List[Dict[str, object]] = field(default_factory=list)
+    #: Events the worker-owned tracer dropped at its buffer cap.
+    dropped_events: int = 0
 
 
-def run_points(points: Sequence[SweepPoint]) -> ChunkOutcome:
+class _ChunkTelemetry:
+    """One chunk task's telemetry accumulators (phase timer, kernel-stat
+    totals, batch rounds); ``None`` stands for telemetry-off everywhere."""
+
+    __slots__ = ("timer", "kernel", "rounds")
+
+    def __init__(self) -> None:
+        self.timer = PhaseTimer()
+        self.kernel = CounterSet(KERNEL_STAT_KEYS)
+        self.rounds = 0
+
+
+def _chunk_scope(trace: bool, profile: bool):
+    """Set up one chunk task's telemetry: accumulators plus tracer ownership.
+
+    A pool worker owns (installs and later drains) its own tracer; in serial
+    mode the already-installed parent tracer is used directly and its events
+    stay with the parent.  The pid check distinguishes the two: a forked
+    worker inherits the parent's tracer object, whose pid no longer matches.
+    """
+    tele = _ChunkTelemetry() if (trace or profile) else None
+    tracer = tracing.TRACER
+    owned = False
+    if trace and (tracer is None or tracer.pid != os.getpid()):
+        tracer = tracing.install()
+        owned = True
+    return tele, tracer, owned
+
+
+def _finish_chunk(
+    outcome: ChunkOutcome, tele: Optional[_ChunkTelemetry], owned_tracer
+) -> ChunkOutcome:
+    """Stamp a chunk task's telemetry onto its outcome before it ships."""
+    if tele is not None:
+        outcome.phase_seconds = {name: s for name, s in tele.timer.as_dict().items() if s > 0.0}
+        outcome.kernel_stats = tele.kernel.snapshot()
+        outcome.rounds = tele.rounds
+    if owned_tracer is not None:
+        outcome.trace_events = owned_tracer.drain()
+        outcome.dropped_events = owned_tracer.dropped
+    return outcome
+
+
+def _point_task(point: SweepPoint, tele: Optional[_ChunkTelemetry]) -> PointResult:
+    """:func:`run_point` with phase attribution, kernel-stat absorption, and
+    a ``sweep.point`` trace span (per-instance points report their scenario
+    build inside ``simulate``; only the batched path has a distinct
+    ``prepare``)."""
+    tracer = tracing.TRACER
+    if tele is None and tracer is None:
+        return run_point(point)
+    start_ns = tracer.now_ns() if tracer is not None else 0
+    start = time.perf_counter()
+    outcome = run_scenario_instrumented(
+        point.scenario,
+        horizon_cycles=point.horizon_cycles,
+        dense=point.dense,
+        params=point.params,
+    )
+    sim_seconds = time.perf_counter() - start
+    result = _finalize_point(point, outcome, sim_seconds)
+    if tele is not None:
+        tele.timer.add("simulate", sim_seconds)
+        tele.timer.add("finalize", time.perf_counter() - start - sim_seconds)
+        if outcome.soc is not None:
+            tele.kernel.add(outcome.soc.simulator.kernel_stats)
+    if tracer is not None:
+        tracer.event(
+            "sweep.point",
+            "sweep",
+            start_ns,
+            tracer.now_ns() - start_ns,
+            {"index": point.index, "scenario": point.scenario, "horizon": point.horizon_cycles},
+        )
+    return result
+
+
+def run_points(points: Sequence[SweepPoint], trace: bool = False, profile: bool = False) -> ChunkOutcome:
     """Pool task: execute one chunk of points in order (per-instance)."""
-    return ChunkOutcome(results=[run_point(point) for point in points])
+    if not (trace or profile) and tracing.TRACER is None:
+        return ChunkOutcome(results=[run_point(point) for point in points])
+    tele, tracer, owned = _chunk_scope(trace, profile)
+    try:
+        results = [_point_task(point, tele) for point in points]
+    finally:
+        if owned:
+            tracing.uninstall()
+    return _finish_chunk(ChunkOutcome(results=results), tele, tracer if owned else None)
 
 
 # ------------------------------------------------------------------ batching
@@ -240,7 +353,10 @@ def _fallback_record(group: Sequence[SweepPoint], reason: str) -> Dict[str, obje
 
 
 def _enroll_group(
-    batch, group: Sequence[SweepPoint], results: List[PointResult]
+    batch,
+    group: Sequence[SweepPoint],
+    results: List[PointResult],
+    tele: Optional["_ChunkTelemetry"] = None,
 ) -> Optional[Dict[str, float]]:
     """Prepare one shared-prefix group and register its snapshot stops.
 
@@ -253,6 +369,8 @@ def _enroll_group(
     """
     first = group[0]
     spec = scenario(first.scenario)
+    tracer = tracing.TRACER
+    enroll_ns = tracer.now_ns() if tracer is not None else 0
     by_horizon: Dict[int, List[SweepPoint]] = {}
     for point in group:
         by_horizon.setdefault(point.horizon_cycles, []).append(point)
@@ -269,6 +387,8 @@ def _enroll_group(
         outcome = prepared.outcome(elapsed)
         for point in points:
             results.append(_finalize_point(point, outcome, wall))
+        if tele is not None:
+            tele.timer.add("finalize", time.perf_counter() - now)
 
     # Merge the scenario's drive script (mid-run testbench interference,
     # e.g. watchdog-recovery's fault injection) into the snapshot schedule.
@@ -301,11 +421,22 @@ def _enroll_group(
 
         stops.append((cycle, fire_drives))
     batch.add(prepared.simulator, stops, label=f"{first.scenario}#{first.index}")
+    if tracer is not None:
+        tracer.event(
+            "sweep.enroll",
+            "sweep",
+            enroll_ns,
+            tracer.now_ns() - enroll_ns,
+            {"scenario": first.scenario, "points": len(group), "horizons": len(horizons)},
+        )
     return clock
 
 
 def run_point_groups(
-    groups: Sequence[Sequence[SweepPoint]], backend: Optional[str] = None
+    groups: Sequence[Sequence[SweepPoint]],
+    backend: Optional[str] = None,
+    trace: bool = False,
+    profile: bool = False,
 ) -> ChunkOutcome:
     """Pool task: execute one chunk of shared-prefix groups, batched.
 
@@ -321,26 +452,45 @@ def run_point_groups(
     from repro.sim.batch import BatchSimulator
     from repro.sim.simulator import SimulationError
 
-    batch = BatchSimulator(backend=backend)
-    outcome = ChunkOutcome()
-    results = outcome.results
-    clocks = []
-    for group in groups:
-        try:
-            clocks.append(_enroll_group(batch, group, results))
-        except (BatchUnsupported, SimulationError) as exc:
-            outcome.fallbacks.append(_fallback_record(group, str(exc)))
-            results.extend(run_point(point) for point in group)
-        else:
-            outcome.batched_points += len(group)
-    # Restamp every group's clock at the common start line: enrollment built
-    # the other groups' SoCs in between, and that cost must not land on the
-    # first group's first stop.
-    start = time.perf_counter()
-    for clock in clocks:
-        clock["last"] = start
-    batch.run()
-    return outcome
+    tele, tracer, owned = _chunk_scope(trace, profile)
+    try:
+        batch = BatchSimulator(backend=backend)
+        outcome = ChunkOutcome()
+        results = outcome.results
+        clocks = []
+        for group in groups:
+            try:
+                if tele is None:
+                    clocks.append(_enroll_group(batch, group, results))
+                else:
+                    with tele.timer.phase("prepare"):
+                        clocks.append(_enroll_group(batch, group, results, tele=tele))
+            except (BatchUnsupported, SimulationError) as exc:
+                outcome.fallbacks.append(_fallback_record(group, str(exc)))
+                results.extend(_point_task(point, tele) for point in group)
+            else:
+                outcome.batched_points += len(group)
+        # Restamp every group's clock at the common start line: enrollment
+        # built the other groups' SoCs in between, and that cost must not
+        # land on the first group's first stop.
+        start = time.perf_counter()
+        for clock in clocks:
+            clock["last"] = start
+        finalize_before = tele.timer.seconds["finalize"] if tele is not None else 0.0
+        batch.run()
+        if tele is not None:
+            # The stop callbacks finalize point records mid-run; that time
+            # is already charged to "finalize", so "simulate" gets the rest.
+            run_wall = time.perf_counter() - start
+            finalized = tele.timer.seconds["finalize"] - finalize_before
+            tele.timer.add("simulate", max(run_wall - finalized, 0.0))
+            tele.rounds += batch.rounds
+            for instance in batch.instances:
+                tele.kernel.add(instance.simulator.kernel_stats)
+    finally:
+        if owned:
+            tracing.uninstall()
+    return _finish_chunk(outcome, tele, tracer if owned else None)
 
 
 def _chunked_groups(
@@ -391,6 +541,8 @@ def execute_campaign(
     shard: Optional[ShardSpec] = None,
     batch: Optional[bool] = None,
     backend: Optional[str] = None,
+    trace: bool = False,
+    profile: bool = False,
 ) -> CampaignResult:
     """Run every point of ``spec`` and return the aggregated result.
 
@@ -414,6 +566,12 @@ def execute_campaign(
     the shard-local point count — note that under sharding or batching the
     completion *order* is nondeterministic even though the aggregated
     results are not.
+
+    ``trace``/``profile`` turn on telemetry collection (``--trace-out`` /
+    ``--profile``): the result gains a ``telemetry`` block (phase profile
+    plus metrics registry) and, under ``trace``, the worker-buffered trace
+    events.  Telemetry never touches the comparable payload — results are
+    byte-identical with it on or off (``tests/sweep/test_telemetry.py``).
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -428,7 +586,16 @@ def execute_campaign(
         # fail loudly before any point runs, and the workers must all use
         # the concrete backend the parent resolved (not re-resolve "auto").
         backend_name = resolve_backend(backend).name
-    all_points = expand_campaign(spec)
+    telemetry = trace or profile
+    timer = PhaseTimer() if telemetry else None
+    kernel_totals = CounterSet(KERNEL_STAT_KEYS) if telemetry else None
+    campaign_tracer = tracing.TRACER
+    campaign_ns = campaign_tracer.now_ns() if campaign_tracer is not None else 0
+    if timer is not None:
+        with timer.phase("expand"):
+            all_points = expand_campaign(spec)
+    else:
+        all_points = expand_campaign(spec)
     points_total = len(all_points)
     points = shard.select(all_points) if shard is not None else all_points
     total = len(points)
@@ -454,19 +621,28 @@ def execute_campaign(
     chunk_size = chunk if chunk is not None else auto_chunk(len(points), jobs)
     if use_batch:
         chunks: List = _chunked_groups(batch_groups(points), chunk_size)
-        task: Callable = partial(run_point_groups, backend=backend_name)
+        task: Callable = partial(run_point_groups, backend=backend_name, trace=trace, profile=profile)
     else:
         chunks = _chunked(points, chunk_size)
-        task = run_points
+        task = partial(run_points, trace=trace, profile=profile) if telemetry else run_points
     # Workers beyond the core count (or the chunk count) only add overhead;
     # the aggregated artifacts are independent of the pool geometry anyway.
     workers = min(jobs, os.cpu_count() or 1, len(chunks))
     batched_points = 0
+    batch_rounds = 0
+    trace_events: List[Dict[str, object]] = []
+    trace_dropped = 0
 
     def collect(outcome: ChunkOutcome) -> None:
-        nonlocal batched_points
+        nonlocal batched_points, batch_rounds, trace_dropped
         batched_points += outcome.batched_points
         fallbacks.extend(outcome.fallbacks)
+        if timer is not None:
+            timer.merge(outcome.phase_seconds)
+            kernel_totals.add(outcome.kernel_stats)
+            batch_rounds += outcome.rounds
+        trace_events.extend(outcome.trace_events)
+        trace_dropped += outcome.dropped_events
         for result in outcome.results:
             results.append(result)
             if progress is not None:
@@ -482,16 +658,46 @@ def execute_campaign(
     results.sort(key=lambda result: result.index)
     # Deterministic fallback order regardless of pool completion order.
     fallbacks.sort(key=lambda record: record["points"])
+    wall_seconds = time.perf_counter() - start
+    telemetry_payload: Optional[Dict[str, object]] = None
+    if telemetry:
+        registry = MetricsRegistry()
+        registry.absorb_kernel_stats(kernel_totals)
+        computed = sum(1 for result in results if not result.reused)
+        registry.counter("sweep.points", {"kind": "computed"}).inc(computed)
+        registry.counter("sweep.points", {"kind": "reused"}).inc(len(results) - computed)
+        registry.counter("sweep.points", {"kind": "batched"}).inc(batched_points)
+        registry.counter("batch.rounds").inc(batch_rounds)
+        walls = registry.histogram("sweep.point_wall_seconds")
+        for result in results:
+            if not result.reused:
+                walls.observe(result.wall_seconds)
+        telemetry_payload = {
+            "enabled": {"trace": trace, "profile": profile},
+            "profile": timer.as_dict(),
+            "metrics": registry.as_dict(),
+        }
+    if campaign_tracer is not None:
+        campaign_tracer.event(
+            "sweep.campaign",
+            "sweep",
+            campaign_ns,
+            campaign_tracer.now_ns() - campaign_ns,
+            {"campaign": spec.name, "points": len(results), "jobs": jobs},
+        )
     return CampaignResult(
         campaign=spec.name,
         scenario=spec.scenario,
         points=results,
         jobs=jobs,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=wall_seconds,
         chunk=chunk_size,
         shard=shard,
         points_total=points_total,
         batched_points=batched_points,
         batch_fallbacks=fallbacks,
         backend=backend_name if batched_points else None,
+        telemetry=telemetry_payload,
+        trace_events=trace_events,
+        trace_dropped=trace_dropped,
     )

@@ -43,6 +43,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseTimer
+from repro.obs.traceio import merge_trace_documents, validate_trace_file, write_trace
 from repro.sweep.artifacts import (
     MANIFEST_JSON,
     RESULTS_CSV,
@@ -366,8 +369,86 @@ def merge_shards(directories: Sequence[Path]) -> MergedCampaign:
         chunk=0,
         shard=None,
         points_total=points_total,
+        telemetry=_merged_telemetry(shards),
     )
     return MergedCampaign(spec=spec, result=result, sources=shards)
+
+
+def _shard_telemetry(shard: ShardArtifacts) -> Optional[Dict[str, object]]:
+    """The shard manifest's ``execution.telemetry`` block, when present."""
+    execution = shard.manifest.get("execution")
+    if isinstance(execution, dict):
+        telemetry = execution.get("telemetry")
+        if isinstance(telemetry, dict):
+            return telemetry
+    return None
+
+
+def _merged_telemetry(shards: Sequence[ShardArtifacts]) -> Optional[Dict[str, object]]:
+    """Fold the shards' telemetry blocks into one campaign-level block.
+
+    Phase profiles sum (worker-summed semantics carry straight through),
+    metrics merge by the registry's counter/gauge/histogram rules.  Returns
+    ``None`` when no shard ran with telemetry; shards without telemetry
+    simply contribute nothing (a fleet may mix traced and untraced hosts).
+    """
+    blocks = [block for shard in shards if (block := _shard_telemetry(shard)) is not None]
+    if not blocks:
+        return None
+    timer = PhaseTimer()
+    registry = MetricsRegistry()
+    trace_on = profile_on = False
+    for block in blocks:
+        enabled = block.get("enabled")
+        if isinstance(enabled, dict):
+            trace_on = trace_on or bool(enabled.get("trace"))
+            profile_on = profile_on or bool(enabled.get("profile"))
+        profile = block.get("profile")
+        if isinstance(profile, dict):
+            timer.merge({name: float(seconds) for name, seconds in profile.items()})
+        metrics = block.get("metrics")
+        if isinstance(metrics, dict):
+            registry.merge_dict(metrics)
+    return {
+        "enabled": {"trace": trace_on, "profile": profile_on},
+        "profile": timer.as_dict(),
+        "metrics": registry.as_dict(),
+    }
+
+
+def _shard_lane_label(shard: ShardArtifacts) -> str:
+    """The lane-prefix label a shard's trace gets in the merged document."""
+    block = shard.manifest.get("shard")
+    if isinstance(block, dict) and "index" in block and "count" in block:
+        return f"shard-{block['index']}-of-{block['count']}"
+    return shard.directory.name
+
+
+def merge_shard_traces(merged: MergedCampaign) -> Optional[Dict[str, object]]:
+    """Stitch the shards' trace files into one validated document.
+
+    Each shard manifest that ran with ``--trace-out`` names its trace file
+    in ``execution.telemetry.trace.file`` (relative to the shard
+    directory).  Returns ``None`` when no shard carries a trace; raises
+    :class:`MergeError` when a named trace file is missing or invalid —
+    a shard that claims a trace must deliver it.
+    """
+    documents: List[Dict[str, object]] = []
+    labels: List[str] = []
+    for shard in merged.sources:
+        telemetry = _shard_telemetry(shard)
+        trace = telemetry.get("trace") if telemetry else None
+        if not isinstance(trace, dict) or not trace.get("file"):
+            continue
+        path = shard.directory / str(trace["file"])
+        try:
+            documents.append(validate_trace_file(path))
+        except ValueError as exc:
+            raise MergeError(f"{shard.shard_label}: {exc}") from None
+        labels.append(_shard_lane_label(shard))
+    if not documents:
+        return None
+    return merge_trace_documents(documents, labels)
 
 
 def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
@@ -387,7 +468,7 @@ def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
                 "n_points": len(shard.results.get("points", [])),
             }
         )
-    return {
+    payload: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "spec_hash": spec_hash(merged.spec),
         "campaign": campaign_block,
@@ -409,6 +490,9 @@ def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
             "python_version": platform.python_version(),
         },
     }
+    if result.telemetry is not None:
+        payload["execution"]["telemetry"] = result.telemetry
+    return payload
 
 
 HEAL_JSON = "heal.json"
@@ -514,7 +598,10 @@ def write_merged_artifacts(merged: MergedCampaign, out_dir: Path) -> Dict[str, P
     """Write the merged artifacts under ``out_dir / campaign``; return paths.
 
     ``results.json``/``results.csv`` go through the same serialisers as a
-    local run, so they are byte-identical to a single-host execution.
+    local run, so they are byte-identical to a single-host execution.  When
+    any shard ran with ``--trace-out``, the shards' traces are stitched into
+    ``trace.json`` next to the merged artifacts (per-shard process lanes)
+    and the merged manifest's telemetry block points at it.
     """
     campaign_dir = Path(out_dir) / merged.spec.name
     campaign_dir.mkdir(parents=True, exist_ok=True)
@@ -523,6 +610,22 @@ def write_merged_artifacts(merged: MergedCampaign, out_dir: Path) -> Dict[str, P
         "results_csv": campaign_dir / RESULTS_CSV,
         "manifest_json": campaign_dir / MANIFEST_JSON,
     }
+    merged_trace = merge_shard_traces(merged)
+    if merged_trace is not None:
+        trace_path = write_trace(campaign_dir / "trace.json", merged_trace)
+        paths["trace_json"] = trace_path
+        telemetry = merged.result.telemetry
+        if telemetry is None:
+            telemetry = merged.result.telemetry = {
+                "enabled": {"trace": True, "profile": False}
+            }
+        telemetry["trace"] = {
+            "file": trace_path.name,
+            "events": sum(
+                1 for event in merged_trace["traceEvents"] if event.get("ph") != "M"
+            ),
+            "dropped": merged_trace["metadata"]["dropped_events"],
+        }
     paths["results_json"].write_text(
         json.dumps(results_payload(merged.result), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",

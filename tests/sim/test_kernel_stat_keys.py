@@ -1,0 +1,103 @@
+"""One canonical kernel_stats key set across every kernel and backend.
+
+``repro.obs.metrics.KERNEL_STAT_KEYS`` is the single definition of the
+scheduler-counter contract: the dense kernel, the cached event-driven
+kernel, the legacy uncached kernel, and every batch backend must produce
+``kernel_stats`` with exactly this key set — no more, no fewer.  The
+telemetry layer (``MetricsRegistry.absorb_kernel_stats``, sweep manifests,
+``repro.run stats``) aggregates these dicts blindly across workers and
+shards, so a kernel that grows or drops a counter without updating the
+canonical tuple would silently corrupt the aggregation.  This module pins
+the set and the fail-fast behaviour of the fixed-key ``CounterSet``.
+"""
+
+import pytest
+
+from repro.obs.metrics import KERNEL_STAT_KEYS, CounterSet
+from repro.sim import BatchSimulator, Simulator
+from repro.sim.backend import available_backends
+from repro.sim.component import Component
+
+BACKENDS = available_backends()
+
+HORIZON = 2_000
+
+
+class Pulse(Component):
+    """Minimal cacheable periodic ticker to exercise the span scheduler."""
+
+    wake_cacheable = True
+
+    def __init__(self, period, name="pulse"):
+        super().__init__(name)
+        self.period = period
+        self.countdown = period
+
+    def tick(self, cycle):
+        self.countdown -= 1
+        if self.countdown == 0:
+            self.countdown = self.period
+
+    def next_event(self):
+        return self.countdown
+
+    def skip(self, cycles):
+        self.countdown -= cycles
+
+
+def _run_kernel(**kwargs):
+    simulator = Simulator(**kwargs)
+    simulator.add_component(Pulse(7))
+    simulator.step(HORIZON)
+    return simulator.kernel_stats
+
+
+class TestCanonicalKeySet:
+    def test_the_canonical_tuple_is_pinned(self):
+        assert KERNEL_STAT_KEYS == (
+            "next_event_calls",
+            "dense_ticks",
+            "spans_skipped",
+            "cycles_skipped",
+            "plan_builds",
+            "plan_shared",
+        )
+
+    def test_event_driven_cached_kernel(self):
+        assert tuple(_run_kernel()) == KERNEL_STAT_KEYS
+
+    def test_event_driven_legacy_uncached_kernel(self):
+        assert tuple(_run_kernel(cached_wakes=False)) == KERNEL_STAT_KEYS
+
+    def test_dense_kernel(self):
+        assert tuple(_run_kernel(dense=True)) == KERNEL_STAT_KEYS
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_backends(self, backend):
+        batch = BatchSimulator(backend=backend)
+        for period in (7, 11):
+            simulator = Simulator()
+            simulator.add_component(Pulse(period))
+            batch.add(simulator, [(HORIZON, lambda elapsed: None)])
+        batch.run()
+        assert batch.backend_name == backend
+        for instance in batch.instances:
+            assert tuple(instance.simulator.kernel_stats) == KERNEL_STAT_KEYS
+
+
+class TestFixedKeyContract:
+    def test_kernel_stats_is_a_fixed_key_counter_set(self):
+        simulator = Simulator()
+        assert isinstance(simulator.kernel_stats, CounterSet)
+
+    def test_undeclared_counter_raises_at_the_increment_site(self):
+        simulator = Simulator()
+        with pytest.raises(KeyError, match="mystery_counter"):
+            simulator.kernel_stats["mystery_counter"] += 1
+
+    def test_reset_preserves_the_canonical_keys(self):
+        stats = _run_kernel()
+        assert stats["plan_builds"] == 1
+        stats.reset()
+        assert tuple(stats) == KERNEL_STAT_KEYS
+        assert set(stats.values()) == {0}

@@ -1,0 +1,232 @@
+"""Sweep telemetry: byte-identity, profiling, tracing, stats, shard merge.
+
+The observability contract (``docs/observability.md``):
+
+* **Neutrality** — ``--trace-out``/``--profile`` must not change a single
+  byte of ``results.json`` or ``results.csv``; telemetry lives only in the
+  manifest's ``execution.telemetry`` block, the trace file, and stderr.
+* **Trace validity** — every trace the CLI writes (per-run and merged)
+  conforms to the ``repro-trace/1`` schema and loads in Perfetto.
+* **Worker drainage** — a chunk executed without an inherited tracer (the
+  forked-pool case) installs its own and ships events back through
+  :class:`~repro.sweep.execute.ChunkOutcome`, never leaking a global.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.metrics import KERNEL_STAT_KEYS
+from repro.obs.profile import SWEEP_PHASES
+from repro.obs.traceio import validate_trace_file
+from repro.run import _resolve_trace_path, main
+from repro.sim.backend import available_backends
+from repro.sweep import batch_groups, campaign, expand_campaign
+from repro.sweep.execute import run_point_groups, run_points
+
+BACKENDS = available_backends()
+
+RESULT_ARTIFACTS = ("results.json", "results.csv")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    assert tracing.TRACER is None
+    yield
+    tracing.uninstall()
+
+
+def _run_sweep(out_dir, *extra):
+    assert main(["sweep", "smoke", "--out", str(out_dir), *extra]) == 0
+    return out_dir / "smoke"
+
+
+def _manifest(campaign_dir):
+    return json.loads((campaign_dir / "manifest.json").read_text(encoding="utf-8"))
+
+
+class TestTelemetryNeutrality:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_result_artifacts_are_byte_identical(self, tmp_path, backend):
+        plain = _run_sweep(tmp_path / "plain", "--backend", backend)
+        traced = _run_sweep(
+            tmp_path / "traced", "--backend", backend, "--trace-out", "trace.json", "--profile"
+        )
+        for artifact in RESULT_ARTIFACTS:
+            assert (traced / artifact).read_bytes() == (plain / artifact).read_bytes()
+
+    def test_plain_manifest_has_no_telemetry_block(self, tmp_path):
+        plain = _run_sweep(tmp_path / "plain")
+        assert "telemetry" not in _manifest(plain)["execution"]
+
+
+class TestTraceAndProfileArtifacts:
+    def test_trace_file_validates_and_is_pointed_at_by_the_manifest(self, tmp_path):
+        traced = _run_sweep(tmp_path / "out", "--trace-out", "trace.json", "--profile")
+        telemetry = _manifest(traced)["execution"]["telemetry"]
+        assert telemetry["enabled"] == {"trace": True, "profile": True}
+        trace_block = telemetry["trace"]
+        document = validate_trace_file(traced / trace_block["file"])
+        spans = [event for event in document["traceEvents"] if event["ph"] != "M"]
+        assert trace_block["events"] == len(spans)
+        names = {event["name"] for event in spans}
+        # smoke batches its points, so the trace shows enrolment + batch.run
+        # lanes; kernel spans come from inside the batch instances.
+        assert {"sweep.campaign", "sweep.enroll", "batch.run", "kernel.plan"} <= names
+
+    def test_profile_covers_the_sweep_phases_and_metrics_the_kernel(self, tmp_path):
+        traced = _run_sweep(tmp_path / "out", "--profile")
+        telemetry = _manifest(traced)["execution"]["telemetry"]
+        profile = telemetry["profile"]
+        assert set(profile) <= set(SWEEP_PHASES)
+        assert profile["simulate"] > 0
+        assert profile["write"] > 0
+        counters = telemetry["metrics"]["counter"]
+        for key in KERNEL_STAT_KEYS:
+            assert f"kernel.{key}" in counters
+        assert counters["sweep.points{kind=computed}"] == 4
+
+    def test_summary_line_reports_throughput_and_profile(self, tmp_path, capsys):
+        _run_sweep(tmp_path / "out", "--trace-out", "trace.json", "--profile")
+        out = capsys.readouterr().out
+        assert "points/s" in out
+        assert str(tmp_path / "out" / "smoke" / "trace.json") in out
+        assert "phase" in out and "simulate" in out
+
+    def test_trace_out_with_a_directory_part_is_taken_literally(self, tmp_path):
+        target = tmp_path / "elsewhere" / "t.json"
+        target.parent.mkdir()
+        traced = _run_sweep(tmp_path / "out", "--trace-out", str(target))
+        validate_trace_file(target)
+        trace_block = _manifest(traced)["execution"]["telemetry"]["trace"]
+        assert trace_block["file"] == str(target.resolve())
+
+    def test_resolve_trace_path(self, tmp_path):
+        assert _resolve_trace_path("t.json", tmp_path) == tmp_path / "t.json"
+        nested = os.path.join("sub", "t.json")
+        resolved = _resolve_trace_path(nested, tmp_path)
+        assert resolved.parts[-2:] == ("sub", "t.json")
+        assert resolved.parts[: len(tmp_path.parts)] != tmp_path.parts
+
+
+class TestStatsCommand:
+    def test_stats_renders_profile_metrics_and_trace(self, tmp_path, capsys):
+        traced = _run_sweep(tmp_path / "out", "--trace-out", "trace.json", "--profile")
+        capsys.readouterr()
+        assert main(["stats", str(traced)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke: 4 points" in out
+        assert "points/s" in out
+        assert "simulate" in out
+        assert "kernel.plan_builds" in out
+        assert "sweep.point_wall_seconds" in out
+        assert "spans" in out and "kernel" in out
+
+    def test_stats_without_telemetry_explains_and_exits_1(self, tmp_path, capsys):
+        plain = _run_sweep(tmp_path / "out")
+        capsys.readouterr()
+        assert main(["stats", str(plain)]) == 1
+        assert "no telemetry recorded" in capsys.readouterr().out
+
+    def test_stats_on_a_non_campaign_dir_exits_2(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "manifest.json" in capsys.readouterr().err
+
+    def test_stats_on_a_corrupt_trace_exits_2(self, tmp_path, capsys):
+        traced = _run_sweep(tmp_path / "out", "--trace-out", "trace.json")
+        (traced / "trace.json").write_text("{not json")
+        capsys.readouterr()
+        assert main(["stats", str(traced)]) == 2
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestShardedTraceMerge:
+    def _shard_dirs(self, tmp_path):
+        dirs = []
+        for index in range(2):
+            _run_sweep(
+                tmp_path,
+                "--shard",
+                f"{index}/2",
+                "--trace-out",
+                "trace.json",
+                "--profile",
+            )
+            dirs.append(tmp_path / "smoke" / f"shard-{index}-of-2")
+        return dirs
+
+    def test_merge_stitches_shard_traces_into_lanes(self, tmp_path, capsys):
+        dirs = self._shard_dirs(tmp_path)
+        assert main(["sweep", "merge", *map(str, dirs), "--out", str(tmp_path / "merged")]) == 0
+        merged_dir = tmp_path / "merged" / "smoke"
+        document = validate_trace_file(merged_dir / "trace.json")
+        lanes = [
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        ]
+        assert sorted(lanes) == ["shard-0-of-2/sweep", "shard-1-of-2/sweep"]
+        telemetry = _manifest(merged_dir)["execution"]["telemetry"]
+        assert telemetry["trace"]["file"] == "trace.json"
+        # Merged profile folds both shards' phase timers.
+        assert telemetry["profile"]["simulate"] > 0
+        assert telemetry["metrics"]["counter"]["sweep.points{kind=computed}"] == 4
+        assert str(merged_dir / "trace.json") in capsys.readouterr().out
+
+    def test_stats_reads_the_merged_directory(self, tmp_path, capsys):
+        dirs = self._shard_dirs(tmp_path)
+        assert main(["sweep", "merge", *map(str, dirs), "--out", str(tmp_path / "merged")]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path / "merged" / "smoke")]) == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke: 4 points" in out
+        assert "spans" in out
+
+
+class TestWorkerOwnedTracer:
+    """The forked-pool contract, exercised directly: ``run_points`` /
+    ``run_point_groups`` called with ``trace=True`` and no usable inherited
+    tracer must install their own and drain it into the outcome."""
+
+    def _points(self):
+        return expand_campaign(campaign("smoke"))[:2]
+
+    def test_run_points_drains_an_owned_tracer_into_the_outcome(self):
+        outcome = run_points(self._points(), trace=True, profile=True)
+        assert tracing.TRACER is None  # the owned tracer never leaks
+        assert len(outcome.results) == 2
+        names = {event["name"] for event in outcome.trace_events}
+        assert "sweep.point" in names and "kernel.plan" in names
+        assert outcome.phase_seconds["simulate"] > 0
+        assert set(outcome.kernel_stats) == set(KERNEL_STAT_KEYS)
+
+    def test_run_points_defers_to_an_inherited_tracer(self):
+        tracer = tracing.install()
+        outcome = run_points(self._points(), trace=True, profile=False)
+        assert outcome.trace_events == []  # parent drains its own tracer
+        assert {event["name"] for event in tracer.events} >= {"sweep.point"}
+        assert tracing.TRACER is tracer
+
+    def test_run_point_groups_drains_an_owned_tracer(self):
+        groups = batch_groups(self._points())
+        outcome = run_point_groups(groups, trace=True, profile=True)
+        assert tracing.TRACER is None
+        assert len(outcome.results) == 2
+        names = {event["name"] for event in outcome.trace_events}
+        assert "sweep.enroll" in names and "batch.run" in names
+        assert outcome.phase_seconds["prepare"] > 0
+        assert outcome.phase_seconds["simulate"] > 0
+        assert outcome.rounds > 0
+
+    def test_profile_only_chunks_carry_no_trace_events(self):
+        outcome = run_points(self._points(), trace=False, profile=True)
+        assert outcome.trace_events == []
+        assert outcome.phase_seconds["simulate"] > 0
+
+    def test_disabled_chunks_report_nothing(self):
+        outcome = run_points(self._points())
+        assert outcome.trace_events == []
+        assert outcome.phase_seconds == {}
+        assert outcome.kernel_stats == {}
