@@ -1,0 +1,77 @@
+"""Fleet orchestration overhead: supervision must cost seconds, not shards.
+
+The fleet promises that its machinery — cost-model cut, subprocess launch
+bookkeeping, heartbeat polling, artifact validation, merge, ledger — adds
+only a bounded constant on top of the critical-path worker.  This benchmark
+holds that to a number: a 2-worker fleet run of the ``smoke`` campaign,
+with ``overhead = fleet_wall - max(shard wall)`` (everything that is not
+the slowest worker's own runtime) asserted under a hard ceiling.  Results
+land in ``results/fleet_overhead.txt`` and the ``fleet_overhead`` section
+of ``results/BENCH_kernel.json`` (consumed by the CI perf-regression job,
+which asserts the same ceiling).
+
+The ceiling is deliberately loose (seconds, not milliseconds): each worker
+is a full CPython interpreter start plus campaign expansion, and shared CI
+hosts jitter.  What it catches is the real regression class — supervision
+polling going quadratic, validation re-reading artifacts per heartbeat, a
+merge that re-executes points.
+"""
+
+import json
+
+from repro.fleet import FleetConfig, run_fleet
+
+#: Hard ceiling on non-worker orchestration wall time for a 2-shard fleet.
+MAX_ORCHESTRATION_SECONDS = 5.0
+
+WORKERS = 2
+
+
+def test_bench_fleet_overhead(tmp_path, save_result, save_kernel_json):
+    config = FleetConfig(
+        campaign="smoke",
+        workers=WORKERS,
+        out=tmp_path / "fleet",
+        timeout=120.0,
+        poll_interval=0.02,
+        echo=lambda message: None,
+    )
+    result = run_fleet(config)
+    assert result.exit_code == 0 and result.status == "complete"
+
+    payload = json.loads(result.ledger_path.read_text())
+    fleet_wall = payload["wall_seconds"]
+    attempts = [a for r in payload["rounds"] for a in r["attempts"]]
+    critical_path = max(a["wall_seconds"] for a in attempts)
+    overhead = max(0.0, fleet_wall - critical_path)
+    per_shard = overhead / len(attempts)
+
+    lines = [
+        f"Fleet orchestration overhead (smoke campaign, {WORKERS} workers, "
+        f"{len(attempts)} shard attempt(s)):",
+        f"  fleet wall (cut+dispatch+supervise+merge) : {fleet_wall:8.2f} s",
+        f"  critical-path worker                      : {critical_path:8.2f} s",
+        f"  orchestration overhead                    : {overhead:8.2f} s "
+        f"({per_shard:.2f} s/shard)",
+        f"  ceiling                                   : {MAX_ORCHESTRATION_SECONDS:8.2f} s",
+    ]
+    save_result("fleet_overhead", "\n".join(lines))
+    save_kernel_json(
+        "fleet_overhead",
+        {
+            "campaign": "smoke",
+            "workers": WORKERS,
+            "shards": len(attempts),
+            "fleet_wall_seconds": fleet_wall,
+            "critical_path_seconds": critical_path,
+            "per_shard_seconds": per_shard,
+            "overhead": overhead,
+            "floor": MAX_ORCHESTRATION_SECONDS,
+            "unit": "seconds",
+        },
+    )
+
+    assert overhead <= MAX_ORCHESTRATION_SECONDS, (
+        f"fleet orchestration overhead {overhead:.2f}s exceeds the "
+        f"{MAX_ORCHESTRATION_SECONDS:.1f}s ceiling"
+    )

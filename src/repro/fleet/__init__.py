@@ -1,0 +1,102 @@
+"""repro.fleet — fault-tolerant autonomous campaign orchestration.
+
+The fleet drives a whole sweep campaign through ordinary ``sweep --shard``
+workers: cost-weighted shard cuts, pluggable worker transports, heartbeat
+supervision with timeouts and kill discipline, validation-driven acceptance,
+heal-driven retry with exponential backoff, and graceful degradation to
+partial artifacts when the retry budget runs out.  Entry point:
+``python -m repro.run fleet <campaign> --workers N``.
+
+Module map:
+
+* :mod:`~repro.fleet.cost` — per-point cost estimation and span cuts;
+* :mod:`~repro.fleet.transport` — how one shard runs somewhere (local
+  subprocess today; the registry is where ssh/object-storage slot in);
+* :mod:`~repro.fleet.supervisor` — bounded concurrency, deadlines, kills,
+  exit classification;
+* :mod:`~repro.fleet.controller` — the orchestration loop itself;
+* :mod:`~repro.fleet.ledger` — the ``fleet.json`` audit trail and its
+  ``fleet status`` rendering.
+"""
+
+from repro.fleet.controller import (
+    CHAOS_FAULTS,
+    CORRUPT_ARTIFACTS,
+    COMPLETED,
+    EXIT_COMPLETE,
+    EXIT_PARTIAL,
+    PARTIAL_DELIVERY,
+    FleetConfig,
+    FleetResult,
+    parse_chaos,
+    run_fleet,
+)
+from repro.fleet.cost import (
+    DEFAULT_SECONDS_PER_CYCLE,
+    cut_shards,
+    cut_spans,
+    estimate_costs,
+    scavenge_point_walls,
+)
+from repro.fleet.ledger import (
+    FLEET_JSON,
+    LEDGER_SCHEMA_VERSION,
+    STATUS_COMPLETE,
+    STATUS_PARTIAL,
+    FleetLedger,
+    load_ledger,
+    render_ledger,
+)
+from repro.fleet.supervisor import (
+    CRASH,
+    EXITED,
+    NONZERO_EXIT,
+    TIMEOUT,
+    Attempt,
+    Supervisor,
+)
+from repro.fleet.transport import (
+    LocalSubprocessTransport,
+    Transport,
+    WorkerHandle,
+    WorkerSpec,
+    default_worker_argv,
+    resolve_transport,
+)
+
+__all__ = [
+    "CHAOS_FAULTS",
+    "COMPLETED",
+    "CORRUPT_ARTIFACTS",
+    "CRASH",
+    "DEFAULT_SECONDS_PER_CYCLE",
+    "EXIT_COMPLETE",
+    "EXIT_PARTIAL",
+    "EXITED",
+    "FLEET_JSON",
+    "LEDGER_SCHEMA_VERSION",
+    "NONZERO_EXIT",
+    "PARTIAL_DELIVERY",
+    "STATUS_COMPLETE",
+    "STATUS_PARTIAL",
+    "TIMEOUT",
+    "Attempt",
+    "FleetConfig",
+    "FleetLedger",
+    "FleetResult",
+    "LocalSubprocessTransport",
+    "Supervisor",
+    "Transport",
+    "WorkerHandle",
+    "WorkerSpec",
+    "cut_shards",
+    "cut_spans",
+    "default_worker_argv",
+    "estimate_costs",
+    "load_ledger",
+    "parse_chaos",
+    "render_ledger",
+    "resolve_transport",
+    "run_fleet",
+    "scavenge_point_walls",
+]

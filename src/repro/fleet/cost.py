@@ -1,0 +1,141 @@
+"""Per-point cost estimation and cost-weighted shard cuts.
+
+A balanced ``--shard I/N`` cut gives every worker the same number of
+*points*, but points are wildly unequal in wall time: campaign grids sweep
+``horizon_cycles`` over orders of magnitude, so the worker that drew the
+long-horizon tail finishes long after the rest.  The fleet instead cuts the
+expanded grid by estimated **cost**:
+
+* :func:`scavenge_point_walls` harvests real per-point wall timings from any
+  past artifacts of the same campaign found under ``--out`` — the campaign
+  directory itself, shard slices, merged and partial runs — using the same
+  ``spec_hash`` validation as ``--resume`` (a damaged manifest is skipped
+  with a note, never silently priced at zero; see
+  :class:`~repro.sweep.resume.ResumeError`);
+* :func:`estimate_costs` prices every point: an observed wall when one was
+  scavenged, otherwise the point's ``horizon_cycles`` scaled by the median
+  observed seconds-per-cycle (or alone, when nothing was observed — cost is
+  only ever *compared*, so any common scale works);
+* :func:`cut_shards` walks the cost prefix and emits contiguous
+  explicit-span shards (``I/N@START:STOP``) with equal-as-possible cost,
+  which ride the ordinary ``sweep --shard`` worker path unchanged.
+
+Contiguity is non-negotiable: it keeps every shard's artifacts in row-major
+index order, which is what makes the merge a validated concatenation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sweep.campaign import CampaignSpec, ShardSpec, SweepPoint
+from repro.sweep.resume import ResumeError, load_point_walls
+
+
+def scavenge_point_walls(
+    spec: CampaignSpec, out_dir: Path
+) -> Tuple[Dict[int, float], List[str]]:
+    """Harvest per-point wall timings for ``spec`` from ``out_dir``.
+
+    Scans ``<out>/<campaign>/`` and every directory directly under it (shard
+    slices, ``partial/``) for manifests whose ``spec_hash`` matches the
+    campaign.  Returns ``(walls, notes)``: the per-index timings (later
+    directories win ties — they are at least as fresh) and one note per
+    directory that *looked* like an artifact dir but failed validation.
+    """
+    campaign_dir = Path(out_dir) / spec.name
+    walls: Dict[int, float] = {}
+    notes: List[str] = []
+    if not campaign_dir.is_dir():
+        return walls, notes
+    candidates = [campaign_dir] + sorted(
+        child for child in campaign_dir.iterdir() if child.is_dir()
+    )
+    for directory in candidates:
+        if not (directory / "manifest.json").exists():
+            continue
+        try:
+            walls.update(load_point_walls(directory, spec))
+        except ResumeError as exc:
+            notes.append(str(exc))
+    return walls, notes
+
+
+#: Fallback price per simulated cycle when no timing was ever observed.
+#: Arbitrary but positive: with zero observations every point is priced
+#: purely proportionally to its horizon, which is all a *cut* needs.
+DEFAULT_SECONDS_PER_CYCLE = 1e-6
+
+
+def estimate_costs(points: Sequence[SweepPoint], walls: Dict[int, float]) -> List[float]:
+    """Price every point of the expanded grid in (estimated) seconds.
+
+    Observed walls are used verbatim; unobserved points get
+    ``horizon_cycles`` times the median observed seconds-per-cycle, so one
+    prior run of *any* subset calibrates the whole grid.  Every estimate is
+    clamped strictly positive: a zero-cost point could make a cut emit
+    degenerate empty spans.
+    """
+    rates = [
+        walls[point.index] / point.horizon_cycles
+        for point in points
+        if walls.get(point.index, 0.0) > 0.0 and point.horizon_cycles > 0
+    ]
+    rate = statistics.median(rates) if rates else DEFAULT_SECONDS_PER_CYCLE
+    costs: List[float] = []
+    for point in points:
+        observed = walls.get(point.index, 0.0)
+        estimate = observed if observed > 0.0 else point.horizon_cycles * rate
+        costs.append(max(estimate, 1e-12))
+    return costs
+
+
+def cut_spans(costs: Sequence[float], workers: int) -> List[Tuple[int, int]]:
+    """Cut ``range(len(costs))`` into ≤ ``workers`` contiguous spans of
+    equal-as-possible total cost.
+
+    Greedy prefix walk: each span closes once it reaches the remaining
+    average cost, except that a span never swallows so many points that a
+    later worker would starve (every remaining worker is guaranteed at least
+    one point while points remain).  Returns fewer spans than ``workers``
+    when there are fewer points than workers; never returns an empty span.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    n_points = len(costs)
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    remaining_cost = float(sum(costs))
+    for worker in range(workers):
+        if start >= n_points:
+            break
+        workers_left = workers - worker
+        target = remaining_cost / workers_left
+        stop = start
+        span_cost = 0.0
+        # Leave at least one point per remaining worker; the last worker
+        # takes everything left.
+        limit = n_points - (workers_left - 1)
+        while stop < max(limit, start + 1) and (span_cost < target or stop == start):
+            span_cost += costs[stop]
+            stop += 1
+            if workers_left > 1 and span_cost >= target:
+                break
+        if workers_left == 1:
+            stop = n_points
+            span_cost = remaining_cost
+        spans.append((start, stop))
+        start = stop
+        remaining_cost -= span_cost
+    return spans
+
+
+def cut_shards(costs: Sequence[float], workers: int) -> List[ShardSpec]:
+    """Cost-weighted fleet cut: one explicit-span :class:`ShardSpec` per
+    span of :func:`cut_spans`, numbered ``i/len(spans)`` in index order."""
+    spans = cut_spans(costs, workers)
+    return [
+        ShardSpec(index=i, count=len(spans), span=span) for i, span in enumerate(spans)
+    ]

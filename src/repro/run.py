@@ -20,6 +20,14 @@ distribution, ``sweep merge`` stitches the per-host artifact directories
 back into the single-host artifacts, and ``sweep merge --heal`` emits the
 exact re-run commands (plus ``heal.json``) when the fleet left gaps.
 
+The ``fleet`` subcommand (:mod:`repro.fleet`) drives all of that
+autonomously: it cuts the campaign into cost-weighted shards, runs them as
+supervised ``sweep --shard`` workers with timeouts and kill discipline,
+heals gaps by consuming ``heal.json`` with exponential backoff, merges the
+result, and records everything in a ``fleet.json`` ledger (rendered by
+``fleet status``).  Exit 0 = complete, 4 = retry budget exhausted with
+partial artifacts preserved.  See ``docs/fleet.md``.
+
 Examples::
 
     python -m repro.run --list
@@ -33,6 +41,8 @@ Examples::
     python -m repro.run sweep merge /tmp/shards/smoke/shard-0-of-3 \\
         /tmp/shards/smoke/shard-1-of-3 /tmp/shards/smoke/shard-2-of-3
     python -m repro.run sweep smoke --trace-out trace.json --profile
+    python -m repro.run fleet fleet-scale --workers 4 --timeout 120
+    python -m repro.run fleet status results/sweeps/fleet-scale
     python -m repro.run stats results/sweeps/smoke
 
 Telemetry (``--trace-out``, ``--profile``, the ``stats`` subcommand) is the
@@ -450,7 +460,13 @@ def _sweep_main(argv: Sequence[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    shard_points = shard.select(points) if shard is not None else points
+    try:
+        shard_points = shard.select(points) if shard is not None else points
+    except ValueError as exc:
+        # An explicit span can overrun the grid (e.g. a heal plan for a
+        # since-edited campaign) — usage error, not a traceback.
+        print(f"error: --shard: {exc}", file=sys.stderr)
+        return 2
     if shard is not None:
         start, stop = shard.bounds(len(points))
         print(
@@ -473,16 +489,23 @@ def _sweep_main(argv: Sequence[str]) -> int:
 
     reuse = None
     if args.resume:
-        from repro.sweep import load_reusable_results
+        from repro.sweep import ResumeError, load_reusable_results
 
         # Campaign-level artifacts (a full or merged run) win over the
-        # shard's own previous slice; both are spec_hash-validated.
-        reuse = load_reusable_results(spec, Path(args.out))
-        if shard_subdir is not None:
-            for index, record in load_reusable_results(
-                spec, Path(args.out), subdir=shard_subdir
-            ).items():
-                reuse.setdefault(index, record)
+        # shard's own previous slice; both are spec_hash-validated.  Damaged
+        # artifacts (truncated/corrupt results.json or manifest) are a hard
+        # usage error with the file named: silently recomputing would mask
+        # the corruption, silently reusing would propagate it.
+        try:
+            reuse = load_reusable_results(spec, Path(args.out))
+            if shard_subdir is not None:
+                for index, record in load_reusable_results(
+                    spec, Path(args.out), subdir=shard_subdir
+                ).items():
+                    reuse.setdefault(index, record)
+        except ResumeError as exc:
+            print(f"error: --resume: {exc}", file=sys.stderr)
+            return 2
         shard_indices = {point.index for point in shard_points}
         reuse = {index: record for index, record in reuse.items() if index in shard_indices}
         if reuse:
@@ -588,6 +611,18 @@ def _sweep_main(argv: Sequence[str]) -> int:
         from repro.obs.profile import format_profile
 
         print(format_profile(result.telemetry.get("profile", {}), result.wall_seconds))
+    if result.failed_points:
+        # Artifacts for the surviving points are already on disk (written
+        # above); the failed ones are recorded in the manifest's execution
+        # block and heal as missing points — exit 1 so callers notice.
+        for record in result.failed_points:
+            print(f"failed point {record['label']}: {record['error']}", file=sys.stderr)
+        print(
+            f"campaign {spec.name}: {result.n_failed} point(s) failed; "
+            "re-run them via 'sweep merge --heal' or the fleet orchestrator",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -601,12 +636,175 @@ def _resolve_trace_path(trace_out: str, artifact_dir: Path) -> Path:
     return path
 
 
+def _build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run fleet",
+        description=(
+            "Autonomously drive a whole campaign through supervised sweep "
+            "workers: cost-weighted shard cuts, timeouts, heal-driven retry "
+            "with exponential backoff, and a fleet.json ledger.  Exit 0 = "
+            "complete; 4 = retry budget exhausted (partial artifacts + "
+            "heal.json written); 2 = usage error.  See docs/fleet.md."
+        ),
+    )
+    parser.add_argument("campaign", nargs="?", help="campaign name (see 'sweep --list')")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent workers; each runs one cost-weighted shard through "
+        "'sweep --shard' (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_SWEEP_OUT,
+        help="artifact root; merged artifacts, fleet.json and fleet-logs/ "
+        "land in <out>/<campaign>/ (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="heal rounds after the initial dispatch before degrading to "
+        "partial artifacts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="seconds before a worker is declared hung and SIGKILLed; "
+        "0 disables (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="heal-round backoff starts here and doubles per round "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--backoff-cap",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="ceiling for the exponential backoff (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--worker-jobs",
+        type=int,
+        default=1,
+        help="--jobs passed to each worker (workers already parallelise "
+        "across shards; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--transport",
+        default="local",
+        help="worker transport (default: %(default)s; the registry is where "
+        "ssh/object-storage transports slot in)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run workers with --trace-out/--profile so the merged manifest "
+        "carries telemetry and a stitched multi-shard trace",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="fault injection for chaos testing: comma-separated "
+        "fault:ordinal pairs (kill / hang / truncate; the ordinal counts "
+        "worker launches fleet-wide), e.g. 'kill:0,hang:3,truncate:5'",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="supervisor heartbeat (default: %(default)s)",
+    )
+    return parser
+
+
+def _fleet_main(argv: Sequence[str]) -> int:
+    if argv and argv[0] == "status":
+        return _fleet_status_main(argv[1:])
+
+    from repro.fleet import EXIT_PARTIAL, FleetConfig, parse_chaos, run_fleet
+
+    args = _build_fleet_parser().parse_args(argv)
+    if args.campaign is None:
+        _build_fleet_parser().print_usage()
+        return 2
+    chaos = {}
+    if args.chaos:
+        try:
+            chaos = parse_chaos(args.chaos)
+        except ValueError as exc:
+            print(f"error: --chaos: {exc}", file=sys.stderr)
+            return 2
+    config = FleetConfig(
+        campaign=args.campaign,
+        workers=args.workers,
+        out=Path(args.out),
+        max_retries=args.max_retries,
+        timeout=args.timeout if args.timeout > 0 else None,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        worker_jobs=args.worker_jobs,
+        transport=args.transport,
+        trace=args.trace,
+        chaos=chaos,
+        poll_interval=args.poll_interval,
+    )
+    try:
+        result = run_fleet(config)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.exit_code == EXIT_PARTIAL:
+        print(
+            f"fleet {args.campaign}: retry budget exhausted; partial artifacts, "
+            f"heal.json and {result.ledger_path} preserve all completed work",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
+def _fleet_status_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run fleet status",
+        description="Render the fleet.json ledger of a past fleet run.",
+    )
+    parser.add_argument(
+        "directory",
+        help="campaign artifact directory (or a fleet.json path)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.fleet import load_ledger, render_ledger
+
+    try:
+        payload = load_ledger(Path(args.directory))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_ledger(payload))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
-    # ``sweep`` and ``stats`` are subcommands with their own flags; dispatch
-    # before the single-scenario parser can reject them.
+    # ``sweep``, ``fleet`` and ``stats`` are subcommands with their own
+    # flags; dispatch before the single-scenario parser can reject them.
     if arguments and arguments[0] == "sweep":
         return _sweep_main(arguments[1:])
+    if arguments and arguments[0] == "fleet":
+        return _fleet_main(arguments[1:])
     if arguments and arguments[0] == "stats":
         return _stats_main(arguments[1:])
 

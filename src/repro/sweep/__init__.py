@@ -56,25 +56,39 @@ from repro.sweep.execute import (
     run_point_groups,
 )
 from repro.sweep.merge import (
+    HEAL_JSON,
     IncompleteCoverageError,
     MergedCampaign,
     MergeError,
+    ShardArtifacts,
+    load_shard_dir,
     merge_shard_traces,
     merge_shards,
     plan_heal,
+    validate_shard_dir,
     write_heal_plan,
     write_merged_artifacts,
 )
-from repro.sweep.resume import load_reusable_results, spec_from_manifest, spec_hash
+from repro.sweep.resume import (
+    ResumeError,
+    load_artifact_json,
+    load_point_walls,
+    load_reusable_results,
+    spec_from_manifest,
+    spec_hash,
+)
 
 __all__ = [
     "CampaignResult",
     "CampaignSpec",
+    "HEAL_JSON",
     "IncompleteCoverageError",
     "MergeError",
     "MergedCampaign",
     "PointResult",
+    "ResumeError",
     "SCHEMA_VERSION",
+    "ShardArtifacts",
     "ShardSpec",
     "SweepPoint",
     "auto_chunk",
@@ -86,7 +100,10 @@ __all__ = [
     "execute_campaign",
     "expand_campaign",
     "grid_from_lists",
+    "load_artifact_json",
+    "load_point_walls",
     "load_reusable_results",
+    "load_shard_dir",
     "manifest_payload",
     "merge_shard_traces",
     "merge_shards",
@@ -99,6 +116,7 @@ __all__ = [
     "shard_dirname",
     "spec_from_manifest",
     "spec_hash",
+    "validate_shard_dir",
     "write_artifacts",
     "write_heal_plan",
     "write_merged_artifacts",

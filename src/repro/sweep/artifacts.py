@@ -130,6 +130,12 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
             # executed point batched, or when batching was off): audit trail
             # for a campaign that quietly lost its shared-prefix execution.
             "batch_fallbacks": [dict(record) for record in result.batch_fallbacks],
+            # Points whose execution raised: structured records (label,
+            # params, error, traceback) so a failure is triagable from the
+            # artifacts alone.  Failed points are absent from results.json —
+            # downstream (merge --heal, the fleet) treats them as missing
+            # coverage and re-runs exactly those points.
+            "failed_points": [dict(record) for record in result.failed_points],
             # The batch kernel loop that produced the batched points
             # (null when nothing ran batched); see repro.sim.backend.
             "backend": result.backend,
@@ -203,9 +209,15 @@ def write_results_csv(result: CampaignResult, path: Path) -> None:
 
 
 def shard_dirname(shard: "ShardSpec") -> str:
-    """The shard-qualified artifact subdirectory name (``shard-I-of-N``) a
-    sharded CLI run nests under the campaign directory, so shard slices never
-    overwrite the campaign-level (full or merged) artifacts."""
+    """The shard-qualified artifact subdirectory name a sharded CLI run
+    nests under the campaign directory, so shard slices never overwrite the
+    campaign-level (full or merged) artifacts: ``shard-I-of-N`` for balanced
+    shards, ``shard-I-of-N-span-START-STOP`` for explicit-range shards (the
+    span is part of the identity — two cuts sharing an index must not
+    clobber each other's artifacts)."""
+    if shard.span is not None:
+        start, stop = shard.span
+        return f"shard-{shard.index}-of-{shard.count}-span-{start}-{stop}"
     return f"shard-{shard.index}-of-{shard.count}"
 
 

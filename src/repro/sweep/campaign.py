@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.workloads.registry import ScenarioSpec, scenario
 
@@ -93,16 +93,30 @@ class SweepPoint:
 @dataclass(frozen=True)
 class ShardSpec:
     """One slice of a campaign for multi-host distribution: shard ``index``
-    of ``count`` equal-as-possible **contiguous index ranges** of the
-    expanded point list.
+    of ``count`` **contiguous index ranges** of the expanded point list.
 
     Contiguous ranges (rather than striding) keep each shard's artifacts in
     row-major order, so merging is a concatenation and every validation rule
     in :mod:`repro.sweep.merge` is a statement about index intervals.
+
+    Two cut geometries share this one type:
+
+    * the balanced form (``span is None``, CLI ``I/N``) partitions the grid
+      into equal-as-possible ranges purely from the index count — what a
+      human distributes by hand across N hosts;
+    * the explicit form (CLI ``I/N@START:STOP``) pins the exact half-open
+      range ``[START, STOP)`` this shard covers, which is how the fleet
+      orchestrator (:mod:`repro.fleet`) expresses **cost-weighted** cuts and
+      grouped heal ranges while still riding the ordinary ``--shard``
+      execution path (``index``/``count`` remain the shard's position in its
+      fleet cut, so artifact directory names stay unique and stable).
     """
 
     index: int
     count: int
+    #: Explicit half-open index range overriding the balanced cut; validated
+    #: against the concrete grid size in :meth:`bounds`.
+    span: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.count < 1:
@@ -113,20 +127,39 @@ class ShardSpec:
                 f"(shards are zero-based: the last of {self.count} is "
                 f"{self.count - 1}/{self.count})"
             )
+        if self.span is not None:
+            try:
+                start, stop = (int(edge) for edge in self.span)
+            except (TypeError, ValueError):
+                raise ValueError(f"shard span must be a (start, stop) pair, got {self.span!r}") from None
+            if not 0 <= start <= stop:
+                raise ValueError(f"shard span must satisfy 0 <= start <= stop, got [{start}, {stop})")
+            object.__setattr__(self, "span", (start, stop))
 
     @classmethod
     def parse(cls, text: str) -> "ShardSpec":
-        """Parse the CLI form ``I/N`` (e.g. ``0/3``, ``2/3``)."""
-        index_text, sep, count_text = text.partition("/")
+        """Parse the CLI forms ``I/N`` (balanced, e.g. ``0/3``) and
+        ``I/N@START:STOP`` (explicit range, e.g. ``2/8@12:19``)."""
+        spec_text, at, span_text = text.partition("@")
+        index_text, sep, count_text = spec_text.partition("/")
         try:
             if not sep:
                 raise ValueError
             index, count = int(index_text), int(count_text)
+            span = None
+            if at:
+                start_text, colon, stop_text = span_text.partition(":")
+                if not colon:
+                    raise ValueError
+                span = (int(start_text), int(stop_text))
         except ValueError:
             raise ValueError(
-                f"shard must look like I/N (e.g. 1/4), got {text!r}"
+                f"shard must look like I/N (e.g. 1/4) or I/N@START:STOP (e.g. 2/8@12:19), got {text!r}"
             ) from None
-        return cls(index=index, count=count)
+        try:
+            return cls(index=index, count=count, span=span)
+        except ValueError as exc:
+            raise ValueError(f"shard {text!r}: {exc}") from None
 
     def bounds(self, n_points: int) -> Tuple[int, int]:
         """Half-open index range ``[start, stop)`` this shard covers.
@@ -134,10 +167,19 @@ class ShardSpec:
         Balanced partition: every shard gets ``n_points // count`` points and
         the first ``n_points % count`` shards one extra, with the union of
         all shards exactly ``range(n_points)`` and no overlap.  A shard may
-        be empty when there are fewer points than shards.
+        be empty when there are fewer points than shards.  An explicit
+        ``span`` overrides the balanced cut and must fit the grid.
         """
         if n_points < 0:
             raise ValueError(f"n_points must be non-negative, got {n_points}")
+        if self.span is not None:
+            start, stop = self.span
+            if stop > n_points:
+                raise ValueError(
+                    f"shard {self} covers indices [{start}, {stop}) but the "
+                    f"campaign expands to only {n_points} points"
+                )
+            return self.span
         return (
             self.index * n_points // self.count,
             (self.index + 1) * n_points // self.count,
@@ -149,6 +191,8 @@ class ShardSpec:
         return list(points[start:stop])
 
     def __str__(self) -> str:
+        if self.span is not None:
+            return f"{self.index}/{self.count}@{self.span[0]}:{self.span[1]}"
         return f"{self.index}/{self.count}"
 
 

@@ -15,6 +15,9 @@ Three paper-facing campaigns plus a tiny CI smoke campaign:
   a full second of simulated time (55 M cycles).  The iso-latency power gap
   between ``mode=ibex @ 55 MHz`` and ``mode=pels @ 27 MHz`` holds flat
   across three orders of magnitude of horizon — the Figure 5 trend.
+* ``fleet-scale`` — 1008 cheap duty-cycled-logging points (readout shapes ×
+  a dense horizon ladder) sized for the fleet orchestrator's scale and
+  chaos testing (``python -m repro.run fleet fleet-scale``).
 * ``smoke`` — four cheap duty-cycled-logging points for CI and tests.
 
 Campaigns are looked up by name (:func:`campaign`) from the sweep CLI
@@ -110,6 +113,28 @@ register_campaign(
             "mode": ("pels", "ibex"),
             "frequency_mhz": (27.0, 55.0),
             "horizon_cycles": (55_000, 110_000, 550_000, 1_100_000, 5_500_000, 55_000_000),
+        },
+    )
+)
+
+register_campaign(
+    CampaignSpec(
+        name="fleet-scale",
+        description=(
+            "Duty-cycled logging across readout shapes and a dense horizon ladder "
+            "(1008 points): the fleet-orchestration scale/chaos campaign."
+        ),
+        scenario="duty-cycled-logging",
+        grid={
+            # Horizon is the fastest-varying axis so every contiguous fleet
+            # span contains whole horizon ladders: batched execution then
+            # collapses each (period, words, spi) group to one simulation of
+            # its longest horizon, which keeps 1008 points cheap enough to
+            # chaos-test in CI while still being a real 1000+-point campaign.
+            "sample_period_cycles": (1_500, 2_000, 3_000, 4_000),
+            "words_per_readout": (2, 4, 8),
+            "spi_cycles_per_word": (8, 16, 24, 32),
+            "horizon_cycles": tuple(range(30_000, 135_000, 5_000)),
         },
     )
 )

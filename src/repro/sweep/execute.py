@@ -58,6 +58,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -127,6 +128,12 @@ class CampaignResult:
     #: The resolved batch backend name (``"python"``/``"numpy"``; ``None``
     #: when nothing ran batched).
     backend: Optional[str] = None
+    #: Points whose execution raised: one structured record per failure
+    #: (see :func:`_failed_record`), sorted by index.  Failed points are
+    #: absent from ``points`` — their records never enter the comparable
+    #: payload — so downstream they look exactly like missing coverage,
+    #: which is what lets ``merge --heal`` / the fleet re-run them.
+    failed_points: List[Dict[str, object]] = field(default_factory=list)
     #: Campaign-level telemetry (phase profile + metrics registry), present
     #: only when the execution ran with ``trace=``/``profile=``; the
     #: artifacts layer embeds it as the manifest's ``execution.telemetry``.
@@ -153,6 +160,11 @@ class CampaignResult:
     def n_computed(self) -> int:
         """How many points were actually executed (not recovered)."""
         return self.n_points - self.n_reused
+
+    @property
+    def n_failed(self) -> int:
+        """How many points raised instead of producing a record."""
+        return len(self.failed_points)
 
 
 ProgressCallback = Callable[[int, int, PointResult], None]
@@ -224,6 +236,10 @@ class ChunkOutcome:
 
     results: List[PointResult] = field(default_factory=list)
     fallbacks: List[Dict[str, object]] = field(default_factory=list)
+    #: Structured records of points whose execution raised (one per failed
+    #: point; see :func:`_failed_record`).  A failing point must not poison
+    #: the chunk — the rest of the chunk's results still ship home.
+    failures: List[Dict[str, object]] = field(default_factory=list)
     batched_points: int = 0
     #: Worker-side per-phase wall seconds (empty when telemetry is off).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -315,17 +331,56 @@ def _point_task(point: SweepPoint, tele: Optional[_ChunkTelemetry]) -> PointResu
     return result
 
 
+def _failed_record(point: SweepPoint, exc: BaseException) -> Dict[str, object]:
+    """The structured manifest record of one point whose execution raised.
+
+    Everything a human (or the fleet) needs to reproduce and triage the
+    failure without the worker's stderr: the point's identity (index, label,
+    params, seed) plus the exception and its formatted traceback.
+    """
+    return {
+        "index": point.index,
+        "scenario": point.scenario,
+        "label": f"{point.scenario}#{point.index}",
+        "horizon_cycles": point.horizon_cycles,
+        "params": dict(point.params),
+        "seed": point.seed,
+        "error": f"{type(exc).__name__}: {exc}",
+        "traceback": "".join(traceback.format_exception(type(exc), exc, exc.__traceback__)),
+    }
+
+
+def _run_point_guarded(
+    point: SweepPoint, outcome: ChunkOutcome, tele: Optional[_ChunkTelemetry]
+) -> None:
+    """Run one point, routing success to ``outcome.results`` and an exception
+    to ``outcome.failures`` — a raising point must not poison the pool task
+    (the chunk's other points, and the whole campaign with them, used to die
+    with it)."""
+    try:
+        if tele is None and tracing.TRACER is None:
+            outcome.results.append(run_point(point))
+        else:
+            outcome.results.append(_point_task(point, tele))
+    except Exception as exc:
+        outcome.failures.append(_failed_record(point, exc))
+
+
 def run_points(points: Sequence[SweepPoint], trace: bool = False, profile: bool = False) -> ChunkOutcome:
     """Pool task: execute one chunk of points in order (per-instance)."""
+    outcome = ChunkOutcome()
     if not (trace or profile) and tracing.TRACER is None:
-        return ChunkOutcome(results=[run_point(point) for point in points])
+        for point in points:
+            _run_point_guarded(point, outcome, None)
+        return outcome
     tele, tracer, owned = _chunk_scope(trace, profile)
     try:
-        results = [_point_task(point, tele) for point in points]
+        for point in points:
+            _run_point_guarded(point, outcome, tele)
     finally:
         if owned:
             tracing.uninstall()
-    return _finish_chunk(ChunkOutcome(results=results), tele, tracer if owned else None)
+    return _finish_chunk(outcome, tele, tracer if owned else None)
 
 
 # ------------------------------------------------------------------ batching
@@ -458,6 +513,7 @@ def run_point_groups(
         outcome = ChunkOutcome()
         results = outcome.results
         clocks = []
+        enrolled: List[SweepPoint] = []
         for group in groups:
             try:
                 if tele is None:
@@ -467,9 +523,11 @@ def run_point_groups(
                         clocks.append(_enroll_group(batch, group, results, tele=tele))
             except (BatchUnsupported, SimulationError) as exc:
                 outcome.fallbacks.append(_fallback_record(group, str(exc)))
-                results.extend(_point_task(point, tele) for point in group)
+                for point in group:
+                    _run_point_guarded(point, outcome, tele)
             else:
                 outcome.batched_points += len(group)
+                enrolled.extend(group)
         # Restamp every group's clock at the common start line: enrollment
         # built the other groups' SoCs in between, and that cost must not
         # land on the first group's first stop.
@@ -477,7 +535,16 @@ def run_point_groups(
         for clock in clocks:
             clock["last"] = start
         finalize_before = tele.timer.seconds["finalize"] if tele is not None else 0.0
-        batch.run()
+        try:
+            batch.run()
+        except Exception as exc:
+            # A mid-run batch failure loses only the enrolled points whose
+            # horizons had not been snapshotted yet; everything already
+            # snapshotted (and every fallback result) survives in ``results``.
+            done = {result.index for result in results}
+            lost = [point for point in enrolled if point.index not in done]
+            outcome.failures.extend(_failed_record(point, exc) for point in lost)
+            outcome.batched_points -= len(lost)
         if tele is not None:
             # The stop callbacks finalize point records mid-run; that time
             # is already charged to "finalize", so "simulate" gets the rest.
@@ -602,6 +669,7 @@ def execute_campaign(
     start = time.perf_counter()
     results: List[PointResult] = []
     fallbacks: List[Dict[str, object]] = []
+    failed: List[Dict[str, object]] = []
     if reuse:
         results.extend(reuse[point.index] for point in points if point.index in reuse)
         points = [point for point in points if point.index not in reuse]
@@ -637,6 +705,7 @@ def execute_campaign(
         nonlocal batched_points, batch_rounds, trace_dropped
         batched_points += outcome.batched_points
         fallbacks.extend(outcome.fallbacks)
+        failed.extend(outcome.failures)
         if timer is not None:
             timer.merge(outcome.phase_seconds)
             kernel_totals.add(outcome.kernel_stats)
@@ -656,8 +725,9 @@ def execute_campaign(
             for outcome in pool.imap_unordered(task, chunks):
                 collect(outcome)
     results.sort(key=lambda result: result.index)
-    # Deterministic fallback order regardless of pool completion order.
+    # Deterministic fallback/failure order regardless of pool completion order.
     fallbacks.sort(key=lambda record: record["points"])
+    failed.sort(key=lambda record: record["index"])
     wall_seconds = time.perf_counter() - start
     telemetry_payload: Optional[Dict[str, object]] = None
     if telemetry:
@@ -667,6 +737,7 @@ def execute_campaign(
         registry.counter("sweep.points", {"kind": "computed"}).inc(computed)
         registry.counter("sweep.points", {"kind": "reused"}).inc(len(results) - computed)
         registry.counter("sweep.points", {"kind": "batched"}).inc(batched_points)
+        registry.counter("sweep.points", {"kind": "failed"}).inc(len(failed))
         registry.counter("batch.rounds").inc(batch_rounds)
         walls = registry.histogram("sweep.point_wall_seconds")
         for result in results:
@@ -696,6 +767,7 @@ def execute_campaign(
         points_total=points_total,
         batched_points=batched_points,
         batch_fallbacks=fallbacks,
+        failed_points=failed,
         backend=backend_name if batched_points else None,
         telemetry=telemetry_payload,
         trace_events=trace_events,

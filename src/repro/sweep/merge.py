@@ -11,10 +11,12 @@ into the single-host artifacts:
   additionally reconstructed into a :class:`~repro.sweep.campaign.CampaignSpec`
   and re-hashed, so a hand-edited manifest whose hash and grid disagree is
   rejected rather than trusted;
-* the shards' declared index ranges must be **pairwise disjoint** and their
-  records must cover the full grid **exactly once** — overlaps, duplicate
+* the shards' records must cover the full grid **exactly once** — duplicate
   records, out-of-range indices, and missing points are each diagnosed with
-  the offending indices and directories named;
+  the offending indices and directories named.  Declared ranges may overlap
+  as long as the records do not: a shard that lost points to a failure and
+  the heal shard that re-ran exactly those points both declare the same
+  indices, and that pair must merge;
 * records are re-sorted into row-major point order and written through the
   same serialisers as a local run, so the merged
   ``results.json``/``results.csv`` are **byte-identical** to a single-host
@@ -39,7 +41,7 @@ from __future__ import annotations
 
 import json
 import platform
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -145,6 +147,11 @@ class MergedCampaign:
     spec: CampaignSpec
     result: CampaignResult
     sources: List[ShardArtifacts]
+    #: Point indices absent from every source (non-empty only under
+    #: ``merge_shards(..., allow_missing=True)`` — a **partial** merge).  A
+    #: partial merge's artifacts carry a ``partial`` manifest block and must
+    #: never masquerade as the complete campaign.
+    missing: List[int] = field(default_factory=list)
 
 
 def load_shard_dir(directory: Path) -> ShardArtifacts:
@@ -219,8 +226,14 @@ def _validate_identity(shards: Sequence[ShardArtifacts]) -> CampaignSpec:
 
 
 def _validate_ranges(shards: Sequence[ShardArtifacts], points_total: int) -> None:
-    """Declared shard ranges must be in-bounds and pairwise disjoint."""
-    declared: List[Tuple[ShardArtifacts, Tuple[int, int]]] = []
+    """Declared shard ranges must fit the campaign grid.
+
+    Disjointness is deliberately enforced at the **record** level (in
+    :func:`_collect_records`), not on the declared ranges: a shard that lost
+    points to a failure still declares its full range, and the heal shard
+    that re-runs exactly those points declares an overlapping one — their
+    *records* are disjoint, which is what byte-identity actually needs.
+    """
     for shard in shards:
         bounds = shard.declared_range()
         if bounds is None:
@@ -230,18 +243,6 @@ def _validate_ranges(shards: Sequence[ShardArtifacts], points_total: int) -> Non
             raise MergeError(
                 f"{shard.shard_label}: declared index range [{start}, {stop}) is "
                 f"outside the campaign's {points_total} points"
-            )
-        declared.append((shard, bounds))
-    declared.sort(key=lambda entry: entry[1])
-    for (first, (_, first_stop)), (second, (second_start, second_stop)) in zip(
-        declared, declared[1:]
-    ):
-        if second_start < first_stop:
-            overlap = range(second_start, min(first_stop, second_stop))
-            raise MergeError(
-                f"overlapping shards: {first.shard_label} and {second.shard_label} "
-                f"both cover point index(es) {_summarise(list(overlap))} — "
-                f"each point must be executed by exactly one shard"
             )
 
 
@@ -276,8 +277,8 @@ def _collect_records(
             others = sorted({records[index][1].shard_label for index in duplicates})
             raise MergeError(
                 f"duplicate point record(s) {_summarise(duplicates)}: present in "
-                f"{shard.shard_label} and in {', '.join(others)} — shards overlap "
-                f"or the same shard directory was passed twice"
+                f"{shard.shard_label} and in {', '.join(others)} — overlapping "
+                f"shards, or the same shard directory was passed twice"
             )
     return records
 
@@ -303,12 +304,61 @@ def _point_from_record(record: Dict[str, object], wall_seconds: float) -> PointR
         ) from None
 
 
-def merge_shards(directories: Sequence[Path]) -> MergedCampaign:
+def validate_shard_dir(directory: Path, spec: CampaignSpec) -> ShardArtifacts:
+    """Load one shard directory and validate it against campaign ``spec``.
+
+    The fleet's acceptance gate: every worker's artifact directory goes
+    through this **regardless of how the worker exited** — a timeout-killed
+    worker that flushed valid artifacts first is accepted, a zero-exit
+    worker with a truncated ``results.json`` is not.  Checks everything a
+    single directory can be checked for: parseable artifacts, schema
+    version, a ``spec_hash`` matching *this* campaign (not merely
+    self-consistent), an in-bounds declared range, and in-range,
+    duplicate-free records that all fall inside the declared range.  Raises
+    :class:`MergeError` naming the problem; cross-shard properties
+    (duplicates between shards, full coverage) remain :func:`merge_shards`'
+    job.
+    """
+    artifacts = load_shard_dir(directory)
+    _validate_identity([artifacts])
+    expected = spec_hash(spec)
+    if artifacts.spec_hash != expected:
+        raise MergeError(
+            f"{directory}: artifacts belong to a different campaign definition "
+            f"(spec_hash {artifacts.spec_hash}, expected {expected})"
+        )
+    points_total = artifacts.points_total()
+    if points_total != spec.n_points:
+        raise MergeError(
+            f"{directory}: manifest says the campaign has {points_total} points, "
+            f"but {spec.name!r} expands to {spec.n_points}"
+        )
+    _validate_ranges([artifacts], points_total)
+    records = _collect_records([artifacts], points_total)
+    declared = artifacts.declared_range()
+    if declared is not None:
+        start, stop = declared
+        strays = sorted(index for index in records if not start <= index < stop)
+        if strays:
+            raise MergeError(
+                f"{artifacts.shard_label}: record index(es) {_summarise(strays)} fall "
+                f"outside the declared range [{start}, {stop})"
+            )
+    return artifacts
+
+
+def merge_shards(directories: Sequence[Path], allow_missing: bool = False) -> MergedCampaign:
     """Validate and merge the shard directories into one campaign result.
 
     Raises :class:`MergeError` (with the offending directories and point
     indices named) instead of ever writing artifacts from an inconsistent
-    shard set.
+    shard set.  ``allow_missing=True`` downgrades exactly one failure —
+    incomplete coverage — into a **partial** merge carrying the gap in
+    ``MergedCampaign.missing``; every other inconsistency (identity
+    mismatch, overlap, duplicates, malformed records) still raises.  That is
+    the fleet's graceful-degradation path: on retry-budget exhaustion it
+    salvages every completed point into partial artifacts rather than losing
+    them.
     """
     if not directories:
         raise MergeError("nothing to merge: pass at least one shard directory")
@@ -325,7 +375,7 @@ def merge_shards(directories: Sequence[Path]) -> MergedCampaign:
     records = _collect_records(shards, points_total)
 
     missing = sorted(set(range(points_total)) - set(records))
-    if missing:
+    if missing and not allow_missing:
         covered = []
         for shard in shards:
             bounds = shard.declared_range()
@@ -347,6 +397,8 @@ def merge_shards(directories: Sequence[Path]) -> MergedCampaign:
     walls = {id(shard): _point_walls(shard.manifest) for shard in shards}
     points: List[PointResult] = []
     for index in range(points_total):
+        if index not in records:
+            continue
         record, shard = records[index]
         wall = float(walls[id(shard)].get(str(index), 0.0))
         points.append(_point_from_record(record, wall))
@@ -371,7 +423,7 @@ def merge_shards(directories: Sequence[Path]) -> MergedCampaign:
         points_total=points_total,
         telemetry=_merged_telemetry(shards),
     )
-    return MergedCampaign(spec=spec, result=result, sources=shards)
+    return MergedCampaign(spec=spec, result=result, sources=shards, missing=missing)
 
 
 def _shard_telemetry(shard: ShardArtifacts) -> Optional[Dict[str, object]]:
@@ -482,6 +534,7 @@ def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
             "computed_points": result.n_points,
             "batched_points": 0,
             "batch_fallbacks": [],
+            "failed_points": [],
             "backend": None,
             "wall_seconds": result.wall_seconds,
             "point_wall_seconds": {
@@ -490,6 +543,14 @@ def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
             "python_version": platform.python_version(),
         },
     }
+    if merged.missing:
+        # A partial merge (fleet retry budget exhausted) must say so in its
+        # own manifest: which indices are absent and how big the full grid
+        # is, so nothing downstream mistakes the salvage for the campaign.
+        payload["partial"] = {
+            "points_total": result.points_total,
+            "missing": list(merged.missing),
+        }
     if result.telemetry is not None:
         payload["execution"]["telemetry"] = result.telemetry
     return payload
@@ -498,16 +559,29 @@ def merged_manifest_payload(merged: MergedCampaign) -> Dict[str, object]:
 HEAL_JSON = "heal.json"
 
 
+def _contiguous_runs(indices: Sequence[int]) -> List[Tuple[int, int]]:
+    """Collapse a sorted index set into half-open ``[start, stop)`` runs."""
+    runs: List[Tuple[int, int]] = []
+    for index in sorted(indices):
+        if runs and runs[-1][1] == index:
+            runs[-1] = (runs[-1][0], index + 1)
+        else:
+            runs.append((index, index + 1))
+    return runs
+
+
 def plan_heal(error: IncompleteCoverageError, out_dir: Path) -> Dict[str, object]:
     """Turn an incomplete-coverage failure into exact re-run commands.
 
     Preference order: re-run whole shards of the fleet's original shard
     count ``N`` whose ranges fell entirely into the gap (the common failure —
-    a dead fleet member), then close any remaining stragglers with
-    single-point shards ``i/points_total`` (shard ``i`` of ``P`` covers
-    exactly ``[i, i+1)``), which can express *any* gap without overlapping
-    points other shards already carry.  The returned payload is what
-    ``sweep merge --heal`` prints and writes to ``<out>/<campaign>/heal.json``:
+    a dead fleet member), then close the remaining gaps by contiguous run:
+    an isolated point becomes the single-point shard ``i/points_total``
+    (shard ``i`` of ``P`` covers exactly ``[i, i+1)``) and a longer run
+    becomes one explicit-span shard ``start/points_total@start:stop`` — one
+    worker per gap rather than one per point, and never overlapping points
+    other shards already carry.  The returned payload is what ``sweep merge
+    --heal`` prints and writes to ``<out>/<campaign>/heal.json``:
 
     * ``commands`` — one entry per re-run with the ``--shard`` spec, the full
       argv, and the artifact directory the run will produce;
@@ -539,11 +613,14 @@ def plan_heal(error: IncompleteCoverageError, out_dir: Path) -> Dict[str, object
                 shard_specs.append(shard)
                 missing.difference_update(range(start, stop))
     # Whatever is left (partial-shard gaps, or no shard blocks to infer a
-    # fleet from) becomes single-point shards: shard i of points_total is
-    # exactly point i, so the heal set never overlaps surviving records.
-    shard_specs.extend(
-        ShardSpec(index=index, count=points_total) for index in sorted(missing)
-    )
+    # fleet from) is healed run by run.
+    for start, stop in _contiguous_runs(missing):
+        if stop - start == 1:
+            shard_specs.append(ShardSpec(index=start, count=points_total))
+        else:
+            shard_specs.append(
+                ShardSpec(index=start, count=points_total, span=(start, stop))
+            )
     shard_specs.sort(key=lambda shard: shard.bounds(points_total))
 
     out_dir = Path(out_dir)
@@ -594,16 +671,23 @@ def write_heal_plan(plan: Dict[str, object], out_dir: Path) -> Path:
     return path
 
 
-def write_merged_artifacts(merged: MergedCampaign, out_dir: Path) -> Dict[str, Path]:
-    """Write the merged artifacts under ``out_dir / campaign``; return paths.
+def write_merged_artifacts(
+    merged: MergedCampaign, out_dir: Path, subdir: Optional[str] = None
+) -> Dict[str, Path]:
+    """Write the merged artifacts under ``out_dir / campaign [/ subdir]``;
+    return paths.
 
     ``results.json``/``results.csv`` go through the same serialisers as a
     local run, so they are byte-identical to a single-host execution.  When
     any shard ran with ``--trace-out``, the shards' traces are stitched into
     ``trace.json`` next to the merged artifacts (per-shard process lanes)
-    and the merged manifest's telemetry block points at it.
+    and the merged manifest's telemetry block points at it.  ``subdir`` is
+    how the fleet keeps a *partial* merge (``partial/``) from shadowing the
+    campaign-level artifacts a later complete merge will write.
     """
     campaign_dir = Path(out_dir) / merged.spec.name
+    if subdir is not None:
+        campaign_dir = campaign_dir / subdir
     campaign_dir.mkdir(parents=True, exist_ok=True)
     paths = {
         "results_json": campaign_dir / RESULTS_JSON,
@@ -635,8 +719,11 @@ def write_merged_artifacts(merged: MergedCampaign, out_dir: Path) -> Dict[str, P
         json.dumps(merged_manifest_payload(merged), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
-    # A successful merge supersedes any heal plan a previous failed attempt
-    # left here — a stale heal.json next to complete artifacts would tell
-    # automation to re-run shards that are already merged.
-    (campaign_dir / HEAL_JSON).unlink(missing_ok=True)
+    # A successful *complete* merge supersedes any heal plan a previous
+    # failed attempt left here — a stale heal.json next to complete
+    # artifacts would tell automation to re-run shards that are already
+    # merged.  A partial merge keeps it: the heal plan is exactly the
+    # hand-off describing how to finish the campaign later.
+    if not merged.missing:
+        (campaign_dir / HEAL_JSON).unlink(missing_ok=True)
     return paths

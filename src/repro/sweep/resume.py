@@ -47,6 +47,47 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sweep.execute import PointResult
 
 
+class ResumeError(ValueError):
+    """Artifacts that *claim* to be resumable but cannot be trusted: a
+    ``results.json``/``manifest.json`` that exists but is truncated, is not
+    valid JSON, is not the expected shape, or carries records that
+    contradict the manifest's own ``spec_hash``.  The message always names
+    the offending path and what failed to parse.
+
+    This is deliberately distinct from the two silent no-resume cases —
+    missing artifacts and a ``spec_hash`` for a *different* campaign — which
+    simply mean "nothing to reuse, run everything".  Damaged artifacts must
+    be surfaced (the CLI exits 2) rather than silently recomputing the
+    campaign on top of what may be a disk or truncation problem; the fleet
+    orchestrator reuses the same validation when scavenging past timings and
+    degrades by skipping the damaged directory with a ledger note.
+    """
+
+
+def load_artifact_json(path: Path, *, required: bool = False) -> Optional[Dict[str, object]]:
+    """Parse one artifact JSON file into its top-level object.
+
+    Returns ``None`` when the file does not exist (unless ``required``);
+    raises :class:`ResumeError` naming the path and the failure for
+    unreadable, unparseable, or non-object payloads — one shared gate for
+    ``--resume``, the fleet's shard validation, and its timing scavenger.
+    """
+    path = Path(path)
+    if not path.exists():
+        if required:
+            raise ResumeError(f"{path}: missing")
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ResumeError(f"{path}: unreadable: {exc}") from None
+    except ValueError as exc:
+        raise ResumeError(f"{path}: invalid JSON (truncated or corrupt): {exc}") from None
+    if not isinstance(payload, dict):
+        raise ResumeError(f"{path}: expected a JSON object at the top level, got {type(payload).__name__}")
+    return payload
+
+
 def campaign_identity(spec: CampaignSpec) -> Dict[str, object]:
     """The canonical campaign-identity payload hashed by :func:`spec_hash`."""
     from repro.sweep.artifacts import SCHEMA_VERSION
@@ -117,16 +158,19 @@ def load_reusable_results(
     ``<campaign>/shard-I-of-N/`` slice in addition to any campaign-level
     (full or merged) artifacts.
 
-    Returns an empty mapping when there is nothing to resume from: missing or
-    unreadable artifacts, a manifest without a spec hash (pre-resume schema),
-    or — most importantly — a spec hash that does not match the current
-    campaign definition.  Each stored record is additionally validated
-    against the *current* expansion of the campaign: the spec hash covers
-    the `CampaignSpec` fields, but expansion also depends on registry state
-    (the scenario's default horizon, the seed-injection rule), so a record
-    whose scenario, horizon, params, or seed disagree with today's
-    `SweepPoint` invalidates the whole cache rather than smuggling stale
-    data next to fresh points.
+    Returns an empty mapping when there is genuinely nothing to resume from:
+    missing artifacts, a manifest without a spec hash (pre-resume schema), or
+    a spec hash that does not match the current campaign definition (a
+    *different* campaign's artifacts are not damage).  Artifacts that exist
+    but cannot be trusted raise :class:`ResumeError` instead — truncated or
+    invalid JSON, a results/manifest pair that disagree with each other, a
+    malformed point record, or a record that contradicts the *current*
+    expansion of the campaign under a matching hash (the hash covers the
+    `CampaignSpec` fields, but expansion also depends on registry state —
+    the scenario's default horizon, the seed-injection rule).  Silently
+    recomputing on top of a half-written results.json would mask a disk or
+    truncation problem, so the damage is named and surfaced (the CLI exits
+    2).
     """
     from repro.sweep.campaign import expand_campaign
     from repro.sweep.execute import PointResult
@@ -136,15 +180,19 @@ def load_reusable_results(
         campaign_dir = campaign_dir / subdir
     results_path = campaign_dir / "results.json"
     manifest_path = campaign_dir / "manifest.json"
-    try:
-        results = json.loads(results_path.read_text(encoding="utf-8"))
-        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
+    results = load_artifact_json(results_path)
+    manifest = load_artifact_json(manifest_path)
+    if results is None or manifest is None:
         return {}
     if manifest.get("spec_hash") != spec_hash(spec):
         return {}
     if results.get("campaign") != spec.name or results.get("scenario") != spec.scenario:
-        return {}
+        raise ResumeError(
+            f"{results_path}: results are for campaign "
+            f"{results.get('campaign')!r} / scenario {results.get('scenario')!r} "
+            f"but the manifest's spec_hash matches {spec.name!r} / "
+            f"{spec.scenario!r} — the artifact pair is inconsistent"
+        )
     points_by_index = {point.index: point for point in expand_campaign(spec)}
     point_walls = _point_walls(manifest)
     reusable: Dict[int, PointResult] = {}
@@ -159,7 +207,13 @@ def load_reusable_results(
                 or dict(record["params"]) != dict(point.params)
                 or int(record["seed"]) != point.seed
             ):
-                return {}
+                raise ResumeError(
+                    f"{results_path}: point record {record.get('index')!r} disagrees "
+                    f"with the current expansion of campaign {spec.name!r} "
+                    f"(scenario/horizon/params/seed mismatch) — the artifacts were "
+                    f"edited or the registry changed; delete them or rerun without "
+                    f"--resume"
+                )
             reusable[index] = PointResult(
                 index=index,
                 scenario=record["scenario"],
@@ -173,11 +227,43 @@ def load_reusable_results(
                 wall_seconds=point_walls.get(str(index), 0.0),
                 reused=True,
             )
-        except (KeyError, TypeError, ValueError):
-            # One malformed record invalidates the cache: a partially written
-            # results.json must not silently contribute half its points.
-            return {}
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ResumeError):
+                raise
+            # One malformed record condemns the artifact set: a partially
+            # written results.json must not silently contribute half its
+            # points next to a fresh recomputation of the rest.
+            raise ResumeError(
+                f"{results_path}: point record {str(record)[:80]!r} failed to "
+                f"parse ({exc!r}) — results.json is truncated or corrupt"
+            ) from None
     return reusable
+
+
+def load_point_walls(directory: Path, spec: CampaignSpec) -> Dict[int, float]:
+    """Scavenge per-point wall timings from one artifact directory.
+
+    The fleet's cost model calibrates its per-point estimates with the
+    ``execution.point_wall_seconds`` of past runs found under ``--out`` —
+    shard slices, merged artifacts, full runs, all of them.  Returns ``{}``
+    when the directory has no manifest or the manifest belongs to a
+    different campaign (``spec_hash`` mismatch); raises :class:`ResumeError`
+    (same validation as ``--resume``) for a manifest that exists but cannot
+    be parsed, so damage is surfaced rather than silently priced at zero.
+    """
+    manifest = load_artifact_json(Path(directory) / "manifest.json")
+    if manifest is None or manifest.get("spec_hash") != spec_hash(spec):
+        return {}
+    walls: Dict[int, float] = {}
+    for key, value in _point_walls(manifest).items():
+        try:
+            walls[int(key)] = float(value)
+        except (TypeError, ValueError):
+            raise ResumeError(
+                f"{Path(directory) / 'manifest.json'}: point_wall_seconds entry "
+                f"{key!r}: {value!r} is not numeric — the manifest is corrupt"
+            ) from None
+    return walls
 
 
 def _point_walls(manifest: Dict[str, object]) -> Dict[str, float]:

@@ -1,0 +1,203 @@
+"""Chaos/fault-injection suite: the fleet heals real failures.
+
+Every test here spawns real ``sweep --shard`` subprocess workers on the
+built-in ``smoke`` campaign (4 points — subprocesses cannot see campaigns
+registered in this process) and injects real faults through the production
+supervision path: an actual SIGKILL mid-shard, a worker replaced by a
+sleeper (the timeout path), a results.json truncated after a clean exit.
+The bar is always the same: the fleet heals, recomputes only what is
+missing, and the merged artifacts are byte-identical to a serial
+``--jobs 1`` run.
+"""
+
+import filecmp
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import (
+    EXIT_COMPLETE,
+    EXIT_PARTIAL,
+    FleetConfig,
+    parse_chaos,
+    run_fleet,
+)
+from repro.run import main
+from repro.sweep.campaigns import campaign
+from repro.sweep.merge import HEAL_JSON
+
+SMOKE = campaign("smoke")
+
+#: Fast-retry settings so heal rounds don't slow the suite down.
+FAST = dict(backoff_base=0.05, backoff_cap=0.2, poll_interval=0.02)
+
+
+def make_config(tmp_path: Path, **overrides) -> FleetConfig:
+    options = dict(
+        campaign="smoke", workers=2, out=tmp_path / "fleet", timeout=30.0, **FAST
+    )
+    options.update(overrides)
+    return FleetConfig(**options)
+
+
+@pytest.fixture(scope="module")
+def serial_dir(tmp_path_factory) -> Path:
+    """Reference artifacts from a plain serial run."""
+    out = tmp_path_factory.mktemp("serial")
+    assert main(["sweep", "smoke", "--jobs", "1", "--out", str(out)]) == 0
+    return out / "smoke"
+
+
+def assert_byte_identical(campaign_dir: Path, serial_dir: Path) -> None:
+    for name in ("results.json", "results.csv"):
+        assert filecmp.cmp(campaign_dir / name, serial_dir / name, shallow=False), (
+            f"{name} differs from the serial reference"
+        )
+
+
+def round_attempts(result, round_index):
+    payload = json.loads(result.ledger_path.read_text())
+    return payload["rounds"][round_index]["attempts"]
+
+
+class TestChaosHealing:
+    def test_sigkill_mid_shard_heals_byte_identical(self, tmp_path, serial_dir):
+        result = run_fleet(make_config(tmp_path, chaos=parse_chaos("kill:0")))
+        assert result.status == "complete" and result.exit_code == EXIT_COMPLETE
+        assert result.rounds == 2
+        assert_byte_identical(result.campaign_dir, serial_dir)
+        first = round_attempts(result, 0)
+        assert first[0]["outcome"] == "crash" and first[0]["chaos"] == "kill"
+        assert first[0]["returncode"] == -9 and not first[0]["accepted"]
+        # Healing recomputed exactly the killed shard's points.
+        survivors = sum(a["points_delivered"] for a in first if a["accepted"])
+        healed = sum(a["points_delivered"] for a in round_attempts(result, 1))
+        assert survivors + healed == SMOKE.n_points
+        assert healed < SMOKE.n_points  # the surviving work was NOT redone
+
+    def test_hang_times_out_and_heals(self, tmp_path, serial_dir):
+        result = run_fleet(
+            make_config(tmp_path, chaos=parse_chaos("hang:1"), timeout=3.0)
+        )
+        assert result.status == "complete" and result.exit_code == EXIT_COMPLETE
+        first = round_attempts(result, 0)
+        assert first[1]["outcome"] == "timeout" and first[1]["chaos"] == "hang"
+        assert_byte_identical(result.campaign_dir, serial_dir)
+
+    def test_truncated_results_classify_corrupt_and_heal(self, tmp_path, serial_dir):
+        result = run_fleet(make_config(tmp_path, chaos=parse_chaos("truncate:0")))
+        assert result.status == "complete" and result.exit_code == EXIT_COMPLETE
+        first = round_attempts(result, 0)
+        assert first[0]["outcome"] == "corrupt-artifacts"
+        assert first[0]["returncode"] == 0  # exited cleanly; artifacts damned it
+        assert "results.json" in first[0]["detail"]
+        assert_byte_identical(result.campaign_dir, serial_dir)
+
+    def test_every_retry_is_ledgered(self, tmp_path, serial_dir):
+        # Two faults on the same shard span (ordinal 0 in round 0, then its
+        # heal retry at ordinal 2): the ledger must show all three attempts.
+        result = run_fleet(
+            make_config(tmp_path, chaos=parse_chaos("kill:0,kill:2"), max_retries=3)
+        )
+        assert result.status == "complete"
+        assert result.rounds == 3
+        payload = json.loads(result.ledger_path.read_text())
+        outcomes = [
+            a["outcome"] for r in payload["rounds"] for a in r["attempts"]
+        ]
+        assert outcomes.count("crash") == 2
+        counters = payload["metrics"]["counter"]
+        assert counters["fleet.attempts{outcome=crash}"] == 2
+        assert counters["fleet.rounds"] == 3
+        # Backoff doubles round over round.
+        backoffs = [r["backoff_seconds"] for r in payload["rounds"]]
+        assert backoffs[0] == 0.0 and backoffs[1] > 0
+        assert backoffs[2] == pytest.approx(min(backoffs[1] * 2, FAST["backoff_cap"]))
+        assert_byte_identical(result.campaign_dir, serial_dir)
+
+
+class TestGracefulDegradation:
+    def test_budget_exhaustion_writes_partial_artifacts(self, tmp_path):
+        # Worker 0 is killed and there are zero heal rounds: the fleet must
+        # salvage worker 1's points, leave heal.json, and exit 4.
+        result = run_fleet(
+            make_config(tmp_path, chaos=parse_chaos("kill:0"), max_retries=0)
+        )
+        assert result.status == "partial" and result.exit_code == EXIT_PARTIAL
+        assert result.missing  # the killed span
+        partial_dir = result.campaign_dir / "partial"
+        results = json.loads((partial_dir / "results.json").read_text())
+        delivered = {record["index"] for record in results["points"]}
+        assert delivered and delivered.isdisjoint(result.missing)
+        assert len(delivered) + len(result.missing) == SMOKE.n_points
+        manifest = json.loads((partial_dir / "manifest.json").read_text())
+        assert sorted(manifest["partial"]["missing"]) == sorted(result.missing)
+        # The heal plan is the hand-off for the next run.
+        heal = json.loads((result.campaign_dir / HEAL_JSON).read_text())
+        assert sorted(heal["missing"]) == sorted(result.missing)
+        ledger = json.loads(result.ledger_path.read_text())
+        assert ledger["status"] == "partial" and ledger["exit_code"] == EXIT_PARTIAL
+
+    def test_total_loss_still_writes_ledger_and_heal(self, tmp_path):
+        result = run_fleet(
+            make_config(tmp_path, chaos=parse_chaos("kill:0,kill:1"), max_retries=0)
+        )
+        assert result.exit_code == EXIT_PARTIAL
+        assert sorted(result.missing) == list(range(SMOKE.n_points))
+        assert not (result.campaign_dir / "partial").exists()
+        assert (result.campaign_dir / HEAL_JSON).exists()
+        assert result.ledger_path.exists()
+
+
+class TestFleetCli:
+    def test_fleet_cli_complete_and_status(self, tmp_path, capsys, serial_dir):
+        out = tmp_path / "cli"
+        code = main(
+            [
+                "fleet",
+                "smoke",
+                "--workers",
+                "2",
+                "--out",
+                str(out),
+                "--backoff-base",
+                "0.05",
+                "--chaos",
+                "kill:1",
+            ]
+        )
+        assert code == EXIT_COMPLETE
+        assert_byte_identical(out / "smoke", serial_dir)
+        assert main(["fleet", "status", str(out / "smoke")]) == 0
+        text = capsys.readouterr().out
+        assert "fleet smoke: complete (exit 0)" in text
+        assert "chaos=kill" in text
+
+    def test_fleet_cli_partial_exit_code(self, tmp_path):
+        code = main(
+            [
+                "fleet",
+                "smoke",
+                "--workers",
+                "2",
+                "--out",
+                str(tmp_path / "cli"),
+                "--max-retries",
+                "0",
+                "--backoff-base",
+                "0.05",
+                "--chaos",
+                "kill:0",
+            ]
+        )
+        assert code == EXIT_PARTIAL
+
+    def test_usage_errors_exit_2(self, tmp_path, capsys):
+        assert main(["fleet", "no-such-campaign", "--out", str(tmp_path)]) == 2
+        assert main(["fleet", "smoke", "--chaos", "explode:0"]) == 2
+        assert main(["fleet", "smoke", "--workers", "0"]) == 2
+        assert main(["fleet", "smoke", "--transport", "carrier-pigeon"]) == 2
+        assert main(["fleet", "status", str(tmp_path / "nowhere")]) == 2
+        assert main(["fleet"]) == 2
+        capsys.readouterr()

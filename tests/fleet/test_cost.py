@@ -1,0 +1,154 @@
+"""Cost model: per-point estimates, cost-weighted cuts, timing scavenging."""
+
+import json
+
+import pytest
+
+from repro.fleet.cost import (
+    DEFAULT_SECONDS_PER_CYCLE,
+    cut_shards,
+    cut_spans,
+    estimate_costs,
+    scavenge_point_walls,
+)
+from repro.sweep.artifacts import write_artifacts
+from repro.sweep.campaign import CampaignSpec, ShardSpec, expand_campaign
+from repro.sweep.execute import execute_campaign
+
+SPEC = CampaignSpec(
+    name="fleet-cost-test",
+    description="small campaign for cost-model tests",
+    scenario="duty-cycled-logging",
+    grid={
+        "sample_period_cycles": (2_000, 4_000),
+        "horizon_cycles": (40_000, 60_000),
+    },
+)
+
+
+class TestCutSpans:
+    @pytest.mark.parametrize("n_points", [1, 2, 3, 7, 24, 100])
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5, 8])
+    def test_partition_is_contiguous_and_complete(self, n_points, workers):
+        spans = cut_spans([1.0] * n_points, workers)
+        covered = [i for start, stop in spans for i in range(start, stop)]
+        assert covered == list(range(n_points))  # in order, no gap, no overlap
+        assert all(stop > start for start, stop in spans)  # never empty
+        assert len(spans) <= workers
+
+    def test_uniform_costs_cut_balanced(self):
+        spans = cut_spans([1.0] * 12, 4)
+        assert [stop - start for start, stop in spans] == [3, 3, 3, 3]
+
+    def test_expensive_head_gets_a_small_span(self):
+        # One point worth as much as all the rest together: it should be
+        # cut off alone, and the cheap tail shared among the other workers.
+        costs = [30.0] + [1.0] * 30
+        spans = cut_spans(costs, 4)
+        assert spans[0] == (0, 1)
+        sizes = [stop - start for start, stop in spans[1:]]
+        assert sum(sizes) == 30
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_points(self):
+        spans = cut_spans([1.0, 1.0], 5)
+        assert spans == [(0, 1), (1, 2)]
+
+    def test_no_worker_starves_while_points_remain(self):
+        # A huge first point must not swallow the whole range: every
+        # remaining worker is guaranteed at least one point.
+        spans = cut_spans([1000.0, 1.0, 1.0, 1.0], 4)
+        assert len(spans) == 4
+        assert all(stop - start == 1 for start, stop in spans)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            cut_spans([1.0], 0)
+
+
+class TestCutShards:
+    def test_emits_explicit_span_shards_that_round_trip(self):
+        shards = cut_shards([1.0] * 10, 3)
+        assert all(isinstance(shard, ShardSpec) for shard in shards)
+        for shard in shards:
+            parsed = ShardSpec.parse(str(shard))
+            assert parsed.span == shard.span
+        assert [shard.count for shard in shards] == [len(shards)] * len(shards)
+
+    def test_spans_cover_the_grid(self):
+        shards = cut_shards([1.0] * 10, 3)
+        covered = []
+        for shard in shards:
+            start, stop = shard.bounds(10)
+            covered.extend(range(start, stop))
+        assert covered == list(range(10))
+
+
+class TestEstimateCosts:
+    def test_without_observations_costs_scale_with_horizon(self):
+        points = expand_campaign(SPEC)
+        costs = estimate_costs(points, {})
+        for point, cost in zip(points, costs):
+            assert cost == pytest.approx(point.horizon_cycles * DEFAULT_SECONDS_PER_CYCLE)
+
+    def test_observed_walls_are_used_verbatim(self):
+        points = expand_campaign(SPEC)
+        walls = {0: 2.5}
+        costs = estimate_costs(points, walls)
+        assert costs[0] == pytest.approx(2.5)
+
+    def test_observations_calibrate_unobserved_points(self):
+        points = expand_campaign(SPEC)
+        # One observed point prices the rest by its seconds-per-cycle rate.
+        rate = 1e-4
+        walls = {0: points[0].horizon_cycles * rate}
+        costs = estimate_costs(points, walls)
+        for point, cost in zip(points[1:], costs[1:]):
+            assert cost == pytest.approx(point.horizon_cycles * rate)
+
+    def test_costs_are_strictly_positive(self):
+        points = expand_campaign(SPEC)
+        costs = estimate_costs(points, {index: 0.0 for index in range(len(points))})
+        assert all(cost > 0 for cost in costs)
+
+
+class TestScavenge:
+    @pytest.fixture(scope="class")
+    def artifacts_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("scavenge")
+        result = execute_campaign(SPEC, jobs=1)
+        write_artifacts(SPEC, result, out)
+        return out
+
+    def test_harvests_walls_from_past_artifacts(self, artifacts_dir):
+        walls, notes = scavenge_point_walls(SPEC, artifacts_dir)
+        assert notes == []
+        assert set(walls) == set(range(SPEC.n_points))
+        assert all(wall >= 0 for wall in walls.values())
+
+    def test_missing_campaign_dir_is_empty_not_an_error(self, tmp_path):
+        walls, notes = scavenge_point_walls(SPEC, tmp_path)
+        assert walls == {} and notes == []
+
+    def test_other_campaigns_artifacts_are_ignored(self, artifacts_dir):
+        other = CampaignSpec(
+            name=SPEC.name,  # same directory, different grid -> spec_hash differs
+            description="different campaign in the same directory",
+            scenario=SPEC.scenario,
+            grid={"horizon_cycles": (40_000,), "sample_period_cycles": (2_000,)},
+        )
+        walls, notes = scavenge_point_walls(other, artifacts_dir)
+        assert walls == {} and notes == []
+
+    def test_damaged_manifest_is_noted_not_fatal(self, artifacts_dir, tmp_path):
+        import shutil
+
+        out = tmp_path / "damaged"
+        shutil.copytree(artifacts_dir, out)
+        manifest = out / SPEC.name / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["execution"]["point_wall_seconds"]["0"] = "not-a-number"
+        manifest.write_text(json.dumps(payload))
+        walls, notes = scavenge_point_walls(SPEC, out)
+        assert walls == {}
+        assert len(notes) == 1 and "not numeric" in notes[0]

@@ -3,10 +3,12 @@
 import json
 from dataclasses import replace
 
+import pytest
+
 from repro.sweep.artifacts import write_artifacts
 from repro.sweep.campaign import CampaignSpec
 from repro.sweep.execute import execute_campaign
-from repro.sweep.resume import load_reusable_results, spec_hash
+from repro.sweep.resume import ResumeError, load_reusable_results, spec_hash
 
 SPEC = CampaignSpec(
     name="resume-test",
@@ -78,23 +80,35 @@ class TestLoadReusableResults:
         changed = replace(SPEC, base_seed=SPEC.base_seed + 1)
         assert load_reusable_results(changed, tmp_path) == {}
 
-    def test_corrupt_results_invalidate_cache(self, tmp_path):
+    def test_corrupt_results_raise_named_diagnostic(self, tmp_path):
+        # Damaged-but-present artifacts are an error, not a silent full
+        # recompute: the diagnostic must name the file so a truncation/disk
+        # problem surfaces instead of being papered over.
         _, paths = _fresh_artifacts(tmp_path)
         payload = json.loads(paths["results_json"].read_text())
         del payload["points"][0]["seed"]
         paths["results_json"].write_text(json.dumps(payload))
-        assert load_reusable_results(SPEC, tmp_path) == {}
+        with pytest.raises(ResumeError, match=r"results\.json"):
+            load_reusable_results(SPEC, tmp_path)
 
-    def test_record_disagreeing_with_expansion_invalidates_cache(self, tmp_path):
+    def test_truncated_results_raise_named_diagnostic(self, tmp_path):
+        _, paths = _fresh_artifacts(tmp_path)
+        text = paths["results_json"].read_text()
+        paths["results_json"].write_text(text[: len(text) // 2])
+        with pytest.raises(ResumeError, match=r"results\.json.*(truncated|corrupt)"):
+            load_reusable_results(SPEC, tmp_path)
+
+    def test_record_disagreeing_with_expansion_raises(self, tmp_path):
         # The spec hash only covers the CampaignSpec; expansion also depends
         # on registry state (default horizons, seed injection).  A stored
         # record whose seed/horizon/params no longer match today's expanded
-        # SweepPoint must poison the whole cache.
+        # SweepPoint condemns the whole artifact set, loudly.
         _, paths = _fresh_artifacts(tmp_path)
         payload = json.loads(paths["results_json"].read_text())
         payload["points"][2]["seed"] += 1
         paths["results_json"].write_text(json.dumps(payload))
-        assert load_reusable_results(SPEC, tmp_path) == {}
+        with pytest.raises(ResumeError, match="disagrees with the current expansion"):
+            load_reusable_results(SPEC, tmp_path)
 
 
 class TestResumedExecution:
