@@ -4,12 +4,16 @@ The fleet drives a whole sweep campaign through ordinary ``sweep --shard``
 workers: cost-weighted shard cuts, pluggable worker transports, heartbeat
 supervision with timeouts and kill discipline, validation-driven acceptance,
 heal-driven retry with exponential backoff, and graceful degradation to
-partial artifacts when the retry budget runs out.  Entry point:
+partial artifacts when the retry budget runs out.  With ``--store DB``
+every accepted shard is also ingested into the results store
+(:mod:`repro.store`) the moment validation accepts it.  Entry point:
 ``python -m repro.run fleet <campaign> --workers N``.
 
 Module map:
 
-* :mod:`~repro.fleet.cost` — per-point cost estimation and span cuts;
+* :mod:`~repro.fleet.cost` — per-point cost estimation and span cuts
+  (calibrated from past manifests and, with ``--store``, from the
+  results store's accumulated timings);
 * :mod:`~repro.fleet.transport` — how one shard runs somewhere (local
   subprocess today; the registry is where ssh/object-storage slot in);
 * :mod:`~repro.fleet.supervisor` — bounded concurrency, deadlines, kills,
@@ -37,6 +41,7 @@ from repro.fleet.cost import (
     cut_spans,
     estimate_costs,
     scavenge_point_walls,
+    store_point_walls,
 )
 from repro.fleet.ledger import (
     FLEET_JSON,
@@ -99,4 +104,5 @@ __all__ = [
     "resolve_transport",
     "run_fleet",
     "scavenge_point_walls",
+    "store_point_walls",
 ]

@@ -58,7 +58,7 @@ from repro.sweep.merge import (
 )
 from repro.sweep.resume import spec_hash
 
-from repro.fleet.cost import cut_shards, estimate_costs, scavenge_point_walls
+from repro.fleet.cost import cut_shards, estimate_costs, scavenge_point_walls, store_point_walls
 from repro.fleet.ledger import STATUS_COMPLETE, STATUS_PARTIAL, FleetLedger
 from repro.fleet.supervisor import CRASH, EXITED, NONZERO_EXIT, TIMEOUT, Attempt, Supervisor
 from repro.fleet.transport import (
@@ -127,6 +127,13 @@ class FleetConfig:
     #: Thread telemetry through the workers (--trace-out/--profile) so the
     #: merged artifacts carry a stitched multi-lane Perfetto trace.
     trace: bool = False
+    #: Results-store database to feed and feed from (``--store``): accepted
+    #: shard artifacts are ingested the moment validation accepts them, and
+    #: the cost model calibrates from stored timings in addition to the
+    #: directory scavenge.  ``None`` disables both (the default).  Store
+    #: failures degrade to ledger notes — the store is an accelerant, never
+    #: a dependency of campaign completion.
+    store: Optional[Path] = None
     #: Fault injection: launch ordinal -> fault (see :func:`parse_chaos`).
     chaos: Dict[int, str] = field(default_factory=dict)
     #: Seconds after launch at which a ``kill`` chaos fault fires.
@@ -238,6 +245,15 @@ def run_fleet(config: FleetConfig, spec: Optional[CampaignSpec] = None) -> Fleet
     for note in notes:
         ledger.note(f"timing scavenge skipped a damaged directory: {note}")
         config.echo(f"fleet: scavenge: {note}")
+    if config.store is not None:
+        # Store timings fill the gaps the directory scavenge left; fresher
+        # on-disk manifests win ties (they may post-date the last ingest).
+        store_walls, store_notes = store_point_walls(spec, config.store)
+        for index, wall in store_walls.items():
+            walls.setdefault(index, wall)
+        for note in store_notes:
+            ledger.note(f"store timing calibration: {note}")
+            config.echo(f"fleet: store: {note}")
     costs = estimate_costs(points, walls)
     shards = cut_shards(costs, config.workers)
     config.echo(
@@ -268,6 +284,8 @@ def run_fleet(config: FleetConfig, spec: Optional[CampaignSpec] = None) -> Fleet
             if attempt.accepted and attempt.artifact_dir not in accepted_set:
                 accepted_set.add(attempt.artifact_dir)
                 accepted_dirs.append(Path(attempt.artifact_dir))
+                if config.store is not None:
+                    _ingest_accepted(config, ledger, Path(attempt.artifact_dir))
             ledger.record_attempt(round_record, attempt, delivered)
             config.echo(
                 f"fleet: shard {attempt.shard} attempt {attempt.number}: "
@@ -440,6 +458,45 @@ def _validate_attempt(attempt: Attempt, spec: CampaignSpec) -> int:
     else:
         attempt.outcome = attempt.exit_class or "unknown"
     return delivered
+
+
+def _ingest_accepted(config: FleetConfig, ledger: FleetLedger, directory: Path) -> None:
+    """Fold one just-accepted shard directory into the results store.
+
+    Every accepted shard is already past :func:`validate_shard_dir`, so
+    ingestion should only ever insert or deduplicate; anything else —
+    a locked/corrupt database, a content conflict — degrades to a ledger
+    note and a metrics count.  The fleet's outcome never depends on the
+    store: the merge still works from the directories alone.
+    """
+    from repro.store import StoreError, connect, ingest_directory
+
+    try:
+        conn = connect(config.store)
+        try:
+            report = ingest_directory(conn, directory)
+        finally:
+            conn.close()
+    except StoreError as exc:
+        ledger.note(f"store ingest failed for {directory}: {exc}")
+        ledger.metrics.counter("fleet.store_ingest", {"outcome": "error"}).inc()
+        config.echo(f"fleet: store ingest failed for {directory}: {exc}")
+        return
+    if report.conflicts:
+        ledger.note(
+            f"store ingest of {directory} hit {len(report.conflicts)} content "
+            f"conflict(s) and was rolled back — determinism violation or stale store"
+        )
+        ledger.metrics.counter("fleet.store_ingest", {"outcome": "conflict"}).inc()
+        config.echo(f"fleet: store ingest of {directory}: {len(report.conflicts)} conflict(s)")
+        return
+    ledger.metrics.counter("fleet.store_ingest", {"outcome": "ok"}).inc()
+    ledger.metrics.counter("fleet.store_points", {"kind": "inserted"}).inc(report.inserted)
+    ledger.metrics.counter("fleet.store_points", {"kind": "deduplicated"}).inc(report.deduplicated)
+    ledger.note(
+        f"store ingest {directory}: {report.inserted} inserted, "
+        f"{report.deduplicated} deduplicated into {config.store}"
+    )
 
 
 def _try_merge(

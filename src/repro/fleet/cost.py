@@ -63,6 +63,44 @@ def scavenge_point_walls(
     return walls, notes
 
 
+def store_point_walls(spec: CampaignSpec, db_path: Path) -> Tuple[Dict[int, float], List[str]]:
+    """Harvest per-point wall timings for ``spec`` from a results store.
+
+    The store indexes every ingested point by the same ``spec_hash`` the
+    directory scavenger validates, so calibration becomes one lookup over
+    the accumulated corpus instead of a directory walk.  Returns
+    ``(walls, notes)`` like :func:`scavenge_point_walls`: a store that is
+    missing, unreadable, or holds no matching campaign contributes nothing
+    but a note — the fleet must never die over a pricing hint.
+    """
+    from repro.store import connect
+    from repro.store.schema import StoreError
+    from repro.sweep.resume import spec_hash
+
+    walls: Dict[int, float] = {}
+    notes: List[str] = []
+    try:
+        conn = connect(db_path, create=False)
+        try:
+            row = conn.execute(
+                "SELECT id FROM campaigns WHERE spec_hash = ?", (spec_hash(spec),)
+            ).fetchone()
+            if row is None:
+                notes.append(f"store {db_path}: no timings for campaign {spec.name!r} yet")
+                return walls, notes
+            for point_row in conn.execute(
+                "SELECT point_index, wall_seconds FROM points WHERE campaign_id = ?"
+                " AND wall_seconds > 0",
+                (int(row["id"]),),
+            ):
+                walls[int(point_row["point_index"])] = float(point_row["wall_seconds"])
+        finally:
+            conn.close()
+    except StoreError as exc:
+        notes.append(str(exc))
+    return walls, notes
+
+
 #: Fallback price per simulated cycle when no timing was ever observed.
 #: Arbitrary but positive: with zero observations every point is priced
 #: purely proportionally to its horizon, which is all a *cut* needs.

@@ -15,7 +15,8 @@ observability vocabulary:
   installed (the default), the hot span loop pays a single identity check
   per boundary — enforced below 5% by ``benchmarks/test_bench_telemetry.py``.
   When installed, spans (plan builds, quiescent/skip/advance spans, batch
-  enrolment, snapshot stops, sweep phases, artifact writes) buffer in
+  enrolment, snapshot stops, sweep phases, artifact writes, and the
+  results store's ``store.ingest``/``store.query`` operations) buffer in
   memory per process.
 * :mod:`repro.obs.traceio` — export, validation, and merging of the
   buffered spans as **Chrome trace-event JSON** (``--trace-out trace.json``,

@@ -44,11 +44,23 @@ Examples::
     python -m repro.run fleet fleet-scale --workers 4 --timeout 120
     python -m repro.run fleet status results/sweeps/fleet-scale
     python -m repro.run stats results/sweeps/smoke
+    python -m repro.run store ingest results/sweeps/smoke
+    python -m repro.run store query --campaign smoke --aggregate mean:power_uw.Total
+    python -m repro.run store info
+    python -m repro.run sweep smoke --resume-from-store results/store.sqlite
 
 Telemetry (``--trace-out``, ``--profile``, the ``stats`` subcommand) is the
 :mod:`repro.obs` layer — see ``docs/observability.md``.  It is purely
 observational: results.json/results.csv are byte-identical with it on or
 off, and with it off the instrumentation costs one pointer check per span.
+
+The ``store`` subcommand (:mod:`repro.store`) maintains the persistent,
+queryable corpus of every campaign ever ingested: ``store ingest`` folds
+artifact directories into an sqlite database with dedup on re-ingest,
+``store query`` filters/aggregates across campaigns, ``store info``
+summarises coverage, and ``sweep --resume-from-store`` resumes a campaign
+from the store instead of a directory hunt.  See ``docs/store.md``; the
+full subcommand/exit-code reference is ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -160,6 +172,15 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse points already present in <out>/<campaign>/results.json "
         "when its manifest hash matches the campaign definition",
+    )
+    parser.add_argument(
+        "--resume-from-store",
+        default=None,
+        metavar="DB",
+        help="reuse points from a results-store database (see 'store ingest') "
+        "instead of hunting artifact directories; validated against the same "
+        "campaign identity as --resume and byte-identical to it; combinable "
+        "with --resume (directory artifacts win ties)",
     )
     parser.add_argument(
         "--batch",
@@ -488,36 +509,54 @@ def _sweep_main(argv: Sequence[str]) -> int:
     shard_subdir = shard_dirname(shard) if shard is not None else None
 
     reuse = None
-    if args.resume:
+    if args.resume or args.resume_from_store:
         from repro.sweep import ResumeError, load_reusable_results
 
         # Campaign-level artifacts (a full or merged run) win over the
-        # shard's own previous slice; both are spec_hash-validated.  Damaged
-        # artifacts (truncated/corrupt results.json or manifest) are a hard
-        # usage error with the file named: silently recomputing would mask
-        # the corruption, silently reusing would propagate it.
+        # shard's own previous slice, which wins over store rows; every
+        # source is spec_hash-validated through the same record gate.
+        # Damaged artifacts or a damaged store (truncated/corrupt JSON,
+        # records contradicting the expansion, a missing database file) are
+        # a hard usage error with the path named: silently recomputing
+        # would mask the corruption, silently reusing would propagate it.
+        reuse = {}
         try:
-            reuse = load_reusable_results(spec, Path(args.out))
-            if shard_subdir is not None:
-                for index, record in load_reusable_results(
-                    spec, Path(args.out), subdir=shard_subdir
-                ).items():
-                    reuse.setdefault(index, record)
+            if args.resume:
+                reuse = load_reusable_results(spec, Path(args.out))
+                if shard_subdir is not None:
+                    for index, record in load_reusable_results(
+                        spec, Path(args.out), subdir=shard_subdir
+                    ).items():
+                        reuse.setdefault(index, record)
         except ResumeError as exc:
             print(f"error: --resume: {exc}", file=sys.stderr)
             return 2
+        if args.resume_from_store:
+            from repro.store import StoreError, load_reusable_results_from_store
+
+            try:
+                for index, record in load_reusable_results_from_store(
+                    spec, Path(args.resume_from_store)
+                ).items():
+                    reuse.setdefault(index, record)
+            except (ResumeError, StoreError) as exc:
+                print(f"error: --resume-from-store: {exc}", file=sys.stderr)
+                return 2
         shard_indices = {point.index for point in shard_points}
         reuse = {index: record for index, record in reuse.items() if index in shard_indices}
+        sources = [str(Path(args.out) / spec.name)] if args.resume else []
+        if args.resume_from_store:
+            sources.append(f"store {args.resume_from_store}")
         if reuse:
             print(
                 f"resume: reusing {len(reuse)}/{len(shard_points)} points from "
-                f"{Path(args.out) / spec.name}",
+                f"{' + '.join(sources)}",
                 file=sys.stderr,
             )
         else:
             print(
-                "resume: no reusable results (missing artifacts or manifest mismatch); "
-                "running the full campaign",
+                "resume: no reusable results (missing artifacts or campaign mismatch "
+                f"in {' + '.join(sources)}); running the full campaign",
                 file=sys.stderr,
             )
 
@@ -710,6 +749,15 @@ def _build_fleet_parser() -> argparse.ArgumentParser:
         "carries telemetry and a stitched multi-shard trace",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="results-store database: accepted shard artifacts are ingested "
+        "the moment validation accepts them, and shard cuts calibrate from "
+        "stored timings; store failures degrade to ledger notes, never "
+        "fleet failure (see docs/store.md)",
+    )
+    parser.add_argument(
         "--chaos",
         default=None,
         metavar="SPEC",
@@ -755,6 +803,7 @@ def _fleet_main(argv: Sequence[str]) -> int:
         worker_jobs=args.worker_jobs,
         transport=args.transport,
         trace=args.trace,
+        store=Path(args.store) if args.store else None,
         chaos=chaos,
         poll_interval=args.poll_interval,
     )
@@ -799,14 +848,19 @@ def _fleet_status_main(argv: Sequence[str]) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
-    # ``sweep``, ``fleet`` and ``stats`` are subcommands with their own
-    # flags; dispatch before the single-scenario parser can reject them.
+    # ``sweep``, ``fleet``, ``stats`` and ``store`` are subcommands with
+    # their own flags; dispatch before the single-scenario parser can
+    # reject them.
     if arguments and arguments[0] == "sweep":
         return _sweep_main(arguments[1:])
     if arguments and arguments[0] == "fleet":
         return _fleet_main(arguments[1:])
     if arguments and arguments[0] == "stats":
         return _stats_main(arguments[1:])
+    if arguments and arguments[0] == "store":
+        from repro.store.cli import store_main
+
+        return store_main(arguments[1:])
 
     args = _build_parser().parse_args(arguments)
 

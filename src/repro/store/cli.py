@@ -1,0 +1,278 @@
+"""The ``python -m repro.run store`` subcommands: ingest / query / info.
+
+Exit codes follow the repo convention (see ``docs/cli.md``):
+
+* ``store ingest`` — 0 everything inserted or deduplicated; 1 at least
+  one directory had content conflicts (its transaction was rolled back,
+  the rest were ingested); 2 usage error or artifacts/database that fail
+  validation.
+* ``store query`` — 0 rows (possibly none) rendered; 2 usage error
+  (unknown filter/aggregate syntax, missing database, schema mismatch).
+* ``store info`` — 0 summary rendered; 2 missing database or schema
+  mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.store import ingest as ingest_mod
+from repro.store import query as query_mod
+from repro.store import schema
+from repro.store.schema import DEFAULT_STORE_DB, StoreError
+
+
+def _add_db_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db",
+        default=DEFAULT_STORE_DB,
+        metavar="FILE",
+        help="sqlite database file of the results store (default: %(default)s)",
+    )
+
+
+def _build_ingest_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run store ingest",
+        description=(
+            "Ingest sweep artifact directories (full runs, --shard slices, "
+            "merged or partial merges) into the results store.  Idempotent: "
+            "records already stored under the same campaign identity and "
+            "point index are deduplicated, so re-ingesting inserts nothing; "
+            "a content conflict rolls the whole directory back and exits 1."
+        ),
+    )
+    parser.add_argument(
+        "directories",
+        nargs="+",
+        metavar="DIR",
+        help="artifact directory (the one directly containing results.json "
+        "and manifest.json); pass as many as you like",
+    )
+    _add_db_argument(parser)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured ingest report as JSON instead of a summary",
+    )
+    return parser
+
+
+def _build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run store query",
+        description=(
+            "Query the results store across every ingested campaign.  "
+            "Columns follow the results.csv namespace: index, scenario, "
+            "horizon_cycles, seed, wall_seconds, campaign, param.<axis>, "
+            "stat.<key>, power_uw.<component>, area_kge.<component>.  "
+            "See docs/store.md for a cookbook."
+        ),
+    )
+    _add_db_argument(parser)
+    parser.add_argument(
+        "--campaign", default=None, help="restrict to one campaign (name or spec_hash)"
+    )
+    parser.add_argument("--scenario", default=None, help="restrict to one scenario")
+    parser.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="filter 'column OP value' with OP one of == != <= >= < > "
+        "(repeatable; all must hold), e.g. --where 'param.divisor<=8' "
+        "--where 'stat.recovered==true'",
+    )
+    parser.add_argument(
+        "--columns",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated columns to project (default: every column "
+        "present in the matching rows)",
+    )
+    parser.add_argument(
+        "--aggregate",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="reduce rows instead of listing them: 'count' or "
+        "'min|mean|max|sum:<column>' (repeatable), e.g. "
+        "--aggregate mean:power_uw.Total",
+    )
+    parser.add_argument(
+        "--group-by",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated columns to group aggregates by, e.g. "
+        "--group-by campaign,param.divisor",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json", "csv"),
+        default="table",
+        help="output rendering (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the rendering to FILE instead of stdout",
+    )
+    return parser
+
+
+def _build_info_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run store info",
+        description="Summarise the store: schema version, campaigns, coverage, "
+        "ingest history.",
+    )
+    _add_db_argument(parser)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as JSON instead of a table",
+    )
+    return parser
+
+
+def _split_csv(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    return items or None
+
+
+def _ingest_main(argv: Sequence[str]) -> int:
+    args = _build_ingest_parser().parse_args(argv)
+    try:
+        conn = schema.connect(args.db)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = ingest_mod.ingest_directories(conn, [Path(d) for d in args.directories])
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        conn.close()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for entry in report.directories:
+            status = "CONFLICT" if entry.conflicts else "ok"
+            print(
+                f"{status:<8} {entry.source} ({entry.kind}, campaign {entry.campaign}): "
+                f"{entry.inserted} inserted, {entry.deduplicated} deduplicated"
+                + (f", {len(entry.conflicts)} conflicts (rolled back)" if entry.conflicts else "")
+            )
+        print(
+            f"store {args.db}: {report.inserted} inserted, "
+            f"{report.deduplicated} deduplicated, {report.conflicts} conflicts"
+        )
+    if not report.ok:
+        conflicted = [entry.source for entry in report.directories if entry.conflicts]
+        print(
+            "error: conflicting record content for an already-stored point in: "
+            + ", ".join(conflicted)
+            + " — the same campaign point must always produce the same record; "
+            "these directories were rolled back",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _query_main(argv: Sequence[str]) -> int:
+    args = _build_query_parser().parse_args(argv)
+    try:
+        where = [query_mod.parse_filter(text) for text in args.where]
+        aggregates = [query_mod.parse_aggregate(text) for text in args.aggregate]
+        group_by = _split_csv(args.group_by) or []
+        if group_by and not aggregates:
+            raise StoreError("--group-by requires at least one --aggregate")
+        conn = schema.connect(args.db, create=False)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        rows = query_mod.select_rows(
+            conn,
+            campaign=args.campaign,
+            scenario=args.scenario,
+            where=where,
+            columns=_split_csv(args.columns),
+        )
+        if aggregates:
+            rows = query_mod.aggregate_rows(rows, aggregates, group_by)
+        rendering = query_mod.write_rows(rows, args.format, args.out)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        conn.close()
+    if args.out:
+        print(f"{len(rows)} row(s) written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendering)
+    return 0
+
+
+def _info_main(argv: Sequence[str]) -> int:
+    args = _build_info_parser().parse_args(argv)
+    try:
+        conn = schema.connect(args.db, create=False)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        info = query_mod.store_info(conn)
+    finally:
+        conn.close()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"store {args.db}: schema version {info['schema_version']}, {info['total_points']} points")
+    for entry in info["campaigns"]:
+        coverage = f"{entry['points_stored']}/{entry['points_total']}"
+        state = "complete" if entry["complete"] else "partial"
+        print(
+            f"  {entry['name']:<26} {coverage:>9} points ({state})  scenario "
+            f"{entry['scenario']}  {entry['ingests']} ingest(s)  "
+            f"{entry['wall_seconds']:.2f} s wall"
+        )
+    if not info["campaigns"]:
+        print("  (empty — ingest some artifacts: python -m repro.run store ingest <dir>...)")
+    return 0
+
+
+def store_main(argv: Sequence[str]) -> int:
+    """Dispatch ``store ingest`` / ``store query`` / ``store info``."""
+    if not argv or argv[0] in ("-h", "--help"):
+        usage = (
+            "usage: python -m repro.run store {ingest,query,info} ...\n\n"
+            "  ingest  fold sweep artifact directories into the results store\n"
+            "  query   filter/project/aggregate the stored corpus\n"
+            "  info    summarise campaigns, coverage, and ingest history\n\n"
+            "see docs/store.md for the schema reference and query cookbook"
+        )
+        # --help is an answer (stdout, 0); a bare 'store' is a usage error.
+        print(usage, file=sys.stdout if argv else sys.stderr)
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "ingest":
+        return _ingest_main(rest)
+    if command == "query":
+        return _query_main(rest)
+    if command == "info":
+        return _info_main(rest)
+    print(
+        f"error: unknown store subcommand {command!r} (expected ingest, query, or info)",
+        file=sys.stderr,
+    )
+    return 2

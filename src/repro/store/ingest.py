@@ -1,0 +1,428 @@
+"""Idempotent ingestion of sweep artifact directories into the store.
+
+:func:`ingest_directory` takes one artifact directory — a full run, a
+``--shard I/N`` slice, a merged multi-host run, or a partial merge — and
+folds its point records into the database:
+
+* **Validation reuses the resume machinery.**  The manifest is parsed
+  through :func:`repro.sweep.resume.load_artifact_json`, its campaign
+  block reconstructed with :func:`~repro.sweep.resume.spec_from_manifest`
+  and re-hashed with :func:`~repro.sweep.resume.spec_hash`; a manifest
+  whose stored ``spec_hash`` disagrees with its own campaign block is
+  rejected the same way ``sweep merge`` rejects it.  Records are checked
+  for the full point-record shape and in-range indices before anything is
+  written.
+* **Dedup is keyed on ``(spec_hash, point_index)``** — the same identity
+  ``--resume`` trusts.  A record already in the store with the same
+  ``record_sha`` (sha256 over the canonical compact JSON of the record)
+  is counted as *deduplicated* and skipped; re-ingesting the same
+  artifacts therefore inserts zero rows.  A colliding index whose sha
+  **differs** is a *conflict*: determinism says the same campaign point
+  can only ever produce one record, so a mismatch means corrupt or
+  hand-edited artifacts — the directory's whole transaction is rolled
+  back (the store is never left half-ingested) and the conflicting
+  indices are reported structurally.
+* **Provenance is logged**, not inferred: every accepted directory gets
+  an ``ingests`` row recording its kind (``full``/``shard``/``merged``/
+  ``partial``) and, for merged artifacts, the source shard directories
+  from the manifest's ``execution.merged_from`` block.
+
+Wall timings ride along from ``execution.point_wall_seconds`` so the
+fleet's cost model (:func:`repro.fleet.cost.store_point_walls`) can price
+points from the store.  Ingestion emits a ``store.ingest`` span per
+directory when a tracer is installed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracing
+from repro.store.schema import StoreError
+from repro.sweep.artifacts import MANIFEST_JSON, RESULTS_JSON, SCHEMA_VERSION
+from repro.sweep.campaign import CampaignSpec
+from repro.sweep.resume import (
+    ResumeError,
+    load_artifact_json,
+    spec_from_manifest,
+    spec_hash,
+)
+
+#: The exact key set of one results.json point record
+#: (:func:`repro.sweep.artifacts.point_record`); anything more or less is
+#: not an artifact this code base wrote.
+RECORD_KEYS = frozenset(
+    {
+        "index",
+        "scenario",
+        "horizon_cycles",
+        "seed",
+        "params",
+        "stats",
+        "activity",
+        "power_uw",
+        "area_kge",
+    }
+)
+
+
+def canonical_json(value: object) -> str:
+    """The canonical compact serialisation hashed and stored per record."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def record_sha(record: Dict[str, object]) -> str:
+    """sha256 over the canonical record — the dedup/conflict key."""
+    return hashlib.sha256(canonical_json(record).encode("utf-8")).hexdigest()
+
+
+class _ConflictRollback(Exception):
+    """Internal: unwinds the ``with conn`` transaction block so sqlite rolls
+    the whole directory back when content conflicts were detected."""
+
+
+@dataclass
+class DirectoryReport:
+    """What ingesting one artifact directory did (or refused to do)."""
+
+    source: str
+    kind: str = ""
+    campaign: str = ""
+    spec_hash: str = ""
+    n_records: int = 0
+    inserted: int = 0
+    deduplicated: int = 0
+    #: Structured conflict records: ``{"index", "stored_sha", "incoming_sha"}``.
+    #: Non-empty means the directory's transaction was rolled back whole.
+    conflicts: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "kind": self.kind,
+            "campaign": self.campaign,
+            "spec_hash": self.spec_hash,
+            "n_records": self.n_records,
+            "inserted": self.inserted,
+            "deduplicated": self.deduplicated,
+            "conflicts": list(self.conflicts),
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class IngestReport:
+    """The combined outcome of one ``store ingest`` invocation."""
+
+    directories: List[DirectoryReport] = field(default_factory=list)
+
+    @property
+    def inserted(self) -> int:
+        return sum(report.inserted for report in self.directories)
+
+    @property
+    def deduplicated(self) -> int:
+        return sum(report.deduplicated for report in self.directories)
+
+    @property
+    def conflicts(self) -> int:
+        return sum(len(report.conflicts) for report in self.directories)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.directories)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "inserted": self.inserted,
+            "deduplicated": self.deduplicated,
+            "conflicts": self.conflicts,
+            "ok": self.ok,
+            "directories": [report.as_dict() for report in self.directories],
+        }
+
+
+def _artifact_kind(manifest: Dict[str, object]) -> Tuple[str, List[str]]:
+    """Classify the directory and extract merged-from provenance.
+
+    ``shard`` block → a shard slice; ``partial`` block → a partial merge;
+    ``execution.merged_from`` → a complete merge (the block `sweep merge`
+    stamps); otherwise a plain full run.
+    """
+    execution = manifest.get("execution")
+    merged_from: List[str] = []
+    if isinstance(execution, dict):
+        sources = execution.get("merged_from")
+        if isinstance(sources, list):
+            merged_from = [
+                str(entry.get("directory", "")) for entry in sources if isinstance(entry, dict)
+            ]
+    if isinstance(manifest.get("shard"), dict):
+        return "shard", merged_from
+    if isinstance(manifest.get("partial"), dict):
+        return "partial", merged_from
+    if merged_from:
+        return "merged", merged_from
+    return "full", merged_from
+
+
+def _load_validated(directory: Path) -> Tuple[Dict[str, object], Dict[str, object], CampaignSpec]:
+    """Load and validate one directory's artifact pair; return
+    ``(results, manifest, spec)``.  All failures are :class:`StoreError`
+    naming the path — ingest never writes from artifacts it cannot trust."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise StoreError(
+            f"{directory}: not a directory — pass each campaign/shard artifact "
+            f"directory (the one that directly contains {RESULTS_JSON})"
+        )
+    try:
+        results = load_artifact_json(directory / RESULTS_JSON, required=True)
+        manifest = load_artifact_json(directory / MANIFEST_JSON, required=True)
+    except ResumeError as exc:
+        raise StoreError(str(exc)) from None
+    if manifest.get("schema_version") != SCHEMA_VERSION:
+        raise StoreError(
+            f"{directory}: artifact schema version "
+            f"{manifest.get('schema_version')!r} != {SCHEMA_VERSION} — re-run the "
+            f"campaign with this version of the code before ingesting"
+        )
+    stored_hash = manifest.get("spec_hash")
+    if not stored_hash:
+        raise StoreError(f"{directory}: manifest has no spec_hash — artifacts predate resume support")
+    try:
+        spec = spec_from_manifest(manifest)
+    except ValueError as exc:
+        raise StoreError(f"{directory / MANIFEST_JSON}: {exc}") from None
+    if spec_hash(spec) != stored_hash:
+        raise StoreError(
+            f"{directory}: manifest spec_hash {stored_hash} does not match its own "
+            f"campaign block (recomputed {spec_hash(spec)}) — the manifest was "
+            f"edited or corrupted"
+        )
+    if results.get("campaign") != spec.name or results.get("scenario") != spec.scenario:
+        raise StoreError(
+            f"{directory / RESULTS_JSON}: results are for campaign "
+            f"{results.get('campaign')!r} / scenario {results.get('scenario')!r} but "
+            f"the manifest describes {spec.name!r} / {spec.scenario!r} — the "
+            f"artifact pair is inconsistent"
+        )
+    if not isinstance(results.get("points"), list):
+        raise StoreError(f"{directory / RESULTS_JSON}: has no points list")
+    return results, manifest, spec
+
+
+def _points_total(manifest: Dict[str, object], spec: CampaignSpec, directory: Path) -> int:
+    """The full-grid point count these artifacts are a slice of."""
+    for block_name, key in (("shard", "points_total"), ("partial", "points_total")):
+        block = manifest.get(block_name)
+        if isinstance(block, dict):
+            try:
+                return int(block[key])
+            except (KeyError, TypeError, ValueError):
+                raise StoreError(
+                    f"{directory}: manifest {block_name} block is malformed: {block!r}"
+                ) from None
+    try:
+        return int(manifest["n_points"])
+    except (KeyError, TypeError, ValueError):
+        raise StoreError(f"{directory}: manifest has no usable n_points") from None
+
+
+def _upsert_campaign(
+    conn: sqlite3.Connection, spec: CampaignSpec, points_total: int
+) -> int:
+    """Find or create the campaign row for ``spec``; return its id."""
+    digest = spec_hash(spec)
+    row = conn.execute("SELECT id FROM campaigns WHERE spec_hash = ?", (digest,)).fetchone()
+    if row is not None:
+        return int(row["id"])
+    cursor = conn.execute(
+        "INSERT INTO campaigns (spec_hash, name, description, scenario, base_seed,"
+        " dense, axis_order, grid, points_total, artifact_schema_version)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            digest,
+            spec.name,
+            spec.description,
+            spec.scenario,
+            spec.base_seed,
+            int(spec.dense),
+            canonical_json(list(spec.grid)),
+            canonical_json({axis: list(values) for axis, values in spec.grid.items()}),
+            points_total,
+            SCHEMA_VERSION,
+        ),
+    )
+    return int(cursor.lastrowid)
+
+
+def _validated_record(
+    record: object, points_total: int, directory: Path
+) -> Dict[str, object]:
+    """One results.json record, shape-checked: exact key set, integer
+    identity fields, in-range index, mapping payloads."""
+    if not isinstance(record, dict) or set(record) != RECORD_KEYS:
+        raise StoreError(
+            f"{directory / RESULTS_JSON}: point record {str(record)[:80]!r} does not "
+            f"have the expected record shape — results.json is truncated or corrupt"
+        )
+    try:
+        index = int(record["index"])
+        int(record["horizon_cycles"])
+        int(record["seed"])
+        str(record["scenario"])
+        for key in ("params", "stats", "activity", "power_uw", "area_kge"):
+            if not isinstance(record[key], dict):
+                raise TypeError(f"{key} is not a mapping")
+    except (TypeError, ValueError) as exc:
+        raise StoreError(
+            f"{directory / RESULTS_JSON}: point record {record.get('index')!r} is "
+            f"malformed ({exc!r})"
+        ) from None
+    if not 0 <= index < points_total:
+        raise StoreError(
+            f"{directory / RESULTS_JSON}: record index {index} is outside the "
+            f"campaign's {points_total} points"
+        )
+    return record
+
+
+def ingest_directory(conn: sqlite3.Connection, directory: Path) -> DirectoryReport:
+    """Ingest one artifact directory in one transaction.
+
+    Returns the per-directory report.  Conflicting records (same
+    ``(spec_hash, point_index)``, different content) roll back the whole
+    directory — partial ingestion of an inconsistent directory would be a
+    corrupt store — and land in ``report.conflicts``; validation failures
+    raise :class:`StoreError` before anything is written.
+    """
+    directory = Path(directory)
+    results, manifest, spec = _load_validated(directory)
+    kind, merged_from = _artifact_kind(manifest)
+    points_total = _points_total(manifest, spec, directory)
+    execution = manifest.get("execution")
+    walls = execution.get("point_wall_seconds", {}) if isinstance(execution, dict) else {}
+    if not isinstance(walls, dict):
+        walls = {}
+
+    report = DirectoryReport(
+        source=str(directory), kind=kind, campaign=spec.name, spec_hash=spec_hash(spec)
+    )
+    tracer = tracing.TRACER
+    start_ns = tracer.now_ns() if tracer is not None else 0
+    try:
+        with conn:  # one transaction per directory
+            campaign_id = _upsert_campaign(conn, spec, points_total)
+            seen_indices: Dict[int, str] = {}
+            for raw in results["points"]:
+                record = _validated_record(raw, points_total, directory)
+                index = int(record["index"])
+                sha = record_sha(record)
+                if index in seen_indices:
+                    raise StoreError(
+                        f"{directory / RESULTS_JSON}: duplicate record for point "
+                        f"{index} within one results.json — the artifacts are corrupt"
+                    )
+                seen_indices[index] = sha
+                report.n_records += 1
+                existing = conn.execute(
+                    "SELECT record_sha FROM points WHERE campaign_id = ? AND point_index = ?",
+                    (campaign_id, index),
+                ).fetchone()
+                if existing is not None:
+                    if existing["record_sha"] == sha:
+                        report.deduplicated += 1
+                    else:
+                        report.conflicts.append(
+                            {
+                                "index": index,
+                                "stored_sha": existing["record_sha"],
+                                "incoming_sha": sha,
+                            }
+                        )
+                    continue
+                try:
+                    wall = float(walls.get(str(index), 0.0))
+                except (TypeError, ValueError):
+                    wall = 0.0
+                conn.execute(
+                    "INSERT INTO points (campaign_id, point_index, scenario,"
+                    " horizon_cycles, seed, params, stats, activity, power_uw,"
+                    " area_kge, wall_seconds, record_sha)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        campaign_id,
+                        index,
+                        str(record["scenario"]),
+                        int(record["horizon_cycles"]),
+                        int(record["seed"]),
+                        canonical_json(record["params"]),
+                        canonical_json(record["stats"]),
+                        canonical_json(record["activity"]),
+                        canonical_json(record["power_uw"]),
+                        canonical_json(record["area_kge"]),
+                        wall,
+                        sha,
+                    ),
+                )
+                report.inserted += 1
+            if report.conflicts:
+                # Roll the whole directory back: determinism says a campaign
+                # point has exactly one record, so a content collision means
+                # these artifacts cannot be trusted at all.
+                report.inserted = 0
+                raise _ConflictRollback()
+            conn.execute(
+                "INSERT INTO ingests (campaign_id, source, kind, inserted,"
+                " deduplicated, conflicts, merged_from) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    str(directory),
+                    kind,
+                    report.inserted,
+                    report.deduplicated,
+                    0,
+                    canonical_json(merged_from),
+                ),
+            )
+    except _ConflictRollback:
+        pass
+    if tracer is not None:
+        tracer.event(
+            "store.ingest",
+            "store",
+            start_ns,
+            tracer.now_ns() - start_ns,
+            {
+                "source": str(directory),
+                "kind": kind,
+                "inserted": report.inserted,
+                "deduplicated": report.deduplicated,
+                "conflicts": len(report.conflicts),
+            },
+        )
+    return report
+
+
+def ingest_directories(conn: sqlite3.Connection, directories: Sequence[Path]) -> IngestReport:
+    """Ingest several artifact directories; one transaction each.
+
+    A directory with content conflicts is rolled back and reported but
+    does not stop the remaining directories; a directory that fails
+    validation raises :class:`StoreError` immediately (nothing about it
+    was written).
+    """
+    report = IngestReport()
+    for directory in directories:
+        report.directories.append(ingest_directory(conn, directory))
+    return report

@@ -74,6 +74,7 @@ from repro.sweep.resume import (
     load_artifact_json,
     load_point_walls,
     load_reusable_results,
+    point_result_from_record,
     spec_from_manifest,
     spec_hash,
 )
@@ -109,6 +110,7 @@ __all__ = [
     "merge_shards",
     "plan_heal",
     "point_record",
+    "point_result_from_record",
     "register_campaign",
     "results_payload",
     "run_point",

@@ -197,47 +197,80 @@ def load_reusable_results(
     point_walls = _point_walls(manifest)
     reusable: Dict[int, PointResult] = {}
     for record in results.get("points", ()):
-        try:
-            index = int(record["index"])
-            point = points_by_index.get(index)
-            if (
-                point is None
-                or record["scenario"] != point.scenario
-                or int(record["horizon_cycles"]) != point.horizon_cycles
-                or dict(record["params"]) != dict(point.params)
-                or int(record["seed"]) != point.seed
-            ):
-                raise ResumeError(
-                    f"{results_path}: point record {record.get('index')!r} disagrees "
-                    f"with the current expansion of campaign {spec.name!r} "
-                    f"(scenario/horizon/params/seed mismatch) — the artifacts were "
-                    f"edited or the registry changed; delete them or rerun without "
-                    f"--resume"
-                )
-            reusable[index] = PointResult(
-                index=index,
-                scenario=record["scenario"],
-                horizon_cycles=int(record["horizon_cycles"]),
-                params=dict(record["params"]),
-                seed=int(record["seed"]),
-                stats=dict(record["stats"]),
-                activity=dict(record["activity"]),
-                power_uw=dict(record["power_uw"]),
-                area_kge=dict(record["area_kge"]),
-                wall_seconds=point_walls.get(str(index), 0.0),
-                reused=True,
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            if isinstance(exc, ResumeError):
-                raise
-            # One malformed record condemns the artifact set: a partially
-            # written results.json must not silently contribute half its
-            # points next to a fresh recomputation of the rest.
-            raise ResumeError(
-                f"{results_path}: point record {str(record)[:80]!r} failed to "
-                f"parse ({exc!r}) — results.json is truncated or corrupt"
-            ) from None
+        result = point_result_from_record(
+            record,
+            spec,
+            points_by_index,
+            walls=point_walls,
+            source=str(results_path),
+        )
+        reusable[result.index] = result
     return reusable
+
+
+def point_result_from_record(
+    record: Mapping[str, object],
+    spec: CampaignSpec,
+    points_by_index: Mapping[int, object],
+    *,
+    walls: Mapping[str, float],
+    source: str,
+) -> "PointResult":
+    """Validate one stored point record against the campaign's current
+    expansion and return it as a reusable :class:`PointResult`.
+
+    The single validation gate for *every* resume source — a previous
+    run's ``results.json`` and the results store both go through here, so
+    the two paths cannot drift.  The record's identity fields (scenario,
+    horizon, params, seed) must match the expansion's point at that index
+    exactly; the spec hash covers the ``CampaignSpec`` fields, but
+    expansion also depends on registry state (the scenario's default
+    horizon, the seed-injection rule), so a matching hash alone is not
+    enough.  Raises :class:`ResumeError` naming ``source`` for a record
+    that is malformed or contradicts the expansion.
+    """
+    from repro.sweep.execute import PointResult
+
+    try:
+        index = int(record["index"])
+        point = points_by_index.get(index)
+        if (
+            point is None
+            or record["scenario"] != point.scenario
+            or int(record["horizon_cycles"]) != point.horizon_cycles
+            or dict(record["params"]) != dict(point.params)
+            or int(record["seed"]) != point.seed
+        ):
+            raise ResumeError(
+                f"{source}: point record {record.get('index')!r} disagrees "
+                f"with the current expansion of campaign {spec.name!r} "
+                f"(scenario/horizon/params/seed mismatch) — the artifacts were "
+                f"edited or the registry changed; delete them or rerun without "
+                f"--resume"
+            )
+        return PointResult(
+            index=index,
+            scenario=record["scenario"],
+            horizon_cycles=int(record["horizon_cycles"]),
+            params=dict(record["params"]),
+            seed=int(record["seed"]),
+            stats=dict(record["stats"]),
+            activity=dict(record["activity"]),
+            power_uw=dict(record["power_uw"]),
+            area_kge=dict(record["area_kge"]),
+            wall_seconds=walls.get(str(index), 0.0),
+            reused=True,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, ResumeError):
+            raise
+        # One malformed record condemns the artifact set: a partially
+        # written results.json must not silently contribute half its
+        # points next to a fresh recomputation of the rest.
+        raise ResumeError(
+            f"{source}: point record {str(record)[:80]!r} failed to "
+            f"parse ({exc!r}) — results.json is truncated or corrupt"
+        ) from None
 
 
 def load_point_walls(directory: Path, spec: CampaignSpec) -> Dict[int, float]:

@@ -1,0 +1,54 @@
+"""Every relative markdown link in the maintained docs must resolve.
+
+CI runs ``tools/check_doc_links.py`` directly; this test pins the same
+contract in the tier-1 suite so a broken cross-link fails locally too.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_doc_links.py"
+
+sys.path.insert(0, str(CHECKER.parent))
+
+from check_doc_links import broken_links, doc_files  # noqa: E402
+
+
+class TestDocLinks:
+    def test_all_doc_links_resolve(self):
+        files = doc_files(REPO_ROOT)
+        assert files, "no markdown files found — repository layout changed?"
+        assert broken_links(files) == []
+
+    def test_every_subsystem_guide_is_indexed(self):
+        # docs/index.md is the entry point: every guide must be reachable
+        # from it, and every guide must point back.
+        index = (REPO_ROOT / "docs" / "index.md").read_text(encoding="utf-8")
+        for guide in sorted((REPO_ROOT / "docs").glob("*.md")):
+            if guide.name == "index.md":
+                continue
+            assert f"({guide.name})" in index, f"docs/index.md does not link {guide.name}"
+            assert "(index.md)" in guide.read_text(encoding="utf-8"), (
+                f"{guide.name} does not link back to docs/index.md"
+            )
+
+    def test_checker_detects_a_broken_link(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "page.md").write_text("see [gone](missing.md)\n")
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "missing.md" in result.stderr
+
+    def test_checker_passes_the_real_tree(self):
+        result = subprocess.run(
+            [sys.executable, str(CHECKER)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr

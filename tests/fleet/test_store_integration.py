@@ -1,0 +1,110 @@
+"""Fleet--store integration: ingest-on-accept and cost calibration.
+
+The fleet's posture toward the store is accelerant, never dependency:
+``--store`` ingests every accepted shard and calibrates shard cuts from
+stored timings, but a broken store degrades to ledger notes while the
+campaign still completes byte-identically.
+"""
+
+import filecmp
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import EXIT_COMPLETE, FleetConfig, run_fleet, store_point_walls
+from repro.run import main
+from repro.store import connect, store_info
+from repro.sweep.campaigns import campaign
+
+SMOKE = campaign("smoke")
+
+FAST = dict(backoff_base=0.05, backoff_cap=0.2, poll_interval=0.02)
+
+
+def make_config(tmp_path: Path, **overrides) -> FleetConfig:
+    options = dict(
+        campaign="smoke", workers=2, out=tmp_path / "fleet", timeout=30.0, **FAST
+    )
+    options.update(overrides)
+    return FleetConfig(**options)
+
+
+@pytest.fixture(scope="module")
+def serial_dir(tmp_path_factory) -> Path:
+    out = tmp_path_factory.mktemp("serial")
+    assert main(["sweep", "smoke", "--jobs", "1", "--out", str(out)]) == 0
+    return out / "smoke"
+
+
+class TestIngestOnAccept:
+    def test_accepted_shards_land_in_the_store(self, tmp_path, serial_dir):
+        db_path = tmp_path / "store.sqlite"
+        result = run_fleet(make_config(tmp_path, store=db_path))
+        assert result.status == "complete" and result.exit_code == EXIT_COMPLETE
+        for name in ("results.json", "results.csv"):
+            assert filecmp.cmp(result.campaign_dir / name, serial_dir / name, shallow=False)
+
+        conn = connect(db_path, create=False)
+        try:
+            info = store_info(conn)
+            (entry,) = info["campaigns"]
+            assert entry["name"] == "smoke"
+            assert entry["points_stored"] == 4
+            assert entry["complete"] is True
+            # One ingest row per accepted shard.
+            assert entry["ingests"] == 2
+        finally:
+            conn.close()
+
+        ledger = json.loads(result.ledger_path.read_text())
+        counters = ledger["metrics"]["counter"]
+        assert counters.get("fleet.store_ingest{outcome=ok}") == 2
+        assert counters.get("fleet.store_points{kind=inserted}") == 4
+
+    def test_second_fleet_run_dedups_and_calibrates(self, tmp_path):
+        db_path = tmp_path / "store.sqlite"
+        first = run_fleet(make_config(tmp_path / "first", store=db_path))
+        assert first.exit_code == EXIT_COMPLETE
+
+        # The timings the next run will price its cuts from:
+        walls, notes = store_point_walls(SMOKE, db_path)
+        assert sorted(walls) == [0, 1, 2, 3]
+        assert all(wall > 0 for wall in walls.values())
+        assert notes == []
+
+        second = run_fleet(make_config(tmp_path / "second", store=db_path))
+        assert second.exit_code == EXIT_COMPLETE
+        conn = connect(db_path, create=False)
+        try:
+            # Re-running the same campaign inserted nothing new.
+            n = conn.execute("SELECT COUNT(*) AS n FROM points").fetchone()["n"]
+            assert n == 4
+        finally:
+            conn.close()
+
+    def test_unreadable_store_degrades_to_ledger_note(self, tmp_path, serial_dir):
+        """A store failure must never fail the fleet: the campaign completes
+        byte-identically and the failure is a ledger note + error counter."""
+        db_path = tmp_path / "store.sqlite"
+        db_path.write_text("this is not a sqlite database")
+        result = run_fleet(make_config(tmp_path, store=db_path))
+        assert result.status == "complete" and result.exit_code == EXIT_COMPLETE
+        for name in ("results.json", "results.csv"):
+            assert filecmp.cmp(result.campaign_dir / name, serial_dir / name, shallow=False)
+        ledger = json.loads(result.ledger_path.read_text())
+        notes = " ".join(ledger.get("notes", []))
+        assert "store" in notes
+
+
+class TestStorePointWalls:
+    def test_missing_database_is_a_note_not_an_error(self, tmp_path):
+        walls, notes = store_point_walls(SMOKE, tmp_path / "nope.sqlite")
+        assert walls == {}
+        assert notes and "nope.sqlite" in notes[0]
+
+    def test_unknown_campaign_is_a_note(self, tmp_path):
+        connect(tmp_path / "store.sqlite").close()
+        walls, notes = store_point_walls(SMOKE, tmp_path / "store.sqlite")
+        assert walls == {}
+        assert notes and "smoke" in notes[0]

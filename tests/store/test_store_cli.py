@@ -1,0 +1,153 @@
+"""CLI tests for ``python -m repro.run store``: exit codes and output."""
+
+import json
+
+import pytest
+
+from repro.run import main
+
+
+@pytest.fixture()
+def campaign_dir(tmp_path):
+    assert main(["sweep", "smoke", "--out", str(tmp_path / "sweeps")]) == 0
+    return tmp_path / "sweeps" / "smoke"
+
+
+@pytest.fixture()
+def db(tmp_path):
+    return str(tmp_path / "store.sqlite")
+
+
+class TestStoreDispatch:
+    def test_bare_store_prints_usage_and_exits_2(self, capsys):
+        assert main(["store"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_help_lists_subcommands(self, capsys):
+        assert main(["store", "--help"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ingest", "query", "info"):
+            assert name in out
+
+    def test_unknown_subcommand_is_exit_2(self, capsys):
+        assert main(["store", "frobnicate"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+
+class TestStoreIngestCli:
+    def test_ingest_then_reingest_reports_dedup(self, campaign_dir, db, capsys):
+        assert main(["store", "ingest", str(campaign_dir), "--db", db]) == 0
+        assert "4 inserted" in capsys.readouterr().out
+        assert main(["store", "ingest", str(campaign_dir), "--db", db]) == 0
+        assert "4 deduplicated" in capsys.readouterr().out
+
+    def test_json_report_is_parseable(self, campaign_dir, db, capsys):
+        assert main(["store", "ingest", str(campaign_dir), "--db", db, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["inserted"] == 4
+        assert report["ok"] is True
+        (directory,) = report["directories"]
+        assert directory["kind"] == "full"
+
+    def test_bad_directory_is_exit_2(self, tmp_path, db, capsys):
+        assert main(["store", "ingest", str(tmp_path / "empty"), "--db", db]) == 2
+        assert "results.json" in capsys.readouterr().err
+
+    def test_conflict_is_exit_1(self, campaign_dir, db, tmp_path, capsys):
+        assert main(["store", "ingest", str(campaign_dir), "--db", db]) == 0
+        payload = json.loads((campaign_dir / "results.json").read_text())
+        payload["points"][0]["stats"]["samples_taken"] += 1
+        (campaign_dir / "results.json").write_text(json.dumps(payload))
+        assert main(["store", "ingest", str(campaign_dir), "--db", db]) == 1
+        assert "conflict" in capsys.readouterr().err
+
+
+class TestStoreQueryCli:
+    def test_query_table_csv_json(self, campaign_dir, db, capsys, tmp_path):
+        main(["store", "ingest", str(campaign_dir), "--db", db])
+        capsys.readouterr()
+
+        assert main(["store", "query", "--db", db, "--campaign", "smoke"]) == 0
+        assert "power_uw.Total" in capsys.readouterr().out
+
+        out_file = tmp_path / "rows.csv"
+        assert (
+            main(
+                [
+                    "store",
+                    "query",
+                    "--db",
+                    db,
+                    "--columns",
+                    "index,seed,power_uw.Total",
+                    "--format",
+                    "csv",
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        lines = out_file.read_text().strip().split("\n")
+        assert lines[0] == "index,seed,power_uw.Total"
+        assert len(lines) == 5
+
+    def test_aggregate_and_group_by(self, campaign_dir, db, capsys):
+        main(["store", "ingest", str(campaign_dir), "--db", db])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "store",
+                    "query",
+                    "--db",
+                    db,
+                    "--aggregate",
+                    "count",
+                    "--aggregate",
+                    "mean:power_uw.Total",
+                    "--group-by",
+                    "campaign",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        (group,) = json.loads(capsys.readouterr().out)
+        assert group["campaign"] == "smoke"
+        assert group["count"] == 4
+        assert group["mean:power_uw.Total"] > 0
+
+    def test_group_by_without_aggregate_is_exit_2(self, db, campaign_dir, capsys):
+        main(["store", "ingest", str(campaign_dir), "--db", db])
+        assert main(["store", "query", "--db", db, "--group-by", "campaign"]) == 2
+        assert "--aggregate" in capsys.readouterr().err
+
+    def test_missing_database_is_exit_2(self, tmp_path, capsys):
+        assert main(["store", "query", "--db", str(tmp_path / "nope")]) == 2
+        assert "no such store database" in capsys.readouterr().err
+
+    def test_bad_filter_is_exit_2(self, db, campaign_dir, capsys):
+        main(["store", "ingest", str(campaign_dir), "--db", db])
+        assert main(["store", "query", "--db", db, "--where", "nonsense"]) == 2
+
+
+class TestStoreInfoCli:
+    def test_info_summarises_coverage(self, campaign_dir, db, capsys):
+        main(["store", "ingest", str(campaign_dir), "--db", db])
+        capsys.readouterr()
+        assert main(["store", "info", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "4/4" in out
+
+    def test_info_json(self, campaign_dir, db, capsys):
+        main(["store", "ingest", str(campaign_dir), "--db", db])
+        capsys.readouterr()
+        assert main(["store", "info", "--db", db, "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["total_points"] == 4
+
+    def test_missing_database_is_exit_2(self, tmp_path, capsys):
+        assert main(["store", "info", "--db", str(tmp_path / "nope")]) == 2

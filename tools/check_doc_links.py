@@ -1,0 +1,77 @@
+"""Check that every relative markdown link in the documentation resolves.
+
+Scans ``docs/*.md`` plus the root-level ``*.md`` files for inline links
+(``[text](target)``), skips external schemes (http/https/mailto) and
+pure-anchor links, strips ``#fragment`` suffixes, and verifies the target
+exists relative to the linking file.  Exit 0 when every link resolves,
+exit 1 with one line per broken link otherwise.
+
+Usage: ``python tools/check_doc_links.py [repo_root]``
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+# Inline markdown links: [text](target).  Images ([!]...) share the same
+# target syntax, so the pattern covers both.  Reference-style links are
+# not used in this repository's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+# Machine-generated reference dumps (arxiv retrievals, exemplar snippets,
+# per-PR task briefs) carry extraction artifacts we don't maintain.
+_SKIP = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def doc_files(root: Path) -> List[Path]:
+    files = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    files += sorted(path for path in root.glob("*.md") if path.name not in _SKIP)
+    return files
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    in_code_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def broken_links(files: Iterable[Path]) -> List[str]:
+    problems: List[str] = []
+    for path in files:
+        for lineno, target in iter_links(path):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    files = doc_files(root)
+    if not files:
+        print(f"error: no markdown files found under {root}", file=sys.stderr)
+        return 1
+    problems = broken_links(files)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK: {len(files)} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
