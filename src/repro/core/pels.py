@@ -65,6 +65,65 @@ class ActionTarget:
     deliver: Callable[[], None]
 
 
+# The wiring callables below are module-level classes rather than closures so
+# a fully built SoC graph stays picklable (the prepared-state snapshot cache
+# serialises whole prepared scenarios; see repro.sim.snapshot).
+
+
+class _BusSubmit:
+    """Bus-master hook: count the sequenced transfer, then submit."""
+
+    __slots__ = ("pels",)
+
+    def __init__(self, pels: "Pels") -> None:
+        self.pels = pels
+
+    def __call__(self, request: BusRequest) -> BusRequest:
+        bus = self.pels.peripheral_bus
+        assert bus is not None
+        self.pels.record("sequenced_transfers")
+        return bus.submit(request)
+
+
+class _ActionSink:
+    """Per-link outgoing action line feeding :meth:`Pels._deliver_action`."""
+
+    __slots__ = ("pels", "link_index")
+
+    def __init__(self, pels: "Pels", link_index: int) -> None:
+        self.pels = pels
+        self.link_index = link_index
+
+    def __call__(self, group: int, mask: int, toggle: bool, cycle: int) -> None:
+        self.pels._deliver_action(self.link_index, group, mask, toggle, cycle)
+
+
+class _PeripheralDelivery:
+    """Routed instant action: pulse one peripheral event input."""
+
+    __slots__ = ("peripheral", "port")
+
+    def __init__(self, peripheral, port: str) -> None:
+        self.peripheral = peripheral
+        self.port = port
+
+    def __call__(self) -> None:
+        self.peripheral.on_event_input(self.port)
+
+
+class _FabricLoopback:
+    """Routed instant action: re-inject a fabric line pulse next cycle."""
+
+    __slots__ = ("pels", "line_name")
+
+    def __init__(self, pels: "Pels", line_name: str) -> None:
+        self.pels = pels
+        self.line_name = line_name
+
+    def __call__(self) -> None:
+        self.pels._pending_loopback.append(self.line_name)
+
+
 class Pels(Component):
     """The Peripheral Event Linking System."""
 
@@ -104,22 +163,12 @@ class Pels(Component):
     # ------------------------------------------------------------- bus mastering
 
     def _make_bus_submit(self):
-        bus = self.peripheral_bus
-
-        def submit(request: BusRequest) -> BusRequest:
-            assert bus is not None
-            self.record("sequenced_transfers")
-            return bus.submit(request)
-
-        return submit
+        return _BusSubmit(self)
 
     # ------------------------------------------------------------ action routing
 
     def _make_action_sink(self, link_index: int):
-        def sink(group: int, mask: int, toggle: bool, cycle: int) -> None:
-            self._deliver_action(link_index, group, mask, toggle, cycle)
-
-        return sink
+        return _ActionSink(self, link_index)
 
     def route_action_to_peripheral(self, group: int, bit: int, peripheral, port: str) -> None:
         """Connect output line (``group``, ``bit``) to a peripheral event input."""
@@ -127,7 +176,7 @@ class Pels(Component):
         target = ActionTarget(
             kind="peripheral",
             label=f"{peripheral.name}.{port}",
-            deliver=lambda: peripheral.on_event_input(port),
+            deliver=_PeripheralDelivery(peripheral, port),
         )
         self._action_routes[(group, bit)] = target
 
@@ -142,7 +191,7 @@ class Pels(Component):
         target = ActionTarget(
             kind="fabric",
             label=line_name,
-            deliver=lambda: self._pending_loopback.append(line_name),
+            deliver=_FabricLoopback(self, line_name),
         )
         self._action_routes[(group, bit)] = target
 

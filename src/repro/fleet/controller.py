@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.sweep.artifacts import RESULTS_JSON, shard_dirname
+from repro.sweep.artifacts import MANIFEST_JSON, RESULTS_JSON, shard_dirname
 from repro.sweep.campaign import CampaignSpec, ShardSpec, expand_campaign
 from repro.sweep.merge import (
     HEAL_JSON,
@@ -134,6 +134,16 @@ class FleetConfig:
     #: failures degrade to ledger notes — the store is an accelerant, never
     #: a dependency of campaign completion.
     store: Optional[Path] = None
+    #: Shared prepared-state snapshot cache directory passed to every worker
+    #: (``--plan-cache``).  ``None`` auto-provisions
+    #: ``<out>/<campaign>/plan-cache`` — :func:`run_fleet` resolves it and
+    #: writes the resolved path back here so every launch (including heal
+    #: rounds) uses the same directory.  Workers running with a plan cache
+    #: also run ``--profile`` so their manifests carry kernel stats and the
+    #: ledger can aggregate ``plan_shared``/cache counters fleet-wide.
+    plan_cache: Optional[Path] = None
+    #: ``--no-plan-cache`` disables warm starts entirely.
+    plan_cache_enabled: bool = True
     #: Fault injection: launch ordinal -> fault (see :func:`parse_chaos`).
     chaos: Dict[int, str] = field(default_factory=dict)
     #: Seconds after launch at which a ``kill`` chaos fault fires.
@@ -196,6 +206,12 @@ def _worker_argv(config: FleetConfig, shard: ShardSpec) -> List[str]:
     ]
     if config.trace:
         argv += ["--trace-out", "trace.json", "--profile"]
+    if config.plan_cache_enabled and config.plan_cache is not None:
+        argv += ["--plan-cache", str(config.plan_cache)]
+        if not config.trace:
+            # Kernel stats only reach the shard manifest under --profile;
+            # the ledger needs them to aggregate plan_shared fleet-wide.
+            argv += ["--profile"]
     return argv
 
 
@@ -227,6 +243,14 @@ def run_fleet(config: FleetConfig, spec: Optional[CampaignSpec] = None) -> Fleet
     campaign_dir = Path(config.out) / spec.name
     log_dir = campaign_dir / "fleet-logs"
     transport = resolve_transport(config.transport)
+    if config.plan_cache_enabled:
+        # One shared snapshot cache for the whole fleet: the first worker to
+        # reach a horizon publishes, every later worker (and every heal-round
+        # re-run) warm-starts from it.
+        if config.plan_cache is None:
+            config.plan_cache = campaign_dir / "plan-cache"
+        config.plan_cache.mkdir(parents=True, exist_ok=True)
+        config.echo(f"fleet: shared plan cache at {config.plan_cache}")
     ledger = FleetLedger(
         campaign=spec.name,
         spec_hash=spec_hash(spec),
@@ -237,6 +261,9 @@ def run_fleet(config: FleetConfig, spec: Optional[CampaignSpec] = None) -> Fleet
         max_retries=config.max_retries,
         backoff_base=config.backoff_base,
         backoff_cap=config.backoff_cap,
+    )
+    ledger.config["plan_cache"] = (
+        str(config.plan_cache) if config.plan_cache_enabled else None
     )
     chaos = _ChaosInjector(config.chaos, config.chaos_kill_delay)
     started = time.monotonic()
@@ -284,6 +311,7 @@ def run_fleet(config: FleetConfig, spec: Optional[CampaignSpec] = None) -> Fleet
             if attempt.accepted and attempt.artifact_dir not in accepted_set:
                 accepted_set.add(attempt.artifact_dir)
                 accepted_dirs.append(Path(attempt.artifact_dir))
+                _absorb_shard_telemetry(ledger, Path(attempt.artifact_dir))
                 if config.store is not None:
                     _ingest_accepted(config, ledger, Path(attempt.artifact_dir))
             ledger.record_attempt(round_record, attempt, delivered)
@@ -458,6 +486,42 @@ def _validate_attempt(attempt: Attempt, spec: CampaignSpec) -> int:
     else:
         attempt.outcome = attempt.exit_class or "unknown"
     return delivered
+
+
+def _absorb_shard_telemetry(ledger: FleetLedger, directory: Path) -> None:
+    """Fold one accepted shard manifest's cache + kernel counters into the
+    ledger's metrics registry.
+
+    This is where ``kernel_stats.plan_shared`` (and the plan cache's
+    hit/miss/write/error totals) become visible *fleet-wide*: each worker
+    sums its own counters into its manifest, and the ledger sums across
+    accepted shards.  Pure bookkeeping — any read failure degrades to a
+    ledger note, never fleet failure.
+    """
+    manifest_path = Path(directory) / MANIFEST_JSON
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        execution = manifest.get("execution") or {}
+    except (OSError, ValueError, AttributeError) as exc:
+        ledger.note(f"telemetry aggregation skipped {manifest_path}: {exc}")
+        return
+    cache_block = execution.get("cache")
+    if isinstance(cache_block, dict):
+        for name, counter in (
+            ("hits", "cache.hit"),
+            ("misses", "cache.miss"),
+            ("writes", "cache.write"),
+            ("errors", "cache.error"),
+        ):
+            ledger.metrics.counter(counter).inc(int(cache_block.get(name) or 0))
+        for note in cache_block.get("notes") or []:
+            ledger.note(f"plan cache ({directory.name}): {note}")
+    telemetry = execution.get("telemetry")
+    if isinstance(telemetry, dict):
+        counters = (telemetry.get("metrics") or {}).get("counter") or {}
+        for name, value in counters.items():
+            if name.startswith("kernel."):
+                ledger.metrics.counter(name).inc(int(value))
 
 
 def _ingest_accepted(config: FleetConfig, ledger: FleetLedger, directory: Path) -> None:

@@ -202,6 +202,17 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         "(default: %(default)s); recorded in the manifest execution block",
     )
     parser.add_argument(
+        "--plan-cache",
+        default=None,
+        metavar="DIR",
+        help="persistent prepared-state snapshot cache: batched groups "
+        "warm-start from snapshots published by earlier runs (any process, "
+        "any backend) and publish their own at every horizon stop; results "
+        "are byte-identical to a cold run, hit/miss totals land in the "
+        "manifest's execution.cache block; the fleet provisions one shared "
+        "cache dir automatically",
+    )
+    parser.add_argument(
         "--shard",
         default=None,
         metavar="I/N",
@@ -377,6 +388,15 @@ def _stats_main(argv: Sequence[str]) -> int:
     wall = float(execution.get("wall_seconds") or 0.0)
     rate = f", {float(n_points) / wall:.1f} points/s" if wall > 0 and n_points != "?" else ""
     print(f"campaign {name}: {n_points} points, {wall:.2f} s wall{rate}")
+    cache_block = execution.get("cache")
+    if isinstance(cache_block, dict):
+        print(
+            f"plan cache {cache_block.get('path')}: "
+            f"{cache_block.get('hits', 0)} hits, {cache_block.get('misses', 0)} misses, "
+            f"{cache_block.get('writes', 0)} writes, {cache_block.get('errors', 0)} errors"
+        )
+        for note in cache_block.get("notes") or []:
+            print(f"  note: {note}")
     telemetry = execution.get("telemetry")
     if not isinstance(telemetry, dict):
         print(
@@ -578,6 +598,7 @@ def _sweep_main(argv: Sequence[str]) -> int:
             backend=args.backend,
             trace=args.trace_out is not None,
             profile=args.profile,
+            plan_cache=args.plan_cache,
         )
     finally:
         if tracer is not None:
@@ -636,6 +657,13 @@ def _sweep_main(argv: Sequence[str]) -> int:
     if result.batch_fallbacks:
         fallen = sum(len(record["points"]) for record in result.batch_fallbacks)
         batched += f", {fallen} fell back"
+    if result.cache is not None:
+        batched += (
+            f", cache {result.cache['hits']} hit{'s' if result.cache['hits'] != 1 else ''}"
+            f"/{result.cache['misses']} miss"
+        )
+        if result.cache["errors"]:
+            batched += f"/{result.cache['errors']} errors"
     rate = result.n_points / max(result.wall_seconds, 1e-9)
     print(
         f"campaign {spec.name}: {result.n_points} points over scenario {spec.scenario} "
@@ -758,6 +786,20 @@ def _build_fleet_parser() -> argparse.ArgumentParser:
         "fleet failure (see docs/store.md)",
     )
     parser.add_argument(
+        "--plan-cache",
+        default=None,
+        metavar="DIR",
+        help="shared prepared-state snapshot cache passed to every worker "
+        "(default: <out>/<campaign>/plan-cache, provisioned automatically); "
+        "warm workers skip preparation and the already-simulated prefix, "
+        "and the ledger aggregates hit/miss totals fleet-wide",
+    )
+    parser.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="disable the shared plan cache (workers always cold-start)",
+    )
+    parser.add_argument(
         "--chaos",
         default=None,
         metavar="SPEC",
@@ -804,6 +846,8 @@ def _fleet_main(argv: Sequence[str]) -> int:
         transport=args.transport,
         trace=args.trace,
         store=Path(args.store) if args.store else None,
+        plan_cache=Path(args.plan_cache) if args.plan_cache else None,
+        plan_cache_enabled=not args.no_plan_cache,
         chaos=chaos,
         poll_interval=args.poll_interval,
     )

@@ -244,11 +244,13 @@ class Simulator:
         if plan is None or plan.fingerprint != SchedulePlan.compute_fingerprint(self):
             tracer = tracing.TRACER
             start_ns = tracer.now_ns() if tracer is not None else 0
-            plan, shared = SchedulePlan.resolve(self)
+            plan, shared, evicted = SchedulePlan.resolve(self)
             self._plan = plan
             state.kernel_stats["plan_builds"] += 1
             if shared:
                 state.kernel_stats["plan_shared"] += 1
+            if evicted:
+                state.kernel_stats["plan_evictions"] += evicted
             if tracer is not None:
                 tracer.event(
                     "kernel.plan",
@@ -435,10 +437,18 @@ class Simulator:
         )
 
 
+#: Upper bound on the process-wide plan intern table.  A sweep campaign
+#: contributes exactly one topology, so this is generous for batch workers —
+#: the cap exists for long-lived processes (a fleet controller, a future HTTP
+#: server) that resolve plans for many unrelated topologies over their
+#: lifetime.  Evictions are charged to ``kernel_stats["plan_evictions"]`` on
+#: the simulator whose resolution crossed the bound.
+PLAN_INTERN_CAPACITY = 128
+
 #: Process-wide intern table of structural plans: every simulator whose
-#: topology hashes to the same fingerprint shares one plan object.  Keys are
-#: bounded by the number of distinct topologies a process builds (a sweep
-#: campaign contributes exactly one), so the table is deliberately unbounded.
+#: topology hashes to the same fingerprint shares one plan object.  Ordered
+#: as an LRU (hits reinsert their key), bounded by
+#: :data:`PLAN_INTERN_CAPACITY`.
 _PLAN_INTERN: Dict[Tuple, "SchedulePlan"] = {}
 
 
@@ -522,19 +532,43 @@ class SchedulePlan:
         return (simulator.cached_wakes, tuple(entries))
 
     @classmethod
-    def resolve(cls, simulator: Simulator) -> Tuple["SchedulePlan", bool]:
+    def resolve(cls, simulator: Simulator) -> Tuple["SchedulePlan", bool, int]:
         """Return the interned plan for ``simulator``'s topology.
 
         The second element reports whether the plan was shared from the
-        intern table (True) or built fresh (False).
+        intern table (True) or built fresh (False); the third is how many
+        older plans the insertion evicted (zero on a hit).
         """
         fingerprint = cls.compute_fingerprint(simulator)
         plan = _PLAN_INTERN.get(fingerprint)
         if plan is not None:
-            return plan, True
-        plan = cls(fingerprint)
-        _PLAN_INTERN[fingerprint] = plan
-        return plan, False
+            del _PLAN_INTERN[fingerprint]  # LRU refresh: reinsert as newest
+            _PLAN_INTERN[fingerprint] = plan
+            return plan, True, 0
+        return cls.adopt(cls(fingerprint))
+
+    @classmethod
+    def adopt(cls, plan: "SchedulePlan") -> Tuple["SchedulePlan", bool, int]:
+        """Intern ``plan``, or return the already-interned equal plan.
+
+        The canonical entry point for plans that arrive from *outside* a
+        live resolution — a deserialised snapshot header
+        (:mod:`repro.sim.snapshot`) re-enters the intern table here so a
+        later same-topology :meth:`resolve` counts ``plan_shared`` instead
+        of rebuilding.  Returns ``(canonical_plan, shared, evictions)``
+        with the same meaning as :meth:`resolve`.
+        """
+        existing = _PLAN_INTERN.get(plan.fingerprint)
+        if existing is not None:
+            del _PLAN_INTERN[plan.fingerprint]
+            _PLAN_INTERN[plan.fingerprint] = existing
+            return existing, True, 0
+        _PLAN_INTERN[plan.fingerprint] = plan
+        evicted = 0
+        while len(_PLAN_INTERN) > PLAN_INTERN_CAPACITY:
+            del _PLAN_INTERN[next(iter(_PLAN_INTERN))]
+            evicted += 1
+        return plan, False, evicted
 
     def __init__(self, fingerprint: Tuple) -> None:
         self.fingerprint = fingerprint
@@ -629,6 +663,19 @@ class SimState:
         #: Component whose tick()/skip() is currently executing; its *self*
         #: invalidations are suppressed (see invalidate_wake).
         self._active_component: Optional[Component] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Prepared-state snapshots (repro.sim.snapshot) pickle whole
+        # simulators between processes and across batch backends.  The wake
+        # row is a backend-owned view into a shared deadline matrix — the
+        # authoritative ``deadlines`` list carries the same information, and
+        # whichever backend runs the restored instance re-attaches its own
+        # row.  ``_active_component`` only ever holds a value *during* a
+        # tick/skip dispatch, never at a stop boundary.
+        state = self.__dict__.copy()
+        state["_wake_row"] = None
+        state["_active_component"] = None
+        return state
 
     # ----------------------------------------------------------------- binding
 

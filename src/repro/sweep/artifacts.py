@@ -151,6 +151,13 @@ def manifest_payload(spec: CampaignSpec, result: CampaignResult) -> Dict[str, ob
         # only in the manifest: results.json/results.csv must stay
         # byte-identical whether a run was traced/profiled or not.
         payload["execution"]["telemetry"] = result.telemetry
+    if result.cache is not None:
+        # Warm-run provenance: the resolved --plan-cache path plus summed
+        # hit/miss/write/error totals (and any swallowed corruption notes).
+        # Manifest-only, like telemetry: the cache changes wall-clock, never
+        # the comparable payload, so results.json/csv stay byte-identical
+        # between cold and warm runs.
+        payload["execution"]["cache"] = result.cache
     shard = shard_record(result)
     if shard is not None:
         payload["shard"] = shard

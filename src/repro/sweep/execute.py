@@ -64,6 +64,7 @@ from functools import partial
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.area.model import PelsAreaModel
+from repro.cache.plan_cache import group_cache_key
 from repro.obs import tracing
 from repro.obs.metrics import KERNEL_STAT_KEYS, CounterSet, MetricsRegistry
 from repro.obs.profile import PhaseTimer
@@ -145,6 +146,11 @@ class CampaignResult:
     trace_events: List[Dict[str, object]] = field(default_factory=list)
     #: Events the worker tracers dropped at their buffer caps.
     trace_dropped: int = 0
+    #: Plan-cache provenance (``--plan-cache``): the resolved cache path
+    #: plus hit/miss/write/error totals summed across workers and any
+    #: swallowed-failure notes; ``None`` when the execution ran without a
+    #: cache.  The artifacts layer embeds it as ``execution.cache``.
+    cache: Optional[Dict[str, object]] = None
 
     @property
     def n_points(self) -> int:
@@ -252,6 +258,12 @@ class ChunkOutcome:
     trace_events: List[Dict[str, object]] = field(default_factory=list)
     #: Events the worker-owned tracer dropped at its buffer cap.
     dropped_events: int = 0
+    #: Plan-cache hit/miss/write/error counts for this chunk (empty when the
+    #: task ran without ``plan_cache``); summed into ``execution.cache``.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Swallowed cache-integrity failures ("<entry>: <why>"), surfaced in
+    #: the manifest so silent cold-start fallbacks stay visible.
+    cache_notes: List[str] = field(default_factory=list)
 
 
 class _ChunkTelemetry:
@@ -412,6 +424,7 @@ def _enroll_group(
     group: Sequence[SweepPoint],
     results: List[PointResult],
     tele: Optional["_ChunkTelemetry"] = None,
+    cache=None,
 ) -> Optional[Dict[str, float]]:
     """Prepare one shared-prefix group and register its snapshot stops.
 
@@ -421,6 +434,17 @@ def _enroll_group(
     batch-prepare hook) or :class:`SimulationError` (from enrollment) when
     the group cannot share a prepared instance — the caller falls back to
     per-instance execution for just that group.
+
+    With a ``cache`` (:class:`~repro.cache.PlanCache`), every horizon that
+    has an exact-match snapshot is served straight from the cache: the
+    restore *is* the state at that horizon (a cold run's stop order is
+    drives-then-snapshot, so the snapshot already contains the stop's drive
+    effects), and its point records are finalized immediately at enrollment
+    without simulating a single cycle.  Horizons without an exact snapshot
+    are covered the classic way — one instance warm-started from the
+    deepest snapshot below the shallowest of them (or a cold prepare),
+    publishing fresh snapshots at every stop it reaches, which heals the
+    missing entries for the next run.
     """
     first = group[0]
     spec = scenario(first.scenario)
@@ -430,59 +454,114 @@ def _enroll_group(
     for point in group:
         by_horizon.setdefault(point.horizon_cycles, []).append(point)
     horizons = sorted(by_horizon)
-    prepared = spec.batch_prepare(horizons, first.dense, **dict(first.params))
+    prepared = None
+    base = 0
+    key = None
+    pending = list(horizons)
+    served: List[Tuple[int, object]] = []
+    if cache is not None:
+        key = group_cache_key(first.scenario, first.dense, dict(first.params), horizons)
+        for horizon in reversed(horizons):
+            restored = cache.lookup(key, horizon, exact=True)
+            if restored is not None:
+                served.append((horizon, restored.prepared))
+                pending.remove(horizon)
+        if pending:
+            # ``pending[0]`` itself cannot be on disk (its exact probe just
+            # missed), so the deepest usable base is strictly below it and
+            # every pending stop stays at least one cycle out.
+            restored = cache.lookup(key, pending[0])
+            if restored is not None:
+                prepared = restored.prepared
+                base = restored.base_tick
+    if pending and prepared is None:
+        prepared = spec.batch_prepare(horizons, first.dense, **dict(first.params))
     # Wall-clock attribution under interleaving is approximate by nature:
     # each stop is charged the time since this instance's previous stop
     # (manifest diagnostics only — never part of the comparable payload).
     clock = {"last": time.perf_counter()}
 
-    def snapshot(elapsed: int, points: Sequence[SweepPoint]) -> None:
+    def finalize(instance, elapsed: int, points: Sequence[SweepPoint]) -> None:
         now = time.perf_counter()
         wall, clock["last"] = now - clock["last"], now
-        outcome = prepared.outcome(elapsed)
+        outcome = instance.outcome(elapsed)
         for point in points:
             results.append(_finalize_point(point, outcome, wall))
         if tele is not None:
             tele.timer.add("finalize", time.perf_counter() - now)
+        if cache is not None:
+            publish_start = time.perf_counter()
+            cache.publish(key, instance, elapsed)
+            if tele is not None:
+                tele.timer.add("cache", time.perf_counter() - publish_start)
 
-    # Merge the scenario's drive script (mid-run testbench interference,
-    # e.g. watchdog-recovery's fault injection) into the snapshot schedule.
-    # A drive sharing a cycle with a snapshot fires first — exactly the
-    # standalone order (interfere, then keep running / observe).  Drives
-    # beyond the last horizon are dropped: a standalone run of any requested
-    # horizon would never reach them.
-    drives_by_cycle: Dict[int, List[Callable[[int], None]]] = {}
-    for cycle, callback in prepared.drive_stops():
-        if cycle <= horizons[-1]:
-            drives_by_cycle.setdefault(cycle, []).append(callback)
+    # Snapshot-served horizons finalize right now — BatchInstance stops must
+    # be at least one cycle out, and these have nothing left to simulate.
+    # Shallow-first keeps the (manifest-only) wall attribution in the same
+    # order a cold run would charge it; results are re-sorted by index
+    # anyway.
+    for horizon, instance in sorted(served):
+        finalize(instance, horizon, tuple(by_horizon[horizon]))
 
-    def stop_at(horizon: int) -> Callable[[int], None]:
-        drives = tuple(drives_by_cycle.pop(horizon, ()))
-        points = tuple(by_horizon[horizon])
+    if pending:
+        # Merge the scenario's drive script (mid-run testbench interference,
+        # e.g. watchdog-recovery's fault injection) into the stop schedule.
+        # A drive sharing a cycle with a snapshot stop fires first — exactly
+        # the standalone order (interfere, then keep running / observe).
+        # Drives beyond the deepest pending horizon are dropped: the
+        # instance never simulates past it (deeper horizons were served from
+        # snapshots or not requested).  Drives at-or-before a restored base
+        # already fired in the run that published the snapshot — their
+        # effects are *in* the restored state — so replaying them would
+        # double-apply.
+        drives_by_cycle: Dict[int, List[Callable[[int], None]]] = {}
+        for cycle, callback in prepared.drive_stops():
+            if base < cycle <= pending[-1]:
+                drives_by_cycle.setdefault(cycle, []).append(callback)
 
-        def fire(elapsed: int) -> None:
-            for drive in drives:
-                drive(elapsed)
-            snapshot(elapsed, points)
+        def stop_at(horizon: int) -> Callable[[int], None]:
+            drives = tuple(drives_by_cycle.pop(horizon, ()))
+            points = tuple(by_horizon[horizon])
 
-        return fire
+            def fire(elapsed: int) -> None:
+                absolute = base + elapsed
+                for drive in drives:
+                    drive(absolute)
+                finalize(prepared, absolute, points)
 
-    stops = [(horizon, stop_at(horizon)) for horizon in horizons]
-    for cycle, callbacks in drives_by_cycle.items():
+            return fire
 
-        def fire_drives(elapsed: int, drives=tuple(callbacks)) -> None:
-            for drive in drives:
-                drive(elapsed)
+        # Stop cycles are instance-relative (measured from enrollment); a
+        # warm instance enrolls at ``base``, so every remaining absolute
+        # cycle shifts down by it.
+        stops = [(horizon - base, stop_at(horizon)) for horizon in pending]
+        for cycle, callbacks in drives_by_cycle.items():
 
-        stops.append((cycle, fire_drives))
-    batch.add(prepared.simulator, stops, label=f"{first.scenario}#{first.index}")
+            def fire_drives(elapsed: int, drives=tuple(callbacks)) -> None:
+                for drive in drives:
+                    drive(base + elapsed)
+
+            stops.append((cycle - base, fire_drives))
+        batch.add(prepared.simulator, stops, label=f"{first.scenario}#{first.index}")
+    elif tele is not None and served:
+        # The whole group was served from snapshots; no simulator of its
+        # enters the batch, so absorb kernel stats here instead of in the
+        # caller's post-run sweep over ``batch.instances``.  Only the
+        # deepest restore counts — it carries the group's fullest history,
+        # and summing overlapping histories would inflate the counters.
+        tele.kernel.add(served[0][1].simulator.kernel_stats)
     if tracer is not None:
         tracer.event(
             "sweep.enroll",
             "sweep",
             enroll_ns,
             tracer.now_ns() - enroll_ns,
-            {"scenario": first.scenario, "points": len(group), "horizons": len(horizons)},
+            {
+                "scenario": first.scenario,
+                "points": len(group),
+                "horizons": len(horizons),
+                "warm_base": base,
+            },
         )
     return clock
 
@@ -492,6 +571,7 @@ def run_point_groups(
     backend: Optional[str] = None,
     trace: bool = False,
     profile: bool = False,
+    plan_cache: Optional[str] = None,
 ) -> ChunkOutcome:
     """Pool task: execute one chunk of shared-prefix groups, batched.
 
@@ -502,12 +582,19 @@ def run_point_groups(
     reached.  A group whose batch-prepare hook declines
     (:class:`BatchUnsupported` — e.g. heterogeneous derived parameters) or
     whose enrollment fails runs per-instance inside this same task, with the
-    reason recorded in the outcome's ``fallbacks``.
+    reason recorded in the outcome's ``fallbacks``.  ``plan_cache`` (a
+    directory path) warm-starts groups from published prepared-state
+    snapshots and publishes new ones; see :mod:`repro.cache.plan_cache`.
     """
     from repro.sim.batch import BatchSimulator
     from repro.sim.simulator import SimulationError
 
     tele, tracer, owned = _chunk_scope(trace, profile)
+    cache = None
+    if plan_cache is not None:
+        from repro.cache import PlanCache
+
+        cache = PlanCache(plan_cache)
     try:
         batch = BatchSimulator(backend=backend)
         outcome = ChunkOutcome()
@@ -517,10 +604,12 @@ def run_point_groups(
         for group in groups:
             try:
                 if tele is None:
-                    clocks.append(_enroll_group(batch, group, results))
+                    clocks.append(_enroll_group(batch, group, results, cache=cache))
                 else:
                     with tele.timer.phase("prepare"):
-                        clocks.append(_enroll_group(batch, group, results, tele=tele))
+                        clocks.append(
+                            _enroll_group(batch, group, results, tele=tele, cache=cache)
+                        )
             except (BatchUnsupported, SimulationError) as exc:
                 outcome.fallbacks.append(_fallback_record(group, str(exc)))
                 for point in group:
@@ -554,6 +643,9 @@ def run_point_groups(
             tele.rounds += batch.rounds
             for instance in batch.instances:
                 tele.kernel.add(instance.simulator.kernel_stats)
+        if cache is not None:
+            outcome.cache_stats = cache.counters.as_dict()
+            outcome.cache_notes = list(cache.notes)
     finally:
         if owned:
             tracing.uninstall()
@@ -610,6 +702,7 @@ def execute_campaign(
     backend: Optional[str] = None,
     trace: bool = False,
     profile: bool = False,
+    plan_cache: Optional[str] = None,
 ) -> CampaignResult:
     """Run every point of ``spec`` and return the aggregated result.
 
@@ -639,6 +732,14 @@ def execute_campaign(
     plus metrics registry) and, under ``trace``, the worker-buffered trace
     events.  Telemetry never touches the comparable payload — results are
     byte-identical with it on or off (``tests/sweep/test_telemetry.py``).
+
+    ``plan_cache`` (``--plan-cache DIR``) points the batched path at a
+    persistent prepared-state snapshot cache: groups warm-start from
+    snapshots published by earlier runs (same campaign, another shard,
+    another fleet worker) and publish their own at every horizon stop.
+    The cache affects wall-clock only — warm artifacts are byte-identical
+    to cold ones (``tests/sweep/test_plan_cache_sweep.py``) — and its
+    hit/miss totals land in the result's ``cache`` block.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -689,7 +790,13 @@ def execute_campaign(
     chunk_size = chunk if chunk is not None else auto_chunk(len(points), jobs)
     if use_batch:
         chunks: List = _chunked_groups(batch_groups(points), chunk_size)
-        task: Callable = partial(run_point_groups, backend=backend_name, trace=trace, profile=profile)
+        task: Callable = partial(
+            run_point_groups,
+            backend=backend_name,
+            trace=trace,
+            profile=profile,
+            plan_cache=plan_cache,
+        )
     else:
         chunks = _chunked(points, chunk_size)
         task = partial(run_points, trace=trace, profile=profile) if telemetry else run_points
@@ -700,6 +807,8 @@ def execute_campaign(
     batch_rounds = 0
     trace_events: List[Dict[str, object]] = []
     trace_dropped = 0
+    cache_totals: Dict[str, int] = {"hits": 0, "misses": 0, "writes": 0, "errors": 0}
+    cache_notes: List[str] = []
 
     def collect(outcome: ChunkOutcome) -> None:
         nonlocal batched_points, batch_rounds, trace_dropped
@@ -712,6 +821,9 @@ def execute_campaign(
             batch_rounds += outcome.rounds
         trace_events.extend(outcome.trace_events)
         trace_dropped += outcome.dropped_events
+        for name, value in outcome.cache_stats.items():
+            cache_totals[name] = cache_totals.get(name, 0) + value
+        cache_notes.extend(outcome.cache_notes)
         for result in outcome.results:
             results.append(result)
             if progress is not None:
@@ -729,6 +841,11 @@ def execute_campaign(
     fallbacks.sort(key=lambda record: record["points"])
     failed.sort(key=lambda record: record["index"])
     wall_seconds = time.perf_counter() - start
+    cache_payload: Optional[Dict[str, object]] = None
+    if plan_cache is not None:
+        cache_payload = {"path": str(plan_cache)}
+        cache_payload.update(cache_totals)
+        cache_payload["notes"] = sorted(set(cache_notes))
     telemetry_payload: Optional[Dict[str, object]] = None
     if telemetry:
         registry = MetricsRegistry()
@@ -739,6 +856,11 @@ def execute_campaign(
         registry.counter("sweep.points", {"kind": "batched"}).inc(batched_points)
         registry.counter("sweep.points", {"kind": "failed"}).inc(len(failed))
         registry.counter("batch.rounds").inc(batch_rounds)
+        if plan_cache is not None:
+            registry.counter("cache.hit").inc(cache_totals["hits"])
+            registry.counter("cache.miss").inc(cache_totals["misses"])
+            registry.counter("cache.write").inc(cache_totals["writes"])
+            registry.counter("cache.error").inc(cache_totals["errors"])
         walls = registry.histogram("sweep.point_wall_seconds")
         for result in results:
             if not result.reused:
@@ -772,4 +894,5 @@ def execute_campaign(
         telemetry=telemetry_payload,
         trace_events=trace_events,
         trace_dropped=trace_dropped,
+        cache=cache_payload,
     )

@@ -61,6 +61,7 @@ class TestCanonicalKeySet:
             "cycles_skipped",
             "plan_builds",
             "plan_shared",
+            "plan_evictions",
         )
 
     def test_event_driven_cached_kernel(self):
